@@ -1,0 +1,129 @@
+"""Section 4.10: elision versus tombstone deletion.
+
+Dropping a snapshot or medium under tombstones costs one record per
+key and reclaims nothing until compaction carries the tombstones to the
+oldest level. Elision inserts one predicate record, readers filter
+lock-free, and merges drop matching tuples immediately. Measured:
+
+* deletion cost in records written;
+* elide-table size stays bounded (ranges coalesce) while tombstone
+  count grows linearly;
+* space reclaimed at the first merge vs only at full compaction.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis.reporting import format_table
+from repro.baselines.tombstone_lsm import TombstoneLSM
+from repro.pyramid.relation import Relation
+from repro.pyramid.tuples import SequenceGenerator
+
+KEYS = 2000
+#: Drop the mediums in contiguous runs, as snapshot lifecycles do.
+DROPS = 8
+
+
+def build_pair():
+    """An elision relation and a tombstone LSM with identical contents."""
+    relation = Relation("elide", key_arity=1, fanout=4)
+    sequence = SequenceGenerator()
+    tombstone = TombstoneLSM(fanout=4)
+    for key in range(KEYS):
+        relation.insert((key,), (key,), sequence.next())
+        tombstone.insert((key,), (key,))
+        if key % 250 == 249:
+            relation.seal()
+            tombstone.seal()
+    return relation, tombstone
+
+
+def test_deletion_cost_and_table_growth(once):
+    def run():
+        relation, tombstone = build_pair()
+        run_size = KEYS // DROPS
+        elide_counts = []
+        tombstone_counts = []
+        for drop in range(DROPS):
+            lo = drop * run_size
+            hi = lo + run_size - 1
+            relation.elide_key_range(lo, hi)
+            tombstone.delete_range([(key,) for key in range(lo, hi + 1)])
+            elide_counts.append(relation.elide_table.record_count)
+            tombstone_counts.append(tombstone.tombstones_written)
+        return relation, tombstone, elide_counts, tombstone_counts
+
+    relation, tombstone, elide_counts, tombstone_counts = once(run)
+    rows = [
+        [drop + 1, elide_counts[drop], tombstone_counts[drop]]
+        for drop in range(DROPS)
+    ]
+    emit("elision_deletion_cost", format_table(
+        ["Bulk drops", "Elide records (coalesced)", "Tombstones written"],
+        rows, title="Deleting %d keys in %d contiguous drops" % (KEYS, DROPS)))
+    # Contiguous drops collapse into ONE elide range; tombstones are
+    # one per key, forever growing.
+    assert elide_counts[-1] == 1
+    assert tombstone_counts[-1] == KEYS
+
+
+def test_space_reclamation_timing(once):
+    def run():
+        relation, tombstone = build_pair()
+        relation.elide_key_range(0, KEYS - 1)
+        tombstone.delete_range([(key,) for key in range(KEYS)])
+        timeline = []
+        timeline.append(
+            ("after delete", relation.stored_fact_count(),
+             tombstone.stored_fact_count())
+        )
+        # One merge step each.
+        relation.flatten()
+        tombstone.seal()
+        tombstone.compact_once()
+        timeline.append(
+            ("after one merge", relation.stored_fact_count(),
+             tombstone.stored_fact_count())
+        )
+        # Run the tombstone side to full compaction.
+        tombstone.compact_fully()
+        timeline.append(
+            ("after full compaction", relation.stored_fact_count(),
+             tombstone.stored_fact_count())
+        )
+        return timeline
+
+    timeline = once(run)
+    rows = [[stage, elision, tombstones] for stage, elision, tombstones in timeline]
+    emit("elision_reclamation_timing", format_table(
+        ["Stage", "Elision facts stored", "Tombstone facts stored"],
+        rows, title="Space reclamation after deleting everything"))
+    stages = {stage: (elision, tombstones) for stage, elision, tombstones in timeline}
+    # Elision reclaims at the FIRST merge; tombstones still hold data +
+    # tombstone pairs after one merge, reclaiming only at full compaction.
+    assert stages["after one merge"][0] == 0
+    assert stages["after one merge"][1] > KEYS * 0.5
+    assert stages["after full compaction"][1] == 0
+
+
+def test_readers_filter_without_blocking(once):
+    """Elide records apply atomically: one insert deletes a whole range
+    while concurrent-style readers keep running lock-free."""
+
+    def run():
+        relation, _tombstone = build_pair()
+        before = relation.get((123,))
+        relation.elide_key_range(0, 499)
+        after = relation.get((123,))
+        survivor = relation.get((1500,))
+        relaxed = relation.get((123,), ignore_elisions=True)
+        return before, after, survivor, relaxed
+
+    before, after, survivor, relaxed = once(run)
+    emit("elision_atomicity",
+         "range elide: key 123 visible before=%s after=%s; key 1500 "
+         "survivor=%s; relaxed reader still sees=%s" % (
+             before is not None, after is not None,
+             survivor is not None, relaxed is not None))
+    assert before is not None
+    assert after is None
+    assert survivor is not None
+    assert relaxed is not None  # Section 3.2's relaxed consistency mode

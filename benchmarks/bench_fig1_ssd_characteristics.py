@@ -1,0 +1,122 @@
+"""Figure 1 / Section 2.1: the SSD behaviours Purity designs around.
+
+Three behavioural claims about the device substrate:
+
+* peak read throughput needs a deep queue (typical SSDs do not reach
+  peak throughput with read queue depths less than 32);
+* reads colliding with programs/erases see millisecond stalls;
+* random writes raise write amplification and stall probability,
+  sequential writes keep the FTL calm (Section 3.3).
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis.reporting import format_table
+from repro.sim.clock import SimClock
+from repro.sim.distributions import percentile
+from repro.sim.rand import RandomStream
+from repro.ssd.device import SimulatedSSD
+from repro.ssd.geometry import SSDGeometry
+from repro.units import KIB, MIB
+
+
+def make_ssd(seed=0):
+    geometry = SSDGeometry(
+        capacity_bytes=512 * MIB, page_size=4 * KIB,
+        erase_block_size=2 * MIB, num_dies=32,
+    )
+    return SimulatedSSD("bench", SimClock(), RandomStream(seed),
+                        geometry=geometry)
+
+
+def throughput_at_queue_depth(queue_depth, operations=512):
+    """4 KiB random-read IOPS at a fixed queue depth."""
+    ssd = make_ssd(seed=queue_depth)
+    stream = RandomStream(1000 + queue_depth)
+    erase_blocks = ssd.geometry.num_erase_blocks
+    start = ssd.clock.now
+    issued = 0
+    while issued < operations:
+        batch = []
+        for _ in range(min(queue_depth, operations - issued)):
+            offset = stream.randint(0, erase_blocks - 1) * ssd.geometry.erase_block_size
+            batch.append(ssd.read(offset, 4 * KIB).latency)
+            issued += 1
+        ssd.clock.advance(max(batch))
+    return operations / (ssd.clock.now - start)
+
+
+def test_queue_depth_curve(once):
+    depths = [1, 2, 4, 8, 16, 32, 64]
+    curve = once(lambda: [(d, throughput_at_queue_depth(d)) for d in depths])
+    rows = [[depth, round(iops)] for depth, iops in curve]
+    emit("fig1_queue_depth", format_table(
+        ["Queue depth", "4 KiB read IOPS"], rows,
+        title="SSD read throughput vs queue depth"))
+    iops = dict(curve)
+    # Throughput keeps climbing well past QD8; QD32 is near peak.
+    assert iops[8] > iops[1] * 4
+    assert iops[32] > iops[8] * 1.5
+    assert iops[64] < iops[32] * 1.5  # saturating
+
+
+def test_read_stalls_during_programs(once):
+    def measure():
+        calm = make_ssd(seed=1)
+        stream = RandomStream(5)
+        calm_latencies = []
+        for _ in range(300):
+            offset = stream.randint(0, calm.geometry.num_erase_blocks - 1)
+            calm_latencies.append(
+                calm.read(offset * calm.geometry.erase_block_size, 4 * KIB).latency
+            )
+            calm.clock.advance(calm_latencies[-1])
+        busy = make_ssd(seed=2)
+        busy_latencies = []
+        for index in range(300):
+            if index % 10 == 0:
+                busy.write((index % 64) * MIB, b"\xaa" * MIB)
+            offset = stream.randint(0, busy.geometry.num_erase_blocks - 1)
+            result = busy.read(offset * busy.geometry.erase_block_size, 4 * KIB)
+            busy_latencies.append(result.latency)
+            busy.clock.advance(result.latency)
+        return calm_latencies, busy_latencies
+
+    calm, busy = once(measure)
+    rows = [
+        ["idle device", percentile(calm, 0.5) * 1e6, percentile(calm, 0.99) * 1e6],
+        ["device absorbing writes", percentile(busy, 0.5) * 1e6,
+         percentile(busy, 0.99) * 1e6],
+    ]
+    emit("fig1_read_stalls", format_table(
+        ["Condition", "read p50 (us)", "read p99 (us)"], rows,
+        title="Read latency during concurrent programs"))
+    assert percentile(busy, 0.99) > percentile(calm, 0.99) * 5
+
+
+def test_random_writes_harm_ftl(once):
+    def measure():
+        sequential = make_ssd(seed=3)
+        cursor = 0
+        for _ in range(400):
+            sequential.write(cursor, b"s" * (64 * KIB))
+            cursor = (cursor + 64 * KIB) % (256 * MIB)
+            sequential.clock.advance(0.01)
+        random_ssd = make_ssd(seed=4)
+        stream = RandomStream(9)
+        for _ in range(400):
+            offset = stream.randint(0, 60000) * 4 * KIB
+            random_ssd.write(offset, b"r" * (4 * KIB))
+            random_ssd.clock.advance(0.01)
+        return sequential.ftl, random_ssd.ftl
+
+    sequential_ftl, random_ftl = once(measure)
+    rows = [
+        ["sequential 64 KiB", round(sequential_ftl.write_amplification(), 2),
+         "%.2f%%" % (sequential_ftl.stall_probability() * 100)],
+        ["random 4 KiB", round(random_ftl.write_amplification(), 2),
+         "%.2f%%" % (random_ftl.stall_probability() * 100)],
+    ]
+    emit("fig1_write_amplification", format_table(
+        ["Write pattern", "Write amplification", "GC stall probability"],
+        rows, title="FTL behaviour vs host write pattern"))
+    assert random_ftl.write_amplification() > sequential_ftl.write_amplification() * 1.5

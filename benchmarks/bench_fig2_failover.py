@@ -1,0 +1,118 @@
+"""Figure 2 / Section 4.1: the high-availability envelope.
+
+Three behaviours of the dual-controller, dual-ported design:
+
+* controller failover completes far inside the 30 s client timeout and
+  loses no acknowledged writes;
+* latencies *improve slightly* when the secondary fails (no more
+  InfiniBand forwarding);
+* service continues through two pulled SSDs (the sales demo).
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis.reporting import format_table
+from repro.core.config import ArrayConfig
+from repro.core.ha import CLIENT_TIMEOUT_SECONDS, DualControllerArray
+from repro.sim.distributions import percentile
+from repro.sim.rand import RandomStream
+from repro.units import KIB, MIB
+
+
+def build_appliance(seed=0, **kwargs):
+    config = ArrayConfig.small(num_drives=12, drive_capacity=32 * MIB, seed=seed)
+    appliance = DualControllerArray(config, **kwargs)
+    appliance.create_volume("prod", 4 * MIB)
+    return appliance
+
+
+def test_failover_budget(once):
+    def run():
+        appliance = build_appliance()
+        stream = RandomStream(1)
+        written = {}
+        for index in range(40):
+            offset = (index * 32 * KIB) % (4 * MIB - 16 * KIB)
+            payload = stream.randbytes(16 * KIB)
+            appliance.write("prod", offset, payload)
+            written[offset] = payload
+        result = appliance.fail_primary()
+        intact = all(
+            appliance.read("prod", offset, 16 * KIB)[0] == payload
+            for offset, payload in written.items()
+        )
+        return result, intact
+
+    result, intact = once(run)
+    rows = [
+        ["failover downtime (s)", round(result.downtime, 4)],
+        ["client timeout (s)", CLIENT_TIMEOUT_SECONDS],
+        ["within timeout", result.within_client_timeout],
+        ["acknowledged writes intact", intact],
+        ["recovery AUs scanned", result.recovery_report.aus_scanned],
+        ["facts recovered", result.recovery_report.facts_recovered],
+    ]
+    emit("fig2_failover", format_table(["Metric", "Value"], rows,
+                                       title="Controller failover"))
+    assert result.within_client_timeout
+    assert result.downtime < CLIENT_TIMEOUT_SECONDS / 10
+    assert intact
+
+
+def test_secondary_failure_improves_latency(once):
+    def run():
+        appliance = build_appliance(seed=3, secondary_port_fraction=1.0)
+        stream = RandomStream(4)
+        appliance.write("prod", 0, stream.randbytes(16 * KIB))
+        forwarded = []
+        for _ in range(200):
+            _data, latency = appliance.read("prod", 0, 16 * KIB)
+            forwarded.append(latency)
+        appliance.fail_secondary()
+        direct = []
+        for _ in range(200):
+            _data, latency = appliance.read("prod", 0, 16 * KIB)
+            direct.append(latency)
+        return forwarded, direct
+
+    forwarded, direct = once(run)
+    rows = [
+        ["both controllers (forwarding)", percentile(forwarded, 0.5) * 1e6],
+        ["secondary failed (direct)", percentile(direct, 0.5) * 1e6],
+    ]
+    emit("fig2_forwarding", format_table(
+        ["Path", "read p50 (us)"], rows,
+        title="Latency improves slightly when the secondary fails"))
+    assert percentile(direct, 0.5) < percentile(forwarded, 0.5)
+
+
+def test_service_through_pulled_drives(once):
+    def run():
+        appliance = build_appliance(seed=5)
+        stream = RandomStream(6)
+        written = {}
+        for index in range(24):
+            offset = index * 32 * KIB
+            payload = stream.randbytes(16 * KIB)
+            appliance.write("prod", offset, payload)
+            written[offset] = payload
+        appliance.active.drain()
+        for name in list(appliance.active.drives)[:2]:
+            appliance.active.fail_drive(name)
+        appliance.active.datapath.drop_caches()
+        read_latencies = []
+        intact = True
+        for offset, payload in written.items():
+            data, latency = appliance.read("prod", offset, 16 * KIB)
+            intact = intact and data == payload
+            read_latencies.append(latency)
+        return intact, read_latencies
+
+    intact, latencies = once(run)
+    rows = [
+        ["data intact after 2 pulled drives", intact],
+        ["degraded read p50 (us)", percentile(latencies, 0.5) * 1e6],
+        ["degraded read p99 (us)", percentile(latencies, 0.99) * 1e6],
+    ]
+    emit("fig2_pulled_drives", format_table(["Metric", "Value"], rows,
+                                            title="Two pulled SSDs"))
+    assert intact

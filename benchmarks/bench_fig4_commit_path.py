@@ -1,0 +1,116 @@
+"""Figure 4: the monotonic write-ahead commit path.
+
+Writing log entries to segios costs megabytes of parity-protected I/O —
+far too slow for acknowledging application writes. Purity commits to
+NVRAM instead and moves facts to segios in the background. Measured:
+
+* commit latency via NVRAM vs the cost of a direct segio flush;
+* WAL ordering: facts reach segments only after NVRAM persistence,
+  and NVRAM trims as the segment writer catches up;
+* frontier/boot writes are a vanishing fraction of all writes.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis.reporting import format_table
+from repro.core.array import PurityArray
+from repro.core.config import ArrayConfig
+from repro.sim.distributions import percentile
+from repro.sim.rand import RandomStream
+from repro.units import KIB, MIB
+
+
+def test_commit_latency_vs_flush(once):
+    def run():
+        config = ArrayConfig.small(num_drives=11, drive_capacity=32 * MIB)
+        array = PurityArray.create(config)
+        stream = RandomStream(21)
+        array.create_volume("v", 4 * MIB)
+        commit_latencies = []
+        flush_latencies = []
+        for index in range(100):
+            offset = (index * 16 * KIB) % (4 * MIB - 16 * KIB)
+            commit_latencies.append(
+                array.write("v", offset, stream.randbytes(16 * KIB))
+            )
+            if index % 10 == 9:
+                latency = array.segwriter.flush()
+                if latency > 0:
+                    flush_latencies.append(latency)
+        return commit_latencies, flush_latencies
+
+    commits, flushes = once(run)
+    rows = [
+        ["NVRAM commit p50 (us)", percentile(commits, 0.5) * 1e6],
+        ["NVRAM commit p99 (us)", percentile(commits, 0.99) * 1e6],
+        ["segio flush p50 (us)", percentile(flushes, 0.5) * 1e6],
+    ]
+    emit("fig4_commit_latency", format_table(["Path", "latency"], rows,
+                                             title="Commit via NVRAM vs segio flush"))
+    # The whole point: commits are orders of magnitude cheaper than
+    # waiting for a multi-write-unit segio flush.
+    assert percentile(commits, 0.99) < percentile(flushes, 0.5) / 5
+
+
+def test_wal_ordering_and_trim(once):
+    def run():
+        config = ArrayConfig.small(num_drives=11, drive_capacity=32 * MIB)
+        array = PurityArray.create(config)
+        stream = RandomStream(22)
+        array.create_volume("v", 4 * MIB)
+        samples = []
+        for index in range(60):
+            array.write("v", (index * 16 * KIB) % (4 * MIB - 16 * KIB),
+                        stream.randbytes(16 * KIB))
+            samples.append(
+                (index, array.pipeline.wal.nvram.bytes_used,
+                 array.pipeline.drains)
+            )
+        before_drain = array.pipeline.wal.nvram.bytes_used
+        array.drain()
+        after_drain = array.pipeline.wal.nvram.bytes_used
+        return samples, before_drain, after_drain, array
+
+    samples, before, after, array = once(run)
+    peak = max(used for _i, used, _d in samples)
+    rows = [
+        ["peak NVRAM bytes during run", peak],
+        ["NVRAM capacity", array.pipeline.wal.nvram.capacity_bytes],
+        ["automatic drains triggered", array.pipeline.drains],
+        ["NVRAM bytes before explicit drain", before],
+        ["NVRAM bytes after drain", after],
+    ]
+    emit("fig4_wal_trim", format_table(["Metric", "Value"], rows,
+                                       title="WAL persistence and trim"))
+    # The watermark keeps NVRAM bounded and drains trim it to zero.
+    assert peak <= array.pipeline.wal.nvram.capacity_bytes
+    assert after == 0
+    assert array.pipeline.drains > 0
+
+
+def test_frontier_writes_are_rare(once):
+    """Figure 5's companion claim: frontier (boot) writes << 1% of writes."""
+
+    def run():
+        config = ArrayConfig.small(num_drives=11, drive_capacity=64 * MIB)
+        array = PurityArray.create(config)
+        stream = RandomStream(23)
+        array.create_volume("v", 16 * MIB)
+        for index in range(400):
+            offset = (index * 16 * KIB) % (16 * MIB - 16 * KIB)
+            array.write("v", offset, stream.randbytes(16 * KIB))
+        array.drain()
+        return array
+
+    array = once(run)
+    boot_bytes = array.boot_region.bytes_written
+    flushed = array.segwriter.flush_bytes_written
+    fraction = boot_bytes / (boot_bytes + flushed)
+    rows = [
+        ["segment bytes flushed", flushed],
+        ["boot-region bytes written", boot_bytes],
+        ["boot checkpoints", array.pipeline.checkpoints],
+        ["boot-write fraction", "%.4f%%" % (fraction * 100)],
+    ]
+    emit("fig4_frontier_write_fraction", format_table(
+        ["Metric", "Value"], rows, title="Frontier/boot writes vs all writes"))
+    assert fraction < 0.01  # well under 1%

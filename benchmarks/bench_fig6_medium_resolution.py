@@ -1,0 +1,114 @@
+"""Figure 6: medium-table resolution and chain shortening.
+
+The medium table identifies every key that might hold a block's value;
+garbage collection flattens medium trees so reads never chase more than
+three levels. Measured: chain depth and read cost across a deep
+snapshot/clone lineage, before and after GC; plus the paper's exact
+Figure 6 composite-medium example resolving correctly.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis.reporting import format_table
+from repro.core.array import PurityArray
+from repro.core.config import ArrayConfig
+from repro.mediums.resolver import chain_depth, resolve_chain
+from repro.sim.rand import RandomStream
+from repro.units import KIB, MIB
+
+
+def test_chain_depth_before_and_after_gc(once):
+    generations = 8
+
+    def run():
+        config = ArrayConfig.small(num_drives=11, drive_capacity=32 * MIB,
+                                   cblock_cache_entries=4)
+        array = PurityArray.create(config)
+        stream = RandomStream(61)
+        array.create_volume("base", 2 * MIB)
+        payload = stream.randbytes(16 * KIB)
+        array.write("base", 0, payload)
+        name = "base"
+        for generation in range(generations):
+            array.snapshot(name, "s")
+            child = "gen%d" % generation
+            array.clone(name, "s", child)
+            name = child
+        anchor = array.volumes.anchor_medium(name)
+        depth_before = chain_depth(array.medium_table, anchor, 0)
+        array.datapath.drop_caches()
+        _data, latency_before = array.read(name, 0, 16 * KIB)
+        array.run_gc()
+        depth_after = chain_depth(array.medium_table, anchor, 0)
+        array.datapath.drop_caches()
+        data, latency_after = array.read(name, 0, 16 * KIB)
+        assert data == payload
+        return depth_before, latency_before, depth_after, latency_after
+
+    depth_before, lat_before, depth_after, lat_after = once(run)
+    rows = [
+        ["before GC", depth_before, round(lat_before * 1e6, 1)],
+        ["after GC flattening", depth_after, round(lat_after * 1e6, 1)],
+    ]
+    emit("fig6_chain_depth", format_table(
+        ["State", "chain depth", "read latency (us)"], rows,
+        title="%d-generation clone lineage" % generations))
+    assert depth_before > 3
+    assert depth_after <= 3
+
+
+def test_paper_figure6_example(once):
+    """The table from Figure 6, resolved probe by probe."""
+    from repro.mediums.medium import (
+        MEDIUM_NONE,
+        STATUS_RO,
+        STATUS_RW,
+        MediumTable,
+    )
+    from repro.pyramid.relation import Relation
+    from repro.pyramid.tuples import SequenceGenerator
+
+    def run():
+        relation = Relation("mediums", key_arity=2)
+        seq = SequenceGenerator()
+        table = MediumTable(
+            relation,
+            inserter=lambda key, value: relation.insert(key, value, seq.next()),
+        )
+        # Source / Start:End / Target / Offset / Status rows of Figure 6.
+        table.define_range(12, 0, 4000, MEDIUM_NONE, 0, STATUS_RO)
+        table.define_range(14, 0, 4000, 12, 0, STATUS_RW)
+        table.define_range(15, 0, 1000, 12, 2000, STATUS_RW)
+        table.define_range(18, 0, 1000, 12, 2000, STATUS_RO)
+        table.define_range(20, 0, 1000, 18, 0, STATUS_RO)
+        table.define_range(21, 0, 1000, 20, 0, STATUS_RO)
+        table.define_range(22, 0, 500, 21, 0, STATUS_RW)
+        table.define_range(22, 500, 1000, 12, 2500, STATUS_RW)
+        table.define_range(22, 1000, 2000, MEDIUM_NONE, 0, STATUS_RW)
+        probes = {
+            (14, 100): resolve_chain(table, 14, 100),
+            (15, 100): resolve_chain(table, 15, 100),
+            (22, 100): resolve_chain(table, 22, 100),
+            (22, 700): resolve_chain(table, 22, 700),
+            (22, 1500): resolve_chain(table, 22, 1500),
+        }
+        return probes
+
+    probes = once(run)
+    rows = [
+        ["%d:%d" % key, " -> ".join("%d@%d" % probe for probe in chain)]
+        for key, chain in sorted(probes.items())
+    ]
+    emit("fig6_paper_example", format_table(
+        ["Lookup", "Probe chain"], rows, title="Figure 6 medium table"))
+    # Snapshot 14 delegates to 12.
+    assert probes[(14, 100)] == [(14, 100), (12, 100)]
+    # Clone 15 exposes 12's blocks 2000+ at offset 0.
+    assert probes[(15, 100)] == [(15, 100), (12, 2100)]
+    # Medium 22 block 700 shortcuts straight to 12 at 2700
+    # ("the table facilitates shortcuts ... allowing for fewer lookups").
+    assert probes[(22, 700)] == [(22, 700), (12, 2700)]
+    # 22's own data region terminates immediately.
+    assert probes[(22, 1500)] == [(22, 1500)]
+    # 22's delegating head walks 21 -> 20 -> 18 -> 12.
+    assert probes[(22, 100)][0] == (22, 100)
+    assert probes[(22, 100)][-1] == (12, 2100)

@@ -1,0 +1,90 @@
+"""Figure 7: the five-minute rule with data-reducing flash.
+
+Regenerates the cost-versus-access-frequency curves for the five tiers
+(Purity at 1x/4x/10x reduction, hard disk, ECC DIMM) and checks the
+paper's four rules of thumb:
+
+1. performance disk is dead;
+2. without reduction, RAM wins for anything you can afford to lose;
+3. with 10x reduction, never cache data colder than ~half an hour;
+4. important (4x) data follows a ten-minute-scale rule.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis.costmodel import (
+    crossover_interval,
+    figure7_series,
+    standard_tiers,
+)
+from repro.analysis.reporting import format_table
+from repro.units import KIB
+
+#: The x-axis of Figure 7: 1 s ... 1 yr.
+INTERVALS = [
+    ("1s", 1.0),
+    ("10s", 10.0),
+    ("30s", 30.0),
+    ("1m", 60.0),
+    ("5m", 300.0),
+    ("10m", 600.0),
+    ("30m", 1800.0),
+    ("1h", 3600.0),
+    ("1d", 86400.0),
+    ("1w", 604800.0),
+    ("4w", 2419200.0),
+    ("1yr", 31536000.0),
+]
+
+
+def test_figure7_curves(once):
+    labels = [label for label, _seconds in INTERVALS]
+    seconds = [value for _label, value in INTERVALS]
+    series = once(figure7_series, seconds)
+    tiers = {tier.name: tier for tier in standard_tiers()}
+
+    rows = [
+        [name] + [round(value, 3) for value in values]
+        for name, values in series.items()
+    ]
+    emit("fig7_five_minute_rule", format_table(
+        ["Tier"] + labels, rows,
+        title="Relative cost of storing one 55 KiB item vs access interval"))
+
+    disk = series["Hard disk"]
+    ram = series["ECC DIMM"]
+    no_reduction = series["1x - No reduction"]
+    rdbms = series["4x - RDBMS"]
+    mongo = series["10x - MongoDB"]
+
+    # Rule 1: at every interval, some flash line beats disk.
+    for index in range(len(seconds)):
+        assert min(no_reduction[index], rdbms[index], mongo[index]) < disk[index]
+
+    # Rule 2: without reduction, hot-through-warm data is cheaper in RAM.
+    assert ram[0] < no_reduction[0]
+    assert ram[labels.index("5m")] < no_reduction[labels.index("5m")]
+
+    # Rule 3: the 10x line crosses RAM near the half-hour mark.
+    crossover = crossover_interval(tiers["10x - MongoDB"], tiers["ECC DIMM"],
+                                   item_bytes=55 * KIB)
+    assert crossover is not None
+    assert 10 * 60 < crossover < 60 * 60
+    assert mongo[labels.index("1h")] < ram[labels.index("1h")]
+    assert mongo[labels.index("5m")] > ram[labels.index("5m")]
+
+    # Rule 4: the 4x line's crossover sits later (ten-minute-scale rule
+    # relative to rule 3's half-hour).
+    rdbms_crossover = crossover_interval(tiers["4x - RDBMS"], tiers["ECC DIMM"],
+                                         item_bytes=55 * KIB)
+    assert rdbms_crossover is not None
+    assert rdbms_crossover > crossover
+    assert rdbms[labels.index("1d")] < ram[labels.index("1d")]
+
+    crossover_rows = [
+        ["10x flash vs DRAM", "%.0f s (~%.0f min)" % (crossover, crossover / 60)],
+        ["4x flash vs DRAM", "%.0f s (~%.0f min)" % (
+            rdbms_crossover, rdbms_crossover / 60)],
+    ]
+    emit("fig7_crossovers", format_table(
+        ["Comparison", "Break-even access interval"], crossover_rows,
+        title="Where flash becomes cheaper than a DRAM copy"))

@@ -1,0 +1,83 @@
+"""Latency under offered load: the SLA behind "99.9% under 1 ms".
+
+An open-loop Poisson read workload sweeps arrival rates from gentle to
+saturating. The classic hockey stick must appear: flat tail latency up
+to a knee, then queueing blow-up. At comfortable load the p99.9 stays
+an order of magnitude below disk-seek territory — the regime in which
+the paper's production arrays live.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis.reporting import format_table
+from repro.core.array import PurityArray
+from repro.core.config import ArrayConfig
+from repro.sim.distributions import percentile
+from repro.sim.rand import RandomStream
+from repro.units import KIB, MIB
+from repro.workloads.base import IOOperation, IOTrace, OpKind
+from repro.workloads.driver import OpenLoopDriver
+
+RATES = [200, 2000, 20000, 200000, 2000000]
+READS_PER_RATE = 800
+
+
+def build_array(seed):
+    config = ArrayConfig.small(num_drives=11, drive_capacity=64 * MIB,
+                               cblock_cache_entries=4, seed=seed)
+    array = PurityArray.create(config)
+    stream = RandomStream(seed)
+    slots = 8 * MIB // (16 * KIB)
+    array.create_volume("v", 8 * MIB)
+    for slot in range(slots):
+        array.write("v", slot * 16 * KIB, stream.randbytes(16 * KIB))
+    array.drain()
+    array.clock.advance(2.0)
+    array.datapath.drop_caches()
+    return array, slots
+
+
+def read_trace(slots, stream):
+    trace = IOTrace()
+    for _ in range(READS_PER_RATE):
+        trace.append(IOOperation(
+            kind=OpKind.READ, volume="v",
+            offset=stream.randint(0, slots - 1) * 16 * KIB,
+            length=16 * KIB,
+        ))
+    return trace
+
+
+def test_load_latency_curve(once):
+    def run():
+        curve = []
+        for rate in RATES:
+            array, slots = build_array(seed=rate)
+            driver = OpenLoopDriver(array, arrival_rate=rate,
+                                    stream=RandomStream(rate + 1))
+            result = driver.run(read_trace(slots, RandomStream(rate + 2)))
+            curve.append((
+                rate,
+                percentile(result.read_latencies, 0.5),
+                percentile(result.read_latencies, 0.99),
+                percentile(result.read_latencies, 0.999),
+            ))
+        return curve
+
+    curve = once(run)
+    rows = [
+        [rate, round(p50 * 1e6, 1), round(p99 * 1e6, 1), round(p999 * 1e6, 1)]
+        for rate, p50, p99, p999 in curve
+    ]
+    emit("load_latency_curve", format_table(
+        ["Offered reads/s", "p50 (us)", "p99 (us)", "p99.9 (us)"],
+        rows, title="16 KiB random-read latency vs offered load (open loop)"))
+
+    by_rate = {rate: (p50, p99, p999) for rate, p50, p99, p999 in curve}
+    # Flat region: modest load keeps the tail an order of magnitude
+    # below disk-seek territory (~5 ms).
+    assert by_rate[200][2] < 0.001
+    assert by_rate[20000][2] < 0.002
+    # Hockey stick: past the knee, the tail blows up.
+    assert by_rate[2000000][2] > by_rate[200][2] * 4
+    # Median stays calm far longer than the tail.
+    assert by_rate[20000][0] < 0.0005

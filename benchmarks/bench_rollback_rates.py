@@ -1,0 +1,76 @@
+"""Section 5.2.1: transaction rollback rates versus storage latency.
+
+Two published claims:
+
+* rollback rates grow non-linearly with latency, so a 10x latency cut
+  reduces rollbacks by MORE than 10x;
+* a database at 60% CPU / 40% I/O wait "should" speed up under 2x from
+  faster storage, yet customers see ~10x — because lock-hold times,
+  concurrency, and retries collapse together.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis.reporting import format_table
+from repro.analysis.rollback import TransactionModel, naive_speedup_bound
+from repro.units import MILLISECOND
+
+MODEL = TransactionModel(tps=2500, ios_per_txn=10, cpu_seconds=0.0003,
+                         keys_per_txn=4, hot_keys=8000)
+
+LATENCIES = [0.2, 0.5, 1.0, 2.0, 5.0, 8.0]  # milliseconds
+
+
+def test_rollback_curve(once):
+    curve = once(
+        lambda: [
+            (latency_ms,
+             MODEL.concurrency(latency_ms * MILLISECOND),
+             MODEL.rollback_probability(latency_ms * MILLISECOND))
+            for latency_ms in LATENCIES
+        ]
+    )
+    rows = [
+        [latency_ms, round(concurrency, 1), "%.3f%%" % (probability * 100)]
+        for latency_ms, concurrency, probability in curve
+    ]
+    emit("rollback_curve", format_table(
+        ["Storage latency (ms)", "Concurrent txns", "Rollback rate"],
+        rows, title="Rollback rate vs storage latency"))
+    probabilities = {latency: p for latency, _c, p in curve}
+    # Monotone and superlinear over the disk/flash decade: a 10x
+    # latency increase raises the rollback rate by MORE than 10x.
+    ordered = [probabilities[latency] for latency in LATENCIES]
+    assert ordered == sorted(ordered)
+    assert probabilities[5.0] > probabilities[0.5] * 10
+
+
+def test_flash_reduces_rollbacks_more_than_10x(once):
+    disk = 5 * MILLISECOND
+    flash = 0.5 * MILLISECOND
+    reduction = once(MODEL.rollback_reduction, disk, flash)
+    emit("rollback_reduction",
+         "10x latency cut (5 ms -> 0.5 ms) reduces rollback rate by %.1fx"
+         % reduction)
+    assert reduction > 10.0
+
+
+def test_speedup_exceeds_naive_expectation(once):
+    def run():
+        disk = 5 * MILLISECOND
+        flash = 0.5 * MILLISECOND
+        actual = MODEL.speedup(disk, flash)
+        naive = naive_speedup_bound(0.6, 0.4, io_speedup=disk / flash)
+        return actual, naive
+
+    actual, naive = once(run)
+    rows = [
+        ["naive (60% CPU / 40% I/O, Amdahl)", "%.1fx" % naive],
+        ["model with rollback/concurrency effects", "%.1fx" % actual],
+        ["paper's customer observation", "~10x"],
+    ]
+    emit("rollback_speedup", format_table(
+        ["Estimate", "Throughput speedup"], rows,
+        title="Disk -> flash database speedup"))
+    assert naive < 2.0
+    assert actual > naive * 2
+    assert actual > 5.0

@@ -1,0 +1,68 @@
+"""Table 2: key-value deployment sizes and FA-450 consolidation ratios.
+
+Regenerates the paper's arithmetic from (a) the published deployment
+scales, (b) a per-node throughput derived from the disk KV-node model
+(the paper's YCSB citation: ~1600 ops/s per machine), and (c) the
+array capability — published (200K) and simulated.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis.consolidation import FA450_OPS, consolidation_table
+from repro.analysis.reporting import format_table
+from repro.baselines.kvcluster import KVCluster, KVNode
+
+
+def _render(rows):
+    table_rows = []
+    for row in rows:
+        table_rows.append([
+            row["service"],
+            row["scale"],
+            row["year"],
+            row["scope"],
+            row["apps"],
+            row["nodes"],
+            round(row["fa450_equivalents"], 1),
+            round(row["apps_per_array"], 1) if row["apps_per_array"] else None,
+            round(row["nodes_per_array"], 1) if row["nodes_per_array"] else None,
+        ])
+    return format_table(
+        ["Service", "Scale", "Year", "Scope", "Apps", "Nodes",
+         "~FA-450s", "Apps/FA-450", "Nodes/FA-450"],
+        table_rows,
+    )
+
+
+def test_table2(once):
+    node_ops = once(KVNode().ops_per_second, 0.95)
+    sections = [
+        "Simulated disk KV node: %.0f ops/s at 95%% reads "
+        "(paper's YCSB citation: ~1600)" % node_ops,
+        _render(consolidation_table(array_ops=FA450_OPS, node_ops=node_ops)),
+    ]
+    emit("table2_consolidation", "\n\n".join(sections))
+
+    # Shape: per-node throughput lands in the published class ...
+    assert 800 < node_ops < 3000
+    rows = {row["service"]: row for row in consolidation_table(node_ops=node_ops)}
+    # ... PNUTS needs ~8 arrays and hosts >100 apps per array ...
+    assert 6 < rows["PNUTS"]["fa450_equivalents"] < 10
+    assert rows["PNUTS"]["apps_per_array"] > 100
+    # ... and machine consolidation is order 100:1.
+    ratios = [
+        row["nodes_per_array"]
+        for row in rows.values()
+        if row["nodes_per_array"] is not None
+    ]
+    assert all(50 < ratio < 400 for ratio in ratios)
+
+
+def test_cluster_sizing_cross_check(once):
+    """One array replaces a cluster sized for the same throughput."""
+    nodes = once(KVCluster(1).nodes_for_throughput, FA450_OPS)
+    emit(
+        "table2_cluster_sizing",
+        "Nodes a disk KV cluster needs to match one FA-450 (200K ops): %d"
+        % nodes,
+    )
+    assert 80 < nodes < 400

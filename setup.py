@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Lets ``pip install -e . --no-use-pep517`` (or ``python setup.py
+develop``) work on environments without the ``wheel`` package; all
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,30 @@
+"""Reproduction of *Purity: Building Fast, Highly-Available Enterprise
+Flash Storage from Commodity Components* (SIGMOD 2015).
+
+The public API lives at the top level:
+
+>>> from repro import PurityArray, ArrayConfig
+>>> array = PurityArray.create(ArrayConfig.small())
+>>> array.create_volume("db", 2 * 1024 * 1024)
+>>> array.write("db", 0, b"\\x00" * 4096)  # doctest: +SKIP
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+from repro.core.array import PurityArray
+from repro.core.config import ArrayConfig
+from repro.core.ha import DualControllerArray
+from repro.core.replication import AsyncReplicator
+from repro.errors import PurityError
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "PurityArray",
+    "ArrayConfig",
+    "DualControllerArray",
+    "AsyncReplicator",
+    "PurityError",
+    "__version__",
+]

@@ -1,0 +1,38 @@
+"""Analytic models behind the paper's economics sections.
+
+Table 1 (appliance comparison), Table 2 (consolidation ratios),
+Figure 7 (the five-minute rule revisited for flash with data
+reduction), and the Section 5.2.1 transaction-rollback model.
+"""
+
+from repro.analysis.costmodel import (
+    PAPER_DISK_ARRAY,
+    PAPER_PURITY_ARRAY,
+    ApplianceSpec,
+    StorageTier,
+    standard_tiers,
+    build_table1,
+    crossover_interval,
+)
+from repro.analysis.consolidation import (
+    PAPER_DEPLOYMENTS,
+    Deployment,
+    consolidation_table,
+)
+from repro.analysis.rollback import TransactionModel
+from repro.analysis.reporting import format_table
+
+__all__ = [
+    "ApplianceSpec",
+    "StorageTier",
+    "standard_tiers",
+    "build_table1",
+    "crossover_interval",
+    "PAPER_PURITY_ARRAY",
+    "PAPER_DISK_ARRAY",
+    "Deployment",
+    "PAPER_DEPLOYMENTS",
+    "consolidation_table",
+    "TransactionModel",
+    "format_table",
+]

@@ -1,0 +1,203 @@
+"""Appliance economics: Table 1 and the five-minute rule (Figure 7).
+
+Constants come from the paper itself (2014/2015 prices) so the
+reproduction regenerates the paper's arithmetic; measured quantities
+(IOPS, latencies) come from the simulations and are merged in by the
+benchmark harness.
+"""
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.units import GIB, KIB, TIB
+
+
+@dataclass(frozen=True)
+class ApplianceSpec:
+    """One row-source for Table 1."""
+
+    name: str
+    peak_iops_32k: float
+    latency_seconds: float
+    usable_capacity_bytes: int
+    rack_units: int
+    installation_hours: float
+    power_watts: float
+    annual_power_cost: float
+    price_per_gb: float
+
+    @property
+    def total_price(self):
+        return self.price_per_gb * (self.usable_capacity_bytes / GIB)
+
+    @property
+    def iops_per_rack_unit(self):
+        return self.peak_iops_32k / self.rack_units
+
+    @property
+    def iops_per_watt(self):
+        return self.peak_iops_32k / self.power_watts
+
+    @property
+    def iops_per_dollar(self):
+        return self.peak_iops_32k / self.total_price
+
+    @property
+    def price_per_iops(self):
+        return self.total_price / self.peak_iops_32k
+
+
+#: The paper's published Table 1 columns (Purity FA and EMC VNX-class).
+PAPER_PURITY_ARRAY = ApplianceSpec(
+    name="Purity",
+    peak_iops_32k=200_000,
+    latency_seconds=0.001,
+    usable_capacity_bytes=40 * TIB,
+    rack_units=8,
+    installation_hours=4,
+    power_watts=1240,
+    annual_power_cost=13_034,
+    price_per_gb=5.0,
+)
+
+PAPER_DISK_ARRAY = ApplianceSpec(
+    name="Disk",
+    peak_iops_32k=65_000,
+    latency_seconds=0.005,
+    usable_capacity_bytes=25 * TIB,
+    rack_units=28,
+    installation_hours=40,
+    power_watts=3500,
+    annual_power_cost=36_792,
+    price_per_gb=18.0,
+)
+
+
+def build_table1(purity, disk):
+    """Rows of Table 1: (metric, purity value, disk value, improvement).
+
+    Improvement is expressed the way the paper does: the factor by
+    which Purity is better (higher-is-better metrics divide one way,
+    lower-is-better the other).
+    """
+
+    def row(metric, purity_value, disk_value, lower_is_better=False):
+        if lower_is_better:
+            improvement = disk_value / purity_value
+        else:
+            improvement = purity_value / disk_value
+        return (metric, purity_value, disk_value, improvement)
+
+    return [
+        row("Peak IOPS @ 32 KiB", purity.peak_iops_32k, disk.peak_iops_32k),
+        row("Latency (s)", purity.latency_seconds, disk.latency_seconds,
+            lower_is_better=True),
+        row("Usable capacity (bytes)", purity.usable_capacity_bytes,
+            disk.usable_capacity_bytes),
+        row("Rack units", purity.rack_units, disk.rack_units,
+            lower_is_better=True),
+        row("Installation (hours)", purity.installation_hours,
+            disk.installation_hours, lower_is_better=True),
+        row("Power (W)", purity.power_watts, disk.power_watts,
+            lower_is_better=True),
+        row("Annual power cost ($)", purity.annual_power_cost,
+            disk.annual_power_cost, lower_is_better=True),
+        row("$/GB", purity.price_per_gb, disk.price_per_gb,
+            lower_is_better=True),
+        row("IOPS/RU", purity.iops_per_rack_unit, disk.iops_per_rack_unit),
+        row("IOPS/W", purity.iops_per_watt, disk.iops_per_watt),
+        row("IOPS/$", purity.iops_per_dollar, disk.iops_per_dollar),
+    ]
+
+
+def spec_with_measured(spec, peak_iops=None, latency=None):
+    """A paper spec with simulated performance numbers merged in."""
+    updates = {}
+    if peak_iops is not None:
+        updates["peak_iops_32k"] = peak_iops
+    if latency is not None:
+        updates["latency_seconds"] = latency
+    return replace(spec, **updates)
+
+
+# ----------------------------------------------------------------------
+# Figure 7: the five-minute rule with data reduction
+
+
+@dataclass(frozen=True)
+class StorageTier:
+    """One line of Figure 7.
+
+    ``price_per_gb`` is the raw capacity price; ``reduction`` divides it
+    (Purity's 1x / 4x RDBMS / 10x MongoDB lines); ``price_per_iops`` is
+    the capital cost of provisioning one sustained I/O per second.
+    """
+
+    name: str
+    price_per_gb: float
+    price_per_iops: float
+    reduction: float = 1.0
+
+    def cost(self, item_bytes, access_interval_seconds):
+        """Cost of holding one item accessed once per interval.
+
+        Capacity term plus device-time term: the item consumes
+        ``1/interval`` IOPS of the device's finite I/O capacity.
+        """
+        if access_interval_seconds <= 0:
+            raise ValueError("access interval must be positive")
+        capacity = (item_bytes / GIB) * self.price_per_gb / self.reduction
+        access = self.price_per_iops / access_interval_seconds
+        return capacity + access
+
+
+def standard_tiers():
+    """The five Figure 7 lines with the paper's price points.
+
+    RAM: $1000 per 64 GiB ECC LR-DIMM, effectively free access. Purity:
+    $5/GB usable and ~$1 per IOPS (Table 1). Disk: $18/GB usable and
+    ~$6.9 per IOPS (Table 1's IOPS/$ of 0.144).
+    """
+    return [
+        StorageTier("1x - No reduction", 5.0, 1.0, reduction=1.0),
+        StorageTier("4x - RDBMS", 5.0, 1.0, reduction=4.0),
+        StorageTier("10x - MongoDB", 5.0, 1.0, reduction=10.0),
+        StorageTier("Hard disk", 18.0, 1.0 / 0.144),
+        StorageTier("ECC DIMM", 1000.0 / 64.0, 0.0),
+    ]
+
+
+def crossover_interval(tier_a, tier_b, item_bytes=55 * KIB):
+    """Access interval where two tiers cost the same, or None.
+
+    Below the interval the tier with cheaper access wins; above it the
+    tier with cheaper capacity wins. This is what turns the five-minute
+    rule into the paper's ten-minute / half-hour rules.
+    """
+    capacity_a = (item_bytes / GIB) * tier_a.price_per_gb / tier_a.reduction
+    capacity_b = (item_bytes / GIB) * tier_b.price_per_gb / tier_b.reduction
+    access_delta = tier_a.price_per_iops - tier_b.price_per_iops
+    capacity_delta = capacity_b - capacity_a
+    if capacity_delta == 0 or access_delta == 0:
+        return None
+    interval = access_delta / capacity_delta
+    if interval <= 0 or not math.isfinite(interval):
+        return None
+    return interval
+
+
+def figure7_series(intervals, item_bytes=55 * KIB, tiers=None):
+    """Cost curves for Figure 7: {tier name: [cost per interval]}.
+
+    Costs are normalized to the cheapest value in the whole figure so
+    the curves plot as *relative* cost, like the paper's y-axis.
+    """
+    tiers = tiers if tiers is not None else standard_tiers()
+    raw = {
+        tier.name: [tier.cost(item_bytes, interval) for interval in intervals]
+        for tier in tiers
+    }
+    floor = min(min(series) for series in raw.values())
+    return {
+        name: [value / floor for value in series] for name, series in raw.items()
+    }

@@ -1,0 +1,49 @@
+"""Plain-text table rendering for benchmark output.
+
+Benchmarks print the same rows/series the paper reports; this keeps the
+formatting in one place.
+"""
+
+
+def _render(value):
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 10_000 or abs(value) < 0.001:
+            return "%.3g" % value
+        if abs(value) >= 100:
+            return "%.0f" % value
+        return "%.3g" % value
+    return str(value)
+
+
+def format_table(headers, rows, title=None):
+    """Fixed-width aligned table as a string."""
+    rendered = [[_render(cell) for cell in row] for row in rows]
+    columns = len(headers)
+    widths = [
+        max(len(str(headers[i])), *(len(row[i]) for row in rendered))
+        if rendered
+        else len(str(headers[i]))
+        for i in range(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        str(headers[i]).ljust(widths[i]) for i in range(columns)
+    )
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rendered:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(columns)))
+    return "\n".join(lines)
+
+
+def format_ratio(value):
+    """Render an improvement factor the way the paper does (3.08x)."""
+    if value is None:
+        return "-"
+    return "%.2fx" % value

@@ -1,0 +1,27 @@
+"""Baseline systems the paper compares against.
+
+Every comparison in the evaluation needs its counterpart implemented,
+not assumed: the enterprise disk array behind Table 1
+(:mod:`repro.baselines.diskarray`), the scale-out disk KV deployments
+behind Table 2 (:mod:`repro.baselines.kvcluster`), tombstone-based LSM
+deletion as the alternative to elision
+(:mod:`repro.baselines.tombstone_lsm`), and the full-scan recovery that
+frontier sets replaced (exposed as ``full_scan=True`` in
+:mod:`repro.core.recovery`).
+"""
+
+from repro.baselines.disk import DiskTiming, SpinningDisk
+from repro.baselines.diskarray import DiskArray, DiskArrayConfig
+from repro.baselines.kvcluster import KVCluster, KVNode, KVNodeConfig
+from repro.baselines.tombstone_lsm import TombstoneLSM
+
+__all__ = [
+    "SpinningDisk",
+    "DiskTiming",
+    "DiskArray",
+    "DiskArrayConfig",
+    "KVNode",
+    "KVNodeConfig",
+    "KVCluster",
+    "TombstoneLSM",
+]

@@ -1,0 +1,80 @@
+"""A 15K-RPM performance hard disk model.
+
+The mechanical facts behind Section 2.2: a performance disk delivers a
+few hundred IOPS, because every random access pays a seek plus half a
+rotation. Sequential runs skip the seek. These service times drive the
+disk-array baseline in Table 1 and the KV-node model in Table 2.
+"""
+
+from dataclasses import dataclass
+
+from repro.units import MIB, MILLISECOND
+
+
+@dataclass(frozen=True)
+class DiskTiming:
+    """Service-time parameters for a 15K-RPM enterprise disk."""
+
+    average_seek: float = 3.4 * MILLISECOND
+    rpm: int = 15000
+    transfer_bandwidth: float = 180 * MIB
+
+    @property
+    def half_rotation(self):
+        """Average rotational delay: half a revolution."""
+        return 60.0 / self.rpm / 2.0
+
+    @property
+    def random_iops(self):
+        """Peak random 4-sector IOPS the mechanics allow."""
+        return 1.0 / (self.average_seek + self.half_rotation)
+
+
+class SpinningDisk:
+    """One mechanical disk: timing plus per-head position state."""
+
+    def __init__(self, name, clock, stream, timing=None):
+        self.name = name
+        self.clock = clock
+        self.stream = stream
+        self.timing = timing or DiskTiming()
+        self._busy_until = 0.0
+        self._head_position = 0
+        self.failed = False
+        self.reads = 0
+        self.writes = 0
+        self.bytes_moved = 0
+
+    def _service(self, offset, nbytes):
+        sequential = offset == self._head_position
+        service = nbytes / self.timing.transfer_bandwidth
+        if not sequential:
+            # Seek distance jitters the seek a little around the mean.
+            service += self.timing.average_seek * self.stream.uniform(0.6, 1.4)
+            service += self.timing.half_rotation * self.stream.uniform(0.0, 2.0) / 2
+        self._head_position = offset + nbytes
+        begin = max(self.clock.now, self._busy_until)
+        self._busy_until = begin + service
+        return self._busy_until - self.clock.now
+
+    def read(self, offset, nbytes):
+        """Charge one read; returns latency (data content not modelled)."""
+        if self.failed:
+            raise RuntimeError("disk %s failed" % self.name)
+        self.reads += 1
+        self.bytes_moved += nbytes
+        return self._service(offset, nbytes)
+
+    def write(self, offset, nbytes):
+        """Charge one write; returns latency."""
+        if self.failed:
+            raise RuntimeError("disk %s failed" % self.name)
+        self.writes += 1
+        self.bytes_moved += nbytes
+        return self._service(offset, nbytes)
+
+    def busy(self, now=None):
+        """True while an operation is still in flight."""
+        if now is None:
+            now = self.clock.now
+        return now < self._busy_until

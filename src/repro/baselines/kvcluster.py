@@ -1,0 +1,90 @@
+"""Scale-out disk key-value cluster model (Table 2, Section 2.3).
+
+The YCSB study the paper cites found disk-backed KV stores topping out
+around 1,600 ops/s per machine. This model derives that figure from
+first principles: a node's throughput is bounded by its spindles'
+random IOPS, with replication multiplying the write cost and a
+coordination tax on every operation. A cluster aggregates nodes with
+less-than-linear scaling.
+"""
+
+import math
+
+from dataclasses import dataclass
+
+from repro.baselines.disk import DiskTiming
+
+
+@dataclass(frozen=True)
+class KVNodeConfig:
+    """One commodity KV-store node circa 2010-2014."""
+
+    disks_per_node: int = 6
+    replication_factor: int = 3
+    #: Disk ops consumed per logical read (index probe + data read,
+    #: partially absorbed by caches).
+    read_io_cost: float = 1.0
+    #: Disk ops per logical write on each replica (log + data + index).
+    write_io_cost: float = 2.0
+    #: Fraction of throughput lost to coordination/compaction overheads.
+    coordination_tax: float = 0.25
+    memory_hit_rate: float = 0.50
+
+
+class KVNode:
+    """Analytic per-node throughput model."""
+
+    def __init__(self, config=None, timing=None):
+        self.config = config or KVNodeConfig()
+        self.timing = timing or DiskTiming()
+
+    def ops_per_second(self, read_fraction=0.95):
+        """Peak logical ops/s this node sustains at a given read mix."""
+        config = self.config
+        spindle_iops = self.timing.random_iops * config.disks_per_node
+        read_cost = config.read_io_cost * (1.0 - config.memory_hit_rate)
+        write_cost = config.write_io_cost  # replica writes land elsewhere
+        io_per_op = read_fraction * read_cost + (1 - read_fraction) * write_cost
+        raw = spindle_iops / io_per_op
+        return raw * (1.0 - config.coordination_tax)
+
+
+class KVCluster:
+    """A cluster of KV nodes with replication and scaling loss."""
+
+    def __init__(self, num_nodes, node=None, scaling_efficiency=0.85):
+        if num_nodes < 1:
+            raise ValueError("clusters need at least one node")
+        self.num_nodes = num_nodes
+        self.node = node or KVNode()
+        self.scaling_efficiency = scaling_efficiency
+
+    def ops_per_second(self, read_fraction=0.95):
+        """Aggregate logical throughput.
+
+        Writes fan out to ``replication_factor`` nodes, so the effective
+        node count for write work shrinks; coordination loses a further
+        fraction per decade of cluster growth.
+        """
+        per_node = self.node.ops_per_second(read_fraction)
+        replication = self.node.config.replication_factor
+        write_fraction = 1.0 - read_fraction
+        effective_nodes = self.num_nodes / (
+            read_fraction + write_fraction * replication
+        )
+        decades = math.log10(self.num_nodes) if self.num_nodes > 1 else 0.0
+        efficiency = self.scaling_efficiency ** decades
+        return per_node * effective_nodes * efficiency
+
+    def nodes_for_throughput(self, target_ops, read_fraction=0.95):
+        """Smallest cluster sustaining ``target_ops`` logical ops/s."""
+        single = KVCluster(1, self.node, self.scaling_efficiency)
+        per_node = single.ops_per_second(read_fraction)
+        nodes = 1
+        while KVCluster(nodes, self.node, self.scaling_efficiency).ops_per_second(
+            read_fraction
+        ) < target_ops:
+            nodes = max(nodes + 1, int(target_ops / per_node))
+            if nodes > 10 ** 6:
+                raise ValueError("target throughput unreachable")
+        return nodes

@@ -1,0 +1,119 @@
+"""Tombstone-based LSM deletion: the baseline elision replaces.
+
+Section 4.10: most LSM trees delete by inserting per-key tombstones.
+Tombstones must be keyed like the data, so dropping a snapshot costs
+one tombstone per cblock, and the space of both the data *and* the
+tombstones is only reclaimed once compaction carries the tombstone to
+the oldest level. This implementation reuses the pyramid's patch
+machinery so the comparison against elision isolates exactly the
+deletion mechanism.
+"""
+
+from repro.pyramid.patch import Patch, merge_patches
+from repro.pyramid.tuples import Fact
+
+#: Sentinel value tuple marking a tombstone fact.
+TOMBSTONE = ("__tombstone__",)
+
+
+class TombstoneLSM:
+    """An LSM index whose deletes are per-key tombstones."""
+
+    def __init__(self, name="tombstone", fanout=8):
+        self.name = name
+        self.fanout = fanout
+        self._memtable = []
+        self._patches = []  # newest first
+        self._seqno = 0
+        self.tombstones_written = 0
+
+    def _next_seq(self):
+        self._seqno += 1
+        return self._seqno
+
+    def insert(self, key, value):
+        """Insert one record."""
+        self._memtable.append(Fact(key=tuple(key), seqno=self._next_seq(),
+                                   value=tuple(value)))
+
+    def delete(self, key):
+        """Delete one key by writing a tombstone record."""
+        self._memtable.append(
+            Fact(key=tuple(key), seqno=self._next_seq(), value=TOMBSTONE)
+        )
+        self.tombstones_written += 1
+
+    def delete_range(self, keys):
+        """Delete many keys: one tombstone each (the elision contrast)."""
+        for key in keys:
+            self.delete(key)
+
+    def seal(self):
+        """Freeze the memtable into a patch."""
+        if not self._memtable:
+            return
+        self._patches.insert(0, Patch(self._memtable))
+        self._memtable = []
+
+    def get(self, key):
+        """Latest value for ``key``, or None (deleted or absent)."""
+        key = tuple(key)
+        best = None
+        for fact in self._memtable:
+            if fact.key == key and (best is None or fact.seqno > best.seqno):
+                best = fact
+        for patch in self._patches:
+            candidate = patch.lookup_latest(key)
+            if candidate is not None and (best is None or candidate.seqno > best.seqno):
+                best = candidate
+        if best is None or best.value == TOMBSTONE:
+            return None
+        return best.value
+
+    def stored_fact_count(self):
+        """Physical records held, tombstones included."""
+        return len(self._memtable) + sum(len(patch) for patch in self._patches)
+
+    def live_key_count(self):
+        """Keys that resolve to a value."""
+        keys = set()
+        for fact in self._memtable:
+            keys.add(fact.key)
+        for patch in self._patches:
+            for fact in patch:
+                keys.add(fact.key)
+        return sum(1 for key in keys if self.get(key) is not None)
+
+    def compact_once(self):
+        """Merge two adjacent patches (one compaction step).
+
+        Tombstones survive partial merges: the deleted key may still
+        have older versions below, so the tombstone cannot be dropped
+        until it reaches the oldest level.
+        """
+        if len(self._patches) < 2:
+            return False
+        merged = merge_patches(self._patches[-2:])
+        # Drop shadowed versions (keep only the newest fact per key) but
+        # keep tombstones unless this is the oldest level.
+        newest = {}
+        for fact in merged:
+            current = newest.get(fact.key)
+            if current is None or fact.seqno > current.seqno:
+                newest[fact.key] = fact
+        is_oldest_level = len(self._patches) == 2
+        survivors = [
+            fact
+            for fact in newest.values()
+            if not (is_oldest_level and fact.value == TOMBSTONE)
+        ]
+        self._patches = self._patches[:-2] + [Patch(survivors)]
+        return True
+
+    def compact_fully(self):
+        """Run compaction to a single level (tombstones finally freed)."""
+        self.seal()
+        steps = 0
+        while self.compact_once():
+            steps += 1
+        return steps

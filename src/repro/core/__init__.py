@@ -1,0 +1,24 @@
+"""The Purity core: the array, its data path, and its services.
+
+:class:`~repro.core.array.PurityArray` is the public facade — volumes,
+reads/writes, snapshots and clones, crash/recovery, garbage collection,
+scrubbing, and data-reduction reporting.
+:class:`~repro.core.ha.DualControllerArray` wraps it in the paper's
+two-controller, shared-shelf high-availability envelope, and
+:class:`~repro.core.replication.AsyncReplicator` ships volumes to a
+second array.
+"""
+
+from repro.core.config import ArrayConfig
+from repro.core.array import PurityArray
+from repro.core.ha import DualControllerArray
+from repro.core.replication import AsyncReplicator
+from repro.core.telemetry import LatencyRecorder
+
+__all__ = [
+    "ArrayConfig",
+    "PurityArray",
+    "DualControllerArray",
+    "AsyncReplicator",
+    "LatencyRecorder",
+]

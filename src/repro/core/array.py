@@ -1,0 +1,306 @@
+"""The Purity array facade.
+
+One :class:`PurityArray` is one controller's view of the appliance: the
+shared substrate (drives, NVRAM, boot region) plus all in-memory state
+(relations, dedup index, open segio). ``PurityArray.create`` builds a
+fresh array; :meth:`crash` abandons the in-memory state, and
+``PurityArray.recover`` (see :mod:`repro.core.recovery`) rebuilds a
+controller over the surviving substrate — the same flow a controller
+failover exercises.
+"""
+
+from repro.core import tables as T
+from repro.core.commit import CommitPipeline
+from repro.core.config import ArrayConfig
+from repro.core.datapath import DataPath
+from repro.core.gc import GarbageCollector
+from repro.core.scrubber import Scrubber
+from repro.core.tables import TableSet
+from repro.core.telemetry import LatencyRecorder, ReductionReport
+from repro.core.volume import VolumeManager
+from repro.erasure.reed_solomon import ReedSolomon
+from repro.layout.allocation import Allocator
+from repro.layout.bootregion import BootRegion
+from repro.layout.frontier import FrontierManager
+from repro.layout.segreader import SegmentReader
+from repro.layout.segwriter import SegmentWriter
+from repro.mediums.medium import MediumTable
+from repro.sim.clock import SimClock
+from repro.sim.rand import RandomStream
+from repro.ssd.shelf import Shelf
+
+
+class PurityArray:
+    """A single-controller Purity array over simulated hardware."""
+
+    def __init__(self, config=None, clock=None, shelf=None, boot_region=None):
+        self.config = config or ArrayConfig()
+        self.clock = clock or SimClock()
+        self.stream = RandomStream(self.config.seed)
+        if shelf is None:
+            shelf = Shelf(
+                "shelf0",
+                self.clock,
+                self.stream.fork("shelf0"),
+                num_drives=self.config.num_drives,
+                geometry=self.config.ssd_geometry,
+                rated_pe_cycles=self.config.rated_pe_cycles,
+                nvram_capacity=self.config.nvram_capacity,
+            )
+        self.shelf = shelf
+        self.boot_region = boot_region or BootRegion(self.clock)
+        geometry = self.config.segment_geometry
+        self.codec = ReedSolomon(geometry.data_shards, geometry.parity_shards)
+        self.drives = {drive.name: drive for drive in shelf.drives}
+        self.allocator = Allocator(list(self.drives), self.config.aus_per_drive)
+        self.frontier = FrontierManager(
+            self.allocator, batch_per_drive=self.config.frontier_batch_per_drive
+        )
+        self.segwriter = SegmentWriter(
+            geometry,
+            self.codec,
+            self.drives,
+            self.frontier,
+            self.clock,
+            on_segment_opened=self._on_segment_opened,
+            max_concurrent_writes=self.config.max_concurrent_writes,
+        )
+        self.segreader = SegmentReader(
+            geometry, self.codec, self.drives, avoid_policy=self._avoid_policy
+        )
+        self.tables = TableSet(fanout=self.config.pyramid_fanout)
+        self.pipeline = CommitPipeline(
+            self.tables,
+            shelf.nvram,
+            self.segwriter,
+            self.frontier,
+            self.allocator,
+            self.boot_region,
+            self.config,
+        )
+        self.segwriter.checkpointer = self.pipeline.checkpoint
+        self.medium_table = MediumTable(
+            self.tables.mediums,
+            inserter=lambda key, value: self.pipeline.insert_meta(
+                T.MEDIUMS, key, value
+            )[0],
+            on_allocate=lambda medium_id: self.pipeline.set_medium_id_hint(
+                medium_id + 1
+            ),
+            elider=lambda prefix: self.pipeline.elide_prefix(T.MEDIUMS, prefix),
+        )
+        self.datapath = DataPath(
+            self.pipeline,
+            self.medium_table,
+            self.segwriter,
+            self.segreader,
+            self.config,
+        )
+        self.volumes = VolumeManager(self.pipeline, self.medium_table, self.datapath)
+        self.gc = GarbageCollector(self)
+        self.scrubber = Scrubber(self)
+        self.latencies = LatencyRecorder()
+        self.crashed = False
+
+    # ------------------------------------------------------------------
+    # Construction
+
+    @classmethod
+    def create(cls, config=None, clock=None):
+        """Build and initialize a brand-new array (first checkpoint)."""
+        array = cls(config=config, clock=clock)
+        array.pipeline.checkpoint()
+        return array
+
+    def _on_segment_opened(self, descriptor):
+        placements = tuple(tuple(pair) for pair in descriptor.placements)
+        self.pipeline.insert_derived(
+            T.SEGMENTS, (descriptor.segment_id,), (placements,)
+        )
+
+    def _avoid_policy(self, drive):
+        if not self.config.read_around_writes:
+            return False
+        return drive.busy_writing(self.clock.now)
+
+    # ------------------------------------------------------------------
+    # Client API
+
+    def _check_alive(self):
+        if self.crashed:
+            raise RuntimeError("this controller has crashed; recover first")
+
+    def create_volume(self, name, size):
+        """Provision a virtual block device."""
+        self._check_alive()
+        return self.volumes.create_volume(name, size)
+
+    def write(self, volume, offset, data, advance_clock=True):
+        """Write to a volume; returns the acknowledged commit latency."""
+        self._check_alive()
+        latency = self.volumes.write(volume, offset, data)
+        self.latencies.record("write", latency)
+        if advance_clock:
+            self.clock.advance(latency)
+        return latency
+
+    def read(self, volume, offset, length, advance_clock=True):
+        """Read from a volume; returns (bytes, latency)."""
+        self._check_alive()
+        data, latency = self.volumes.read(volume, offset, length)
+        self.latencies.record("read", latency)
+        if advance_clock:
+            self.clock.advance(latency)
+        return data, latency
+
+    def unmap(self, volume, offset, length):
+        """Punch a zero hole in a volume."""
+        self._check_alive()
+        self.volumes.unmap(volume, offset, length)
+
+    def snapshot(self, volume, snapshot_name):
+        """Instant point-in-time image of a volume."""
+        self._check_alive()
+        return self.volumes.snapshot(volume, snapshot_name)
+
+    def clone(self, volume, snapshot_name, new_volume):
+        """Writable volume backed by an existing snapshot."""
+        self._check_alive()
+        return self.volumes.clone_from_snapshot(volume, snapshot_name, new_volume)
+
+    def clone_volume(self, volume, new_volume):
+        """Writable copy of a live volume (internally snapshots it)."""
+        self._check_alive()
+        return self.volumes.clone_volume(volume, new_volume)
+
+    def destroy_volume(self, volume):
+        self._check_alive()
+        self.volumes.destroy_volume(volume)
+
+    def destroy_snapshot(self, volume, snapshot_name):
+        self._check_alive()
+        self.volumes.destroy_snapshot(volume, snapshot_name)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+
+    def drain(self):
+        """Seal and persist in-memory index state; trims NVRAM."""
+        self._check_alive()
+        return self.pipeline.drain()
+
+    def checkpoint(self):
+        """Write a boot-region checkpoint (also refills the frontier)."""
+        self._check_alive()
+        self.pipeline.drain()
+        return self.pipeline.checkpoint()
+
+    def run_gc(self, max_segments=4):
+        """One background garbage-collection pass."""
+        self._check_alive()
+        return self.gc.run(max_segments=max_segments)
+
+    def scrub(self, max_segments=None):
+        """One background scrub pass (Section 5.1)."""
+        self._check_alive()
+        return self.scrubber.run(max_segments=max_segments)
+
+    def fail_drive(self, drive_name):
+        """Fail one SSD (the pulled-drive demo from Section 1).
+
+        Service continues degraded; :meth:`rebuild` re-protects the
+        affected segments onto the surviving drives.
+        """
+        drive = self.drives[drive_name]
+        drive.fail()
+        self.allocator.drop_drive(drive_name)
+        self.frontier.drop_drive(drive_name)
+
+    def replace_drive(self, drive_name):
+        """Install a fresh drive in a failed slot (service call)."""
+        index = [d.name for d in self.shelf.drives].index(drive_name)
+        replacement = self.shelf.replace_drive(
+            index, self.stream.fork("replacement-%s" % drive_name)
+        )
+        del self.drives[drive_name]
+        self.drives[replacement.name] = replacement
+        self.allocator.add_drive(replacement.name)
+        return replacement
+
+    def rebuild(self):
+        """Evacuate every segment that lost a shard to a failed drive.
+
+        Each evacuation reads through Reed-Solomon reconstruction and
+        rewrites onto healthy drives, restoring full 7+2 protection.
+        Returns the number of segments re-protected.
+        """
+        self._check_alive()
+        rebuilt = 0
+        for fact in list(self.tables.segments.scan()):
+            segment_id = fact.key[0]
+            placements = fact.value[0]
+            degraded = any(
+                drive_name not in self.drives or self.drives[drive_name].failed
+                for drive_name, _au in placements
+            )
+            if degraded and self.gc.collect_segment(segment_id):
+                rebuilt += 1
+        return rebuilt
+
+    def crash(self):
+        """Abandon all controller state; the substrate survives.
+
+        Returns (shelf, boot_region, clock) to hand to a recovering
+        controller (``PurityArray.recover``).
+        """
+        self.crashed = True
+        return self.shelf, self.boot_region, self.clock
+
+    @classmethod
+    def recover(cls, config, shelf, boot_region, clock):
+        """Bring up a controller over an existing substrate."""
+        from repro.core.recovery import recover_array
+
+        return recover_array(cls, config, shelf, boot_region, clock)
+
+    # ------------------------------------------------------------------
+    # Telemetry
+
+    def reduction_report(self):
+        """Data-reduction accounting (the paper's 5.4x metric)."""
+        logical_live = 0
+        unique = {}
+        for fact in self.datapath.visible_extents():
+            value = fact.value
+            if value[0] == T.EXTENT_HOLE:
+                continue
+            logical_live += value[4]
+            key = (value[1], value[2])
+            if value[0] == T.EXTENT_DIRECT:
+                unique[key] = (value[3], value[4])
+            else:
+                # Dedup-only references: the cblock's own logical size is
+                # unknown here; approximate it by its stored size.
+                unique.setdefault(key, (value[3], value[3]))
+        physical = sum(stored for stored, _logical in unique.values())
+        unique_logical = sum(logical for _stored, logical in unique.values())
+        geometry = self.config.segment_geometry
+        parity_factor = geometry.total_shards / geometry.data_shards
+        return ReductionReport(
+            logical_live_bytes=logical_live,
+            unique_logical_bytes=unique_logical,
+            physical_stored_bytes=physical,
+            physical_with_parity_bytes=int(physical * parity_factor),
+            provisioned_bytes=self.volumes.provisioned_bytes(),
+        )
+
+    def capacity_report(self):
+        """Raw/allocated capacity view."""
+        geometry = self.config.segment_geometry
+        return {
+            "raw_bytes": self.config.raw_capacity_bytes,
+            "allocated_aus": self.allocator.used_count(),
+            "free_aus": self.allocator.free_count(),
+            "au_size": geometry.au_size,
+            "alive_drives": len(self.shelf.alive_drives),
+        }

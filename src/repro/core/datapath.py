@@ -1,0 +1,307 @@
+"""The data path: application writes in, application reads out.
+
+Write path (Sections 4.6–4.7): a write is committed to NVRAM (the
+acknowledged latency), split into cblock-sized pieces matching the
+write, deduplicated inline (lookup every sector hash, byte-verify,
+anchor-extend), and the unique remainder is compressed into cblocks
+appended to the open segio. Address-map facts record where everything
+went; they are derived facts, replayable from the raw NVRAM record.
+
+Read path (Sections 3.4, 4.5): resolve the medium chain, gather every
+address-map extent overlapping the range at each level, and paint
+newest-over-oldest — each medium's extents are a patch applied over its
+underlying medium. Extra random reads (dedup references, chain hops)
+are the price of the capacity savings, and flash makes them cheap.
+"""
+
+from collections import OrderedDict
+
+from repro.compression.cblock import build_cblock, parse_cblock, split_write
+from repro.compression.engine import CompressionStats, ZlibCompressor
+from repro.core import tables as T
+from repro.dedup.hashing import sector_hashes
+from repro.dedup.index import DedupIndex, DedupLocation
+from repro.dedup.inline import InlineDeduper
+from repro.errors import SnapshotError, VolumeError
+from repro.layout.segment import SegmentDescriptor
+from repro.mediums.medium import MEDIUM_NONE
+from repro.units import MAX_CBLOCK, SECTOR
+
+#: Depth guard for medium recursion (GC keeps real chains <= 3).
+MAX_PAINT_DEPTH = 64
+
+
+class DataPath:
+    """Write and read pipelines over one array's substrate."""
+
+    def __init__(self, pipeline, medium_table, segwriter, segreader, config):
+        self.pipeline = pipeline
+        self.tables = pipeline.tables
+        self.medium_table = medium_table
+        self.segwriter = segwriter
+        self.segreader = segreader
+        self.config = config
+        self.compressor = ZlibCompressor(config.compression_level)
+        self.compression_stats = CompressionStats()
+        self.dedup_index = DedupIndex(
+            recent_capacity=config.dedup_recent_capacity,
+            frequent_capacity=config.dedup_frequent_capacity,
+        )
+        self.deduper = InlineDeduper(
+            self.dedup_index,
+            self._fetch_sector,
+            min_run_sectors=config.dedup_min_run_sectors,
+        )
+        self._cblock_cache = OrderedDict()  # (segment, offset) -> logical bytes
+        self._cblock_cache_entries = config.cblock_cache_entries
+        self._descriptor_cache = {}
+        self.logical_bytes_written = 0
+        self.dedup_bytes_saved = 0
+
+    # ------------------------------------------------------------------
+    # Physical plumbing
+
+    def descriptor_for(self, segment_id):
+        """Resolve a segment id to its descriptor via the segment table."""
+        cached = self._descriptor_cache.get(segment_id)
+        if cached is not None:
+            return cached
+        fact = self.tables.segments.get((segment_id,))
+        if fact is None:
+            raise VolumeError("segment %d is unknown" % segment_id)
+        placements = tuple(tuple(pair) for pair in fact.value[0])
+        descriptor = SegmentDescriptor(segment_id=segment_id, placements=placements)
+        self._descriptor_cache[segment_id] = descriptor
+        return descriptor
+
+    def drop_caches(self):
+        """Empty the controller's read caches (tests and failover drills)."""
+        self._cblock_cache.clear()
+        self._descriptor_cache.clear()
+
+    def invalidate_segment(self, segment_id):
+        """Drop caches after GC frees or rewrites a segment."""
+        self._descriptor_cache.pop(segment_id, None)
+        for key in [key for key in self._cblock_cache if key[0] == segment_id]:
+            del self._cblock_cache[key]
+
+    def _read_cblock(self, segment_id, payload_offset, stored_length):
+        """Fetch + decompress one cblock; returns (logical bytes, latency)."""
+        cache_key = (segment_id, payload_offset)
+        cached = self._cblock_cache.get(cache_key)
+        if cached is not None:
+            self._cblock_cache.move_to_end(cache_key)
+            return cached, 0.0
+        # Data still sitting in the open segio is served from RAM; the
+        # commit already lives in NVRAM, so this is safe and fast.
+        blob = self.segwriter.read_unflushed(
+            segment_id, payload_offset, stored_length
+        )
+        latency = 0.0
+        if blob is None:
+            descriptor = self.descriptor_for(segment_id)
+            blob, latency = self.segreader.read_payload(
+                descriptor, payload_offset, stored_length
+            )
+        data = parse_cblock(blob)
+        self._cblock_cache[cache_key] = data
+        while len(self._cblock_cache) > self._cblock_cache_entries:
+            self._cblock_cache.popitem(last=False)
+        return data, latency
+
+    def _fetch_sector(self, location):
+        """Dedup verify callback: one sector's bytes, or None."""
+        if location.sector_index < 0:
+            return None
+        try:
+            data, _latency = self._read_cblock(
+                location.segment_id, location.payload_offset, location.stored_length
+            )
+        except Exception:
+            return None  # stale index entry: treat as a miss, never an error
+        start = location.sector_index * SECTOR
+        if start + SECTOR > len(data):
+            return None
+        return data[start : start + SECTOR]
+
+    # ------------------------------------------------------------------
+    # Write path
+
+    def write(self, medium_id, offset, data):
+        """Write ``data`` at (medium, offset); returns commit latency."""
+        if not data:
+            raise VolumeError("zero-length write")
+        if offset % SECTOR or len(data) % SECTOR:
+            raise VolumeError("writes must be 512 B aligned")
+        _fact, latency = self.pipeline.commit_raw_write(medium_id, offset, data)
+        self.process_write(medium_id, offset, data)
+        self.pipeline.after_raw_write_processed()
+        return latency
+
+    def process_write(self, medium_id, offset, data):
+        """Run the dedup/compress/segment pipeline (also recovery replay)."""
+        self.logical_bytes_written += len(data)
+        for cblock_offset, chunk in split_write(offset, data):
+            self._process_cblock(medium_id, cblock_offset, chunk)
+
+    def _process_cblock(self, medium_id, offset, chunk):
+        matches = (
+            self.deduper.find_matches(chunk) if self.config.inline_dedup else []
+        )
+        cursor = 0
+        for match in matches:
+            if match.byte_start > cursor:
+                self._store_unique(
+                    medium_id, offset + cursor, chunk[cursor : match.byte_start]
+                )
+            self._record_dedup_extent(medium_id, offset + match.byte_start, match)
+            cursor = match.byte_start + match.byte_length
+        if cursor < len(chunk):
+            self._store_unique(medium_id, offset + cursor, chunk[cursor:])
+
+    def _store_unique(self, medium_id, offset, data):
+        """Compress + append one unique cblock, record its extent."""
+        compressor = self.compressor if self.config.inline_compression else None
+        if compressor is None:
+            from repro.compression.engine import NullCompressor
+
+            compressor = NullCompressor()
+        blob, codec_id = build_cblock(data, compressor)
+        descriptor, payload_offset, _latency = self.segwriter.append_data(blob)
+        self.compression_stats.note(len(data), len(blob), codec_id)
+        self.pipeline.insert_derived(
+            T.ADDRESS_MAP,
+            (medium_id, offset),
+            (T.EXTENT_DIRECT, descriptor.segment_id, payload_offset,
+             len(blob), len(data)),
+        )
+        # Warm the cblock cache: freshly written data is the most likely
+        # to be read (and to anchor dedup verifies) next.
+        cache_key = (descriptor.segment_id, payload_offset)
+        self._cblock_cache[cache_key] = data
+        while len(self._cblock_cache) > self._cblock_cache_entries:
+            self._cblock_cache.popitem(last=False)
+        self._record_hashes(descriptor.segment_id, payload_offset, len(blob), data)
+
+    def _record_hashes(self, segment_id, payload_offset, stored_length, data):
+        """Record every Nth sector hash for future dedup (Section 4.7)."""
+        hashes = sector_hashes(data)
+        for sector, value in enumerate(hashes):
+            if sector % self.config.dedup_sample_every == 0:
+                self.dedup_index.record(
+                    value,
+                    DedupLocation(segment_id, payload_offset, stored_length, sector),
+                )
+
+    def _record_dedup_extent(self, medium_id, offset, match):
+        location = match.location
+        self.dedup_bytes_saved += match.byte_length
+        self.pipeline.insert_derived(
+            T.ADDRESS_MAP,
+            (medium_id, offset),
+            (T.EXTENT_DEDUP, location.segment_id, location.payload_offset,
+             location.stored_length, match.byte_length, location.sector_index),
+        )
+
+    # ------------------------------------------------------------------
+    # Read path
+
+    def read(self, medium_id, offset, length):
+        """Read a byte range; returns (bytes, latency)."""
+        if length <= 0:
+            raise VolumeError("zero-length read")
+        buffer = bytearray(length)
+        latencies = [0.0]
+        self._paint(medium_id, offset, length, buffer, 0, 0, latencies)
+        return bytes(buffer), max(latencies)
+
+    def _paint(self, medium_id, offset, length, buffer, dest, depth, latencies):
+        """Fill ``buffer[dest:dest+length]`` with (medium, offset)'s data."""
+        if depth > MAX_PAINT_DEPTH:
+            raise SnapshotError("medium chain too deep at medium %d" % medium_id)
+        end = offset + length
+        for row in self.medium_table.ranges_of(medium_id):
+            sub_start = max(offset, row.start)
+            sub_end = min(end, row.end)
+            if sub_start >= sub_end:
+                continue
+            if row.target != MEDIUM_NONE:
+                self._paint(
+                    row.target,
+                    row.target_offset + (sub_start - row.start),
+                    sub_end - sub_start,
+                    buffer,
+                    dest + (sub_start - offset),
+                    depth + 1,
+                    latencies,
+                )
+        # This medium's own extents overlay whatever the chain supplied.
+        self._overlay_extents(medium_id, offset, length, buffer, dest, latencies)
+
+    def _overlay_extents(self, medium_id, offset, length, buffer, dest, latencies):
+        end = offset + length
+        scan_lo = (medium_id, max(0, offset - MAX_CBLOCK + SECTOR))
+        scan_hi = (medium_id, end - 1)
+        overlapping = []
+        for fact in self.tables.address_map.scan(scan_lo, scan_hi):
+            extent_offset = fact.key[1]
+            logical_length = self._extent_logical_length(fact.value)
+            if extent_offset + logical_length <= offset or extent_offset >= end:
+                continue
+            overlapping.append(fact)
+        overlapping.sort(key=lambda fact: fact.seqno)
+        for fact in overlapping:
+            self._paint_extent(fact, offset, end, buffer, dest, latencies)
+
+    @staticmethod
+    def _extent_logical_length(value):
+        tag = value[0]
+        if tag == T.EXTENT_HOLE:
+            return value[1]
+        return value[4]
+
+    def _paint_extent(self, fact, window_start, window_end, buffer, dest, latencies):
+        extent_offset = fact.key[1]
+        value = fact.value
+        tag = value[0]
+        logical_length = self._extent_logical_length(value)
+        paint_lo = max(window_start, extent_offset)
+        paint_hi = min(window_end, extent_offset + logical_length)
+        if paint_lo >= paint_hi:
+            return
+        if tag == T.EXTENT_HOLE:
+            data = b"\x00" * (paint_hi - paint_lo)
+        else:
+            _tag, segment_id, payload_offset, stored_length, _len = value[:5]
+            cblock, latency = self._read_cblock(
+                segment_id, payload_offset, stored_length
+            )
+            latencies.append(latency)
+            skew_bytes = value[5] * SECTOR if tag == T.EXTENT_DEDUP else 0
+            inner_lo = skew_bytes + (paint_lo - extent_offset)
+            data = cblock[inner_lo : inner_lo + (paint_hi - paint_lo)]
+            if len(data) != paint_hi - paint_lo:
+                raise VolumeError(
+                    "extent at (%d, %d) shorter than mapped range"
+                    % (fact.key[0], extent_offset)
+                )
+        base = dest + (paint_lo - window_start)
+        buffer[base : base + len(data)] = data
+
+    # ------------------------------------------------------------------
+    # Liveness accounting (GC + telemetry)
+
+    def visible_extents(self):
+        """Every visible address-map fact (latest per key, elisions applied)."""
+        return list(self.tables.address_map.scan())
+
+    def live_cblocks_by_segment(self):
+        """segment_id -> {(payload_offset, stored_length)} of live cblocks."""
+        by_segment = {}
+        for fact in self.visible_extents():
+            value = fact.value
+            if value[0] == T.EXTENT_HOLE:
+                continue
+            segment_id = value[1]
+            by_segment.setdefault(segment_id, set()).add((value[2], value[3]))
+        return by_segment

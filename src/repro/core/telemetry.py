@@ -1,0 +1,96 @@
+"""Telemetry: the counters and latency traces a Purity array phones home.
+
+Section 5.1: arrays continuously report request rates, sizes, volume
+sizes and deduplication ratios. Here the same numbers drive the
+benchmarks — latency percentiles, data-reduction ratios, and
+availability accounting.
+"""
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.sim.distributions import percentile
+
+
+class LatencyRecorder:
+    """Per-operation latency traces with percentile queries."""
+
+    def __init__(self):
+        self._samples = defaultdict(list)
+
+    def record(self, operation, latency):
+        """Add one sample (seconds) for an operation class."""
+        self._samples[operation].append(latency)
+
+    def count(self, operation):
+        return len(self._samples[operation])
+
+    def samples(self, operation):
+        """The raw sample list (owned by the recorder; do not mutate)."""
+        return self._samples[operation]
+
+    def mean(self, operation):
+        samples = self._samples[operation]
+        if not samples:
+            raise ValueError("no samples for %r" % operation)
+        return sum(samples) / len(samples)
+
+    def percentile(self, operation, fraction):
+        """E.g. ``percentile("read", 0.999)`` for the 99.9th percentile."""
+        return percentile(self._samples[operation], fraction)
+
+    def operations(self):
+        return list(self._samples)
+
+    def clear(self):
+        self._samples.clear()
+
+
+@dataclass
+class ReductionReport:
+    """Data-reduction accounting, matching the paper's definitions.
+
+    ``data_reduction`` excludes thin-provisioning gains (the paper's
+    5.4x average is measured this way); ``thin_provisioning`` is
+    reported separately (the paper's ~12x average).
+    """
+
+    #: Live bytes applications see (latest visible extents).
+    logical_live_bytes: int
+    #: Uncompressed bytes of the unique cblocks actually stored
+    #: (= logical minus dedup savings).
+    unique_logical_bytes: int
+    #: Compressed bytes of those unique cblocks on flash.
+    physical_stored_bytes: int
+    #: Physical bytes including Reed-Solomon parity overhead.
+    physical_with_parity_bytes: int
+    #: Sum of volume sizes (virtual space handed to applications).
+    provisioned_bytes: int
+
+    @property
+    def data_reduction(self):
+        """Effective / physical capacity: dedup x compression."""
+        if not self.physical_stored_bytes:
+            return 1.0
+        return self.logical_live_bytes / self.physical_stored_bytes
+
+    @property
+    def dedup_ratio(self):
+        """Reduction attributable to deduplication alone."""
+        if not self.unique_logical_bytes:
+            return 1.0
+        return self.logical_live_bytes / self.unique_logical_bytes
+
+    @property
+    def compression_ratio(self):
+        """Reduction attributable to compression alone."""
+        if not self.physical_stored_bytes:
+            return 1.0
+        return self.unique_logical_bytes / self.physical_stored_bytes
+
+    @property
+    def thin_provisioning(self):
+        """Provisioned virtual space over logical data written."""
+        if not self.logical_live_bytes:
+            return float("inf") if self.provisioned_bytes else 1.0
+        return self.provisioned_bytes / self.logical_live_bytes

@@ -1,0 +1,33 @@
+"""Sector hashing for deduplication.
+
+Hashes are 64 bits (the paper uses "hashes no larger than 64 bits") —
+small enough to keep the index compact, collision-prone enough
+(~10^-6 or worse at scale) that every hit must be confirmed by a
+byte-level comparison before a duplicate mapping is recorded.
+"""
+
+import hashlib
+
+from repro.units import SECTOR
+
+#: Bits kept from each sector digest.
+HASH_BITS = 64
+
+#: Only every Nth sector's hash is *recorded* (all are looked up).
+SAMPLE_EVERY = 8
+
+
+def sector_hash(sector_bytes):
+    """64-bit hash of one 512 B sector."""
+    digest = hashlib.blake2b(sector_bytes, digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+def sector_hashes(data):
+    """Hashes of each 512 B sector of ``data`` (length must divide evenly)."""
+    if len(data) % SECTOR:
+        raise ValueError("data length %d is not a sector multiple" % len(data))
+    return [
+        sector_hash(data[offset : offset + SECTOR])
+        for offset in range(0, len(data), SECTOR)
+    ]

@@ -1,0 +1,124 @@
+"""Inline deduplication: lookup, verify, anchor-extend.
+
+For an incoming write, every sector hash is looked up (only sampled
+hashes were recorded). A hit is *verified* by comparing the actual
+bytes — collisions cost one block compare, never correctness. A
+verified sector becomes an anchor: the match is extended forward and
+backward sector by sector, so duplicate runs of at least
+``min_run_sectors`` (8 by default = 4 KiB) are detected regardless of
+how they align with the sampling grid.
+"""
+
+from dataclasses import dataclass
+
+from repro.dedup.hashing import sector_hashes
+from repro.units import SECTOR
+
+
+@dataclass(frozen=True)
+class DedupMatch:
+    """One deduplicated run within an incoming write.
+
+    ``sector_start``/``sector_count`` address the incoming data;
+    ``location`` is the physical home of the run's first sector.
+    """
+
+    sector_start: int
+    sector_count: int
+    location: object
+
+    @property
+    def byte_start(self):
+        return self.sector_start * SECTOR
+
+    @property
+    def byte_length(self):
+        return self.sector_count * SECTOR
+
+
+class InlineDeduper:
+    """Finds duplicate runs in incoming writes against the dedup index."""
+
+    def __init__(self, index, fetch_sector, min_run_sectors=8):
+        """``fetch_sector(location) -> bytes or None`` reads the 512 B
+        sector a :class:`DedupLocation` points at (None when the
+        location is no longer readable, e.g. its cblock was collected).
+        """
+        if min_run_sectors < 1:
+            raise ValueError("min_run_sectors must be positive")
+        self.index = index
+        self.fetch_sector = fetch_sector
+        self.min_run_sectors = min_run_sectors
+        self.verify_comparisons = 0
+        self.false_hash_hits = 0
+        self.matches_found = 0
+
+    def _sector(self, data, index):
+        return data[index * SECTOR : (index + 1) * SECTOR]
+
+    def _verify(self, location, expected):
+        self.verify_comparisons += 1
+        actual = self.fetch_sector(location)
+        return actual is not None and actual == expected
+
+    def find_matches(self, data):
+        """Duplicate runs in ``data``; non-overlapping, sorted, verified."""
+        hashes = sector_hashes(data)
+        total = len(hashes)
+        matches = []
+        claimed_until = 0  # first sector not covered by an emitted match
+        cursor = 0
+        while cursor < total:
+            location = self.index.lookup(hashes[cursor])
+            if location is None:
+                cursor += 1
+                continue
+            if not self._verify(location, self._sector(data, cursor)):
+                self.false_hash_hits += 1
+                cursor += 1
+                continue
+            run_start, run_location = self._extend_backward(
+                data, cursor, location, limit=cursor - claimed_until
+            )
+            run_end = self._extend_forward(data, cursor, location, total)
+            run_length = run_end - run_start
+            if run_length >= self.min_run_sectors:
+                matches.append(
+                    DedupMatch(
+                        sector_start=run_start,
+                        sector_count=run_length,
+                        location=run_location,
+                    )
+                )
+                self.matches_found += 1
+                claimed_until = run_end
+                cursor = run_end
+            else:
+                cursor += 1
+        return matches
+
+    def _extend_forward(self, data, anchor, location, total):
+        """Grow the run past the anchor; returns one past the last match."""
+        end = anchor + 1
+        while end < total:
+            candidate = location.shifted(end - anchor)
+            if not self._verify(candidate, self._sector(data, end)):
+                break
+            end += 1
+        return end
+
+    def _extend_backward(self, data, anchor, location, limit):
+        """Grow the run before the anchor; returns (run start, location).
+
+        ``limit`` caps how far back we may go without overlapping the
+        previous emitted match.
+        """
+        start = anchor
+        steps = 0
+        while steps < limit and start > 0 and location.sector_index - (anchor - start) - 1 >= 0:
+            candidate = location.shifted(start - 1 - anchor)
+            if not self._verify(candidate, self._sector(data, start - 1)):
+                break
+            start -= 1
+            steps += 1
+        return start, location.shifted(start - anchor)

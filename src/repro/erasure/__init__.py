@@ -1,0 +1,14 @@
+"""Reed–Solomon erasure coding (paper Section 4.2).
+
+Purity stripes each segment across drives with 7+2 Reed–Solomon so the
+array survives any two simultaneous SSD failures, and reconstructs
+around slow or busy drives (Section 4.4). This package implements
+GF(256) arithmetic, a systematic Reed–Solomon codec, and the striping
+helpers the segment layer uses.
+"""
+
+from repro.erasure.gf256 import GF256
+from repro.erasure.reed_solomon import ReedSolomon
+from repro.erasure.striping import stripe_payload, unstripe_payload
+
+__all__ = ["GF256", "ReedSolomon", "stripe_payload", "unstripe_payload"]

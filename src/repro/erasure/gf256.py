@@ -1,0 +1,143 @@
+"""Arithmetic in GF(2^8).
+
+The paper cites Plank et al.'s SIMD Galois-field work [45] for its
+"screaming fast" software Reed–Solomon. The Python equivalent of that
+optimization is table-driven arithmetic vectorized with numpy: scalar
+ops use exp/log tables; array ops translate a whole shard per table
+lookup. The field uses the common AES-unrelated polynomial 0x11d.
+"""
+
+import numpy as np
+
+#: Field-defining primitive polynomial x^8 + x^4 + x^3 + x^2 + 1.
+PRIMITIVE_POLY = 0x11D
+
+
+def _build_tables():
+    exp = np.zeros(512, dtype=np.uint8)
+    log = np.zeros(256, dtype=np.int32)
+    value = 1
+    for power in range(255):
+        exp[power] = value
+        log[value] = power
+        value <<= 1
+        if value & 0x100:
+            value ^= PRIMITIVE_POLY
+    # Duplicate so exp[log a + log b] never needs a mod 255.
+    exp[255:510] = exp[0:255]
+    return exp, log
+
+
+class GF256:
+    """GF(2^8) arithmetic: scalar helpers plus vectorized shard ops."""
+
+    EXP, LOG = _build_tables()
+
+    @classmethod
+    def add(cls, a, b):
+        """Addition (= subtraction) is XOR."""
+        return a ^ b
+
+    @classmethod
+    def mul(cls, a, b):
+        """Scalar multiply."""
+        if a == 0 or b == 0:
+            return 0
+        return int(cls.EXP[int(cls.LOG[a]) + int(cls.LOG[b])])
+
+    @classmethod
+    def div(cls, a, b):
+        """Scalar divide; b must be non-zero."""
+        if b == 0:
+            raise ZeroDivisionError("division by zero in GF(256)")
+        if a == 0:
+            return 0
+        return int(cls.EXP[(int(cls.LOG[a]) - int(cls.LOG[b])) % 255])
+
+    @classmethod
+    def inv(cls, a):
+        """Multiplicative inverse; a must be non-zero."""
+        if a == 0:
+            raise ZeroDivisionError("zero has no inverse in GF(256)")
+        return int(cls.EXP[255 - int(cls.LOG[a])])
+
+    @classmethod
+    def pow(cls, a, exponent):
+        """a raised to an integer power."""
+        if exponent == 0:
+            return 1
+        if a == 0:
+            return 0
+        return int(cls.EXP[(int(cls.LOG[a]) * exponent) % 255])
+
+    @classmethod
+    def mul_array(cls, array, scalar):
+        """Multiply a uint8 numpy array elementwise by a scalar."""
+        if scalar == 0:
+            return np.zeros_like(array)
+        if scalar == 1:
+            return array.copy()
+        log_scalar = int(cls.LOG[scalar])
+        result = np.zeros_like(array)
+        nonzero = array != 0
+        result[nonzero] = cls.EXP[cls.LOG[array[nonzero]] + log_scalar]
+        return result
+
+    @classmethod
+    def addmul_array(cls, accumulator, array, scalar):
+        """accumulator ^= array * scalar, in place (the RS inner loop)."""
+        if scalar == 0:
+            return accumulator
+        accumulator ^= cls.mul_array(array, scalar)
+        return accumulator
+
+    @classmethod
+    def matmul(cls, matrix_a, matrix_b):
+        """Multiply two GF(256) matrices given as lists of row lists."""
+        rows = len(matrix_a)
+        inner = len(matrix_b)
+        cols = len(matrix_b[0])
+        result = [[0] * cols for _ in range(rows)]
+        for i in range(rows):
+            row_a = matrix_a[i]
+            row_out = result[i]
+            for k in range(inner):
+                coefficient = row_a[k]
+                if coefficient == 0:
+                    continue
+                row_b = matrix_b[k]
+                for j in range(cols):
+                    if row_b[j]:
+                        row_out[j] ^= cls.mul(coefficient, row_b[j])
+        return result
+
+    @classmethod
+    def matinv(cls, matrix):
+        """Invert a square GF(256) matrix via Gauss–Jordan elimination.
+
+        Raises ValueError when the matrix is singular.
+        """
+        size = len(matrix)
+        work = [list(row) + [0] * size for row in matrix]
+        for i in range(size):
+            work[i][size + i] = 1
+        for column in range(size):
+            pivot_row = None
+            for row in range(column, size):
+                if work[row][column]:
+                    pivot_row = row
+                    break
+            if pivot_row is None:
+                raise ValueError("singular matrix over GF(256)")
+            work[column], work[pivot_row] = work[pivot_row], work[column]
+            pivot_inv = cls.inv(work[column][column])
+            work[column] = [cls.mul(entry, pivot_inv) for entry in work[column]]
+            for row in range(size):
+                if row == column or not work[row][column]:
+                    continue
+                factor = work[row][column]
+                work[row] = [
+                    entry ^ cls.mul(factor, pivot_entry)
+                    for entry, pivot_entry in zip(work[row], work[column])
+                ]
+        return [row[size:] for row in work]

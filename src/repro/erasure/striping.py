@@ -1,0 +1,38 @@
+"""Striping helpers: payload <-> shard conversion.
+
+A segment's payload is split into ``k`` equal data shards (padded to a
+common length), parity is computed, and each shard lands on a different
+drive of the write group. ``unstripe_payload`` reverses the split.
+"""
+
+from repro.units import align_up
+
+
+def stripe_payload(payload, data_shards, alignment=1):
+    """Split ``payload`` into ``data_shards`` equal shards.
+
+    Each shard length is padded up to ``alignment`` (e.g. a device page
+    size). Returns (shards, shard_length); shards are bytes.
+    """
+    if data_shards <= 0:
+        raise ValueError("data_shards must be positive")
+    shard_length = align_up(
+        (len(payload) + data_shards - 1) // data_shards, alignment
+    )
+    shard_length = max(shard_length, alignment)
+    padded = payload + b"\x00" * (shard_length * data_shards - len(payload))
+    shards = [
+        bytes(padded[index * shard_length : (index + 1) * shard_length])
+        for index in range(data_shards)
+    ]
+    return shards, shard_length
+
+
+def unstripe_payload(shards, payload_length):
+    """Reassemble the original payload from data shards."""
+    joined = b"".join(shards)
+    if payload_length > len(joined):
+        raise ValueError(
+            "payload length %d exceeds shard data %d" % (payload_length, len(joined))
+        )
+    return joined[:payload_length]

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the Purity reproduction.
+
+Every error raised by the library derives from :class:`PurityError` so
+applications can catch library failures with a single except clause.
+"""
+
+
+class PurityError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class DeviceError(PurityError):
+    """A simulated storage device could not service a request."""
+
+
+class DeviceFailedError(DeviceError):
+    """The addressed device has failed and holds no recoverable data."""
+
+
+class UncorrectableError(DeviceError):
+    """Data was lost beyond what the erasure code can reconstruct."""
+
+
+class AllocationError(PurityError):
+    """The space allocator could not satisfy a request."""
+
+
+class OutOfSpaceError(AllocationError):
+    """The array has no free allocation units left."""
+
+
+class VolumeError(PurityError):
+    """Invalid operation on a volume (missing, read-only, bad range)."""
+
+
+class VolumeNotFoundError(VolumeError):
+    """The named volume does not exist."""
+
+
+class VolumeExistsError(VolumeError):
+    """A volume with the requested name already exists."""
+
+
+class SnapshotError(PurityError):
+    """Invalid snapshot or clone operation."""
+
+
+class RecoveryError(PurityError):
+    """Crash recovery could not reconstruct a consistent state."""
+
+
+class ControllerError(PurityError):
+    """Invalid controller state transition (e.g. both controllers down)."""
+
+
+class EncodingError(PurityError):
+    """Metadata page encode/decode failure."""
+
+
+class ReplicationError(PurityError):
+    """Asynchronous replication failure."""

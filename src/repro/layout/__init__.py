@@ -1,0 +1,37 @@
+"""Physical storage layout (paper Section 4.2–4.3, Figures 3–5).
+
+Purity stores data in *segments*, each striped across the allocation
+units (AUs) of 7+2 drives chosen at write time. Within a segment, a
+horizontal stripe of write units is a *segio*: compressed user data
+accumulates from the front, log records (tuples) from the back, and the
+full segio is flushed to the SSDs as large sequential writes.
+
+Recovery is driven by self-describing write-unit headers plus the
+*frontier set* — the persisted list of AUs the allocator will use next —
+which bounds the crash-recovery scan to recently writable segments
+(Figure 5).
+"""
+
+from repro.layout.segment import (
+    SegmentDescriptor,
+    SegmentGeometry,
+    SegioHeader,
+)
+from repro.layout.segio import OpenSegio
+from repro.layout.allocation import Allocator
+from repro.layout.frontier import FrontierManager
+from repro.layout.bootregion import BootRegion
+from repro.layout.segwriter import SegmentWriter
+from repro.layout.segreader import SegmentReader
+
+__all__ = [
+    "SegmentGeometry",
+    "SegmentDescriptor",
+    "SegioHeader",
+    "OpenSegio",
+    "Allocator",
+    "FrontierManager",
+    "BootRegion",
+    "SegmentWriter",
+    "SegmentReader",
+]

@@ -1,0 +1,110 @@
+"""Allocation-unit accounting across the drive population.
+
+The allocator owns the free/used state of every AU on every alive
+drive. It hands whole AU *groups* (one AU on each of ``k + m`` distinct
+drives) to the segment writer, preferring the emptiest drives so wear
+and capacity stay balanced. Section 4.3's constraint — only AUs in the
+persisted frontier set may be allocated — is enforced by the
+:class:`~repro.layout.frontier.FrontierManager` layered above.
+"""
+
+from repro.errors import AllocationError, OutOfSpaceError
+
+
+class Allocator:
+    """Free-pool manager for (drive_name, au_index) allocation units."""
+
+    def __init__(self, drive_names, aus_per_drive):
+        if aus_per_drive < 1:
+            raise ValueError("aus_per_drive must be positive")
+        self.aus_per_drive = aus_per_drive
+        self._free = {name: set(range(aus_per_drive)) for name in drive_names}
+        self._used = {name: set() for name in drive_names}
+
+    @property
+    def drive_names(self):
+        return list(self._free)
+
+    def free_count(self, drive_name=None):
+        """Free AUs on one drive, or across the array."""
+        if drive_name is not None:
+            return len(self._free[drive_name])
+        return sum(len(free) for free in self._free.values())
+
+    def used_count(self):
+        """Allocated AUs across the array."""
+        return sum(len(used) for used in self._used.values())
+
+    def used_units(self):
+        """Every allocated (drive_name, au_index) pair."""
+        return [
+            (name, au) for name, used in self._used.items() for au in sorted(used)
+        ]
+
+    def take_specific(self, drive_name, au_index):
+        """Allocate one specific AU (frontier-driven allocation)."""
+        free = self._free.get(drive_name)
+        if free is None:
+            raise AllocationError("unknown drive %r" % drive_name)
+        if au_index not in free:
+            raise AllocationError(
+                "AU %d on %s is not free" % (au_index, drive_name)
+            )
+        free.remove(au_index)
+        self._used[drive_name].add(au_index)
+        return drive_name, au_index
+
+    def reserve_batch(self, per_drive):
+        """Pull up to ``per_drive`` free AUs from every drive.
+
+        Returns a list of (drive_name, au_index). This is how the
+        frontier manager refills; the AUs remain *free* in the
+        allocator until :meth:`take_specific` claims them — the batch is
+        a reservation plan, not an allocation.
+        """
+        batch = []
+        for name, free in self._free.items():
+            for au_index in sorted(free)[:per_drive]:
+                batch.append((name, au_index))
+        return batch
+
+    def release(self, units):
+        """Return AUs to the free pool (garbage collection)."""
+        for drive_name, au_index in units:
+            used = self._used.get(drive_name)
+            if used is None or au_index not in used:
+                raise AllocationError(
+                    "AU %d on %s was not allocated" % (au_index, drive_name)
+                )
+            used.remove(au_index)
+            self._free[drive_name].add(au_index)
+
+    def drop_drive(self, drive_name):
+        """Forget a failed drive; its AUs leave both pools."""
+        self._free.pop(drive_name, None)
+        self._used.pop(drive_name, None)
+
+    def add_drive(self, drive_name):
+        """Register a replacement drive with an all-free AU population."""
+        if drive_name in self._free:
+            raise AllocationError("drive %r already registered" % drive_name)
+        self._free[drive_name] = set(range(self.aus_per_drive))
+        self._used[drive_name] = set()
+
+    def ensure_capacity(self, group_size):
+        """Raise OutOfSpaceError unless ``group_size`` drives have free AUs."""
+        with_free = sum(1 for free in self._free.values() if free)
+        if with_free < group_size:
+            raise OutOfSpaceError(
+                "only %d drives have free AUs, need %d" % (with_free, group_size)
+            )
+
+    def restore_state(self, used_units):
+        """Rebuild allocation state from a boot-region checkpoint."""
+        for name in self._free:
+            self._free[name] = set(range(self.aus_per_drive))
+            self._used[name] = set()
+        for drive_name, au_index in used_units:
+            if drive_name in self._free:
+                self._free[drive_name].discard(au_index)
+                self._used[drive_name].add(au_index)

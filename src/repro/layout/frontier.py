@@ -1,0 +1,141 @@
+"""Frontier sets (paper Figure 5).
+
+The frontier set is the persisted list of free AUs the allocator will
+use next. Constraining allocation to the persisted frontier means the
+crash-recovery scan for log records only needs to visit frontier AUs
+instead of every segment in the array — the optimization that took
+failover scans from 12 s to 0.1 s. Speculative and transition sets
+(approximations of *future* frontiers) are persisted alongside, so the
+boot region is rewritten rarely; in practice frontier writes are well
+under 1 % of writes.
+"""
+
+from repro.errors import OutOfSpaceError
+
+
+class FrontierManager:
+    """Allocation gate: hand out only AUs from the persisted frontier."""
+
+    def __init__(self, allocator, batch_per_drive=4, speculative_batches=1):
+        if batch_per_drive < 1:
+            raise ValueError("batch_per_drive must be positive")
+        self.allocator = allocator
+        self.batch_per_drive = batch_per_drive
+        self.speculative_batches = speculative_batches
+        self._current = {}  # drive_name -> list of au_index, persisted
+        self._speculative = {}  # next frontier approximation, persisted
+        self.persist_needed = True  # a checkpoint must record the sets
+        self.refills = 0
+
+    def current_units(self):
+        """Persisted frontier as (drive, au) pairs (recovery scans these)."""
+        return [
+            (drive, au) for drive, aus in self._current.items() for au in aus
+        ]
+
+    def speculative_units(self):
+        """Persisted speculative set (also scanned at recovery)."""
+        return [
+            (drive, au) for drive, aus in self._speculative.items() for au in aus
+        ]
+
+    def scan_set(self):
+        """Every AU recovery must scan: frontier plus speculative."""
+        return self.current_units() + self.speculative_units()
+
+    def refill(self):
+        """Recompute frontier + speculative sets from the free pool.
+
+        Must be followed by a boot-region checkpoint before the new sets
+        are used (:attr:`persist_needed` tracks this).
+        """
+        plan = self.allocator.reserve_batch(
+            self.batch_per_drive * (1 + self.speculative_batches)
+        )
+        per_drive = {}
+        for drive, au in plan:
+            per_drive.setdefault(drive, []).append(au)
+        self._current = {}
+        self._speculative = {}
+        for drive, aus in per_drive.items():
+            self._current[drive] = aus[: self.batch_per_drive]
+            self._speculative[drive] = aus[self.batch_per_drive :]
+        self.persist_needed = True
+        self.refills += 1
+
+    def mark_persisted(self):
+        """The boot region now records the current sets."""
+        self.persist_needed = False
+
+    def needs_refill(self, group_size):
+        """True when the frontier cannot supply another AU group."""
+        drives_with_aus = sum(1 for aus in self._current.values() if aus)
+        return drives_with_aus < group_size
+
+    def promote_speculative(self):
+        """Roll the speculative set into the frontier without a refill.
+
+        Because the speculative set was already persisted, this needs no
+        boot-region write — the reason frontier writes stay rare.
+        """
+        promoted = False
+        for drive, aus in self._speculative.items():
+            if aus:
+                self._current.setdefault(drive, []).extend(aus)
+                promoted = True
+        self._speculative = {}
+        return promoted
+
+    def take_group(self, group_size):
+        """Allocate one AU on each of ``group_size`` distinct drives.
+
+        Draws only from the persisted frontier; falls back to promoting
+        the (persisted) speculative set; raises OutOfSpaceError when a
+        refill + checkpoint is required first.
+        """
+        if self.persist_needed:
+            raise OutOfSpaceError("frontier set not persisted; checkpoint first")
+        if self.needs_refill(group_size) and not self.promote_speculative():
+            raise OutOfSpaceError("frontier exhausted; refill and checkpoint")
+        if self.needs_refill(group_size):
+            raise OutOfSpaceError("frontier exhausted; refill and checkpoint")
+        # Prefer the drives with the deepest remaining frontier queues.
+        candidates = sorted(
+            (drive for drive, aus in self._current.items() if aus),
+            key=lambda drive: -len(self._current[drive]),
+        )[:group_size]
+        group = []
+        for drive in candidates:
+            au_index = self._current[drive].pop(0)
+            group.append(self.allocator.take_specific(drive, au_index))
+        return group
+
+    def remove_unit(self, drive_name, au_index):
+        """Remove one AU from the sets (recovery found a segment in it)."""
+        for sets in (self._current, self._speculative):
+            aus = sets.get(drive_name)
+            if aus is not None and au_index in aus:
+                aus.remove(au_index)
+
+    def drop_drive(self, drive_name):
+        """Remove a failed drive's AUs from both sets."""
+        self._current.pop(drive_name, None)
+        self._speculative.pop(drive_name, None)
+
+    def retain_drives(self, valid_names):
+        """Keep only AUs on ``valid_names`` (recovery over a shelf whose
+        drives were swapped since the checkpoint)."""
+        valid = set(valid_names)
+        for sets in (self._current, self._speculative):
+            for drive_name in [name for name in sets if name not in valid]:
+                del sets[drive_name]
+
+    def restore(self, current_units, speculative_units):
+        """Rebuild the sets from a boot-region checkpoint."""
+        self._current = {}
+        for drive, au in current_units:
+            self._current.setdefault(drive, []).append(au)
+        self._speculative = {}
+        for drive, au in speculative_units:
+            self._speculative.setdefault(drive, []).append(au)
+        self.persist_needed = False

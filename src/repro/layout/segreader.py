@@ -1,0 +1,194 @@
+"""Segment reads, reconstruction, and header scans.
+
+The reader serves payload ranges from segments, transparently
+reconstructing any shard it cannot (or prefers not to) read directly:
+failed drives, corrupted pages, and — when an avoidance policy is
+supplied — drives that are busy servicing segment writes (the
+read-around-writes scheduling of Section 4.4). Reconstruction reads the
+same byte slice from the surviving shards and solves the 7+2 code for
+just the missing positions.
+
+Header scans support recovery: reading the first page of each write
+unit yields the self-describing segio headers, from which segments, log
+records, and sequence bounds are rediscovered.
+"""
+
+from repro.errors import DeviceFailedError, UncorrectableError
+from repro.layout.segment import SegioHeader
+
+
+class SegmentReader:
+    """Read path over striped segments."""
+
+    def __init__(self, geometry, codec, drives, avoid_policy=None):
+        self.geometry = geometry
+        self.codec = codec
+        self.drives = drives  # name -> SimulatedSSD
+        self.avoid_policy = avoid_policy
+        self.direct_reads = 0
+        self.reconstructed_reads = 0
+
+    #: Re-read attempts on a corrupted page before giving up on a shard
+    #: (device-level ECC retries; each attempt re-samples the media).
+    CORRUPTION_RETRIES = 2
+
+    def _drive_for(self, descriptor, shard):
+        drive_name, _au = descriptor.placements[shard]
+        drive = self.drives.get(drive_name)
+        if drive is None or drive.failed:
+            return None
+        return drive
+
+    def _read_with_retry(self, drive, offset, length):
+        """Read, retrying corrupted results; returns the final result."""
+        result = drive.read(offset, length)
+        attempts = 0
+        while result.corrupted and attempts < self.CORRUPTION_RETRIES:
+            attempts += 1
+            result = drive.read(offset, length)
+        return result
+
+    def _body_offset(self, descriptor, shard, segio, within_body):
+        au_start = descriptor.au_start(shard, self.geometry)
+        return self.geometry.device_offset(
+            au_start, segio, self.geometry.wu_header_size + within_body
+        )
+
+    def read_payload(self, descriptor, payload_offset, length):
+        """Read a payload byte range; returns (bytes, latency).
+
+        Chunks are issued in parallel, so the request latency is the
+        slowest chunk (per-drive queueing is modelled by the devices).
+        """
+        parts = []
+        latencies = [0.0]
+        for segio, shard, within, chunk_length in self.geometry.split_payload_range(
+            payload_offset, length
+        ):
+            data, latency = self._read_chunk(
+                descriptor, segio, shard, within, chunk_length
+            )
+            parts.append(data)
+            latencies.append(latency)
+        return b"".join(parts), max(latencies)
+
+    def _should_avoid(self, drive):
+        return self.avoid_policy is not None and self.avoid_policy(drive)
+
+    def _read_chunk(self, descriptor, segio, shard, within, length):
+        drive = self._drive_for(descriptor, shard)
+        avoided = drive is not None and self._should_avoid(drive)
+        if drive is not None and not avoided:
+            result = self._read_with_retry(
+                drive, self._body_offset(descriptor, shard, segio, within), length
+            )
+            if not result.corrupted:
+                self.direct_reads += 1
+                return result.data, result.latency
+        try:
+            return self._reconstruct_chunk(descriptor, segio, shard, within, length)
+        except UncorrectableError:
+            if not avoided:
+                raise
+            # Avoidance is an optimization, never a correctness rule:
+            # when too few calm shards survive, read the busy drive.
+            result = drive.read(
+                self._body_offset(descriptor, shard, segio, within), length
+            )
+            if result.corrupted:
+                raise
+            self.direct_reads += 1
+            return result.data, result.latency
+
+    def _reconstruct_chunk(self, descriptor, segio, target_shard, within, length):
+        """Rebuild one shard slice from the others via Reed-Solomon.
+
+        Prefers shards on drives the avoidance policy likes; avoided
+        drives are read only when nothing else can complete the stripe.
+        """
+        shards = [None] * self.geometry.total_shards
+        latencies = [0.0]
+        available = 0
+        candidates = [
+            shard for shard in range(self.geometry.total_shards)
+            if shard != target_shard
+        ]
+        candidates.sort(
+            key=lambda shard: (
+                self._drive_for(descriptor, shard) is not None
+                and self._should_avoid(self._drive_for(descriptor, shard))
+            )
+        )
+        for shard in candidates:
+            if available >= self.geometry.data_shards:
+                break  # k survivors suffice; skip further reads
+            drive = self._drive_for(descriptor, shard)
+            if drive is None:
+                continue
+            result = self._read_with_retry(
+                drive, self._body_offset(descriptor, shard, segio, within), length
+            )
+            if result.corrupted:
+                continue
+            shards[shard] = result.data
+            latencies.append(result.latency)
+            available += 1
+        if available < self.geometry.data_shards:
+            raise UncorrectableError(
+                "segment %d segio %d: only %d of %d shards readable"
+                % (
+                    descriptor.segment_id,
+                    segio,
+                    available,
+                    self.geometry.data_shards,
+                )
+            )
+        complete = self.codec.reconstruct(shards)
+        self.reconstructed_reads += 1
+        return complete[target_shard], max(latencies)
+
+    def read_header(self, drive, au_index, segio_index):
+        """Read one write-unit header; returns (SegioHeader or None, latency)."""
+        device_offset = self.geometry.device_offset(
+            au_index * self.geometry.au_size, segio_index, 0
+        )
+        try:
+            result = drive.read(device_offset, self.geometry.wu_header_size)
+        except (DeviceFailedError, ValueError):
+            return None, 0.0
+        if result.corrupted:
+            return None, result.latency
+        return SegioHeader.decode(result.data), result.latency
+
+    def scan_headers(self, units):
+        """Scan segio headers over (drive_name, au_index) pairs.
+
+        Returns (headers, latency). Per-drive reads serialize; drives
+        scan in parallel, so latency is the slowest drive's total.
+        Headers are deduplicated by (segment, segio) — they are
+        replicated on every shard.
+        """
+        per_drive_latency = {}
+        seen = set()
+        headers = []
+        for drive_name, au_index in units:
+            drive = self.drives.get(drive_name)
+            if drive is None or drive.failed:
+                continue
+            for segio_index in range(self.geometry.segios_per_segment):
+                header, latency = self.read_header(drive, au_index, segio_index)
+                per_drive_latency[drive_name] = (
+                    per_drive_latency.get(drive_name, 0.0) + latency
+                )
+                if header is None:
+                    continue
+                dedupe_key = (header.segment_id, header.segio_index)
+                if dedupe_key not in seen:
+                    seen.add(dedupe_key)
+                    headers.append(header)
+        return headers, max(per_drive_latency.values(), default=0.0)
+
+    def read_log_record(self, descriptor, locator):
+        """Fetch one log record by its (payload_offset, length) locator."""
+        offset, length = locator
+        return self.read_payload(descriptor, offset, length)

@@ -1,0 +1,29 @@
+"""Mediums: virtual data containers (paper Sections 3.4, 4.5, Figure 6).
+
+All user data lives in a single mapping structure addressed by
+<medium, offset> rather than <volume, offset>. A medium's table entries
+either hold data directly or delegate ranges to an underlying medium at
+an offset — which is all a snapshot or clone is. The medium table is
+consulted to enumerate every key that might hold the value for a
+lookup; garbage collection flattens medium trees so reads never chase
+more than three levels.
+"""
+
+from repro.mediums.medium import (
+    MEDIUM_NONE,
+    STATUS_RO,
+    STATUS_RW,
+    MediumRange,
+    MediumTable,
+)
+from repro.mediums.resolver import chain_depth, resolve_chain
+
+__all__ = [
+    "MEDIUM_NONE",
+    "STATUS_RO",
+    "STATUS_RW",
+    "MediumRange",
+    "MediumTable",
+    "resolve_chain",
+    "chain_depth",
+]

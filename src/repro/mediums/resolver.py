@@ -1,0 +1,44 @@
+"""Medium-chain resolution.
+
+The medium table identifies "all possible keys that might be used to
+find the value for a given <volume, offset> lookup" (Section 4.5).
+:func:`resolve_chain` walks the delegation chain from a medium down to
+its deepest ancestor, yielding each <medium, offset> the address map
+must be probed with, newest first. Garbage collection keeps these
+chains short (application reads never touch more than three cblocks);
+:func:`chain_depth` measures them for the Figure 6 benchmarks.
+"""
+
+from repro.errors import SnapshotError
+from repro.mediums.medium import MEDIUM_NONE
+
+#: A chain longer than this indicates a cycle or a corrupted table.
+MAX_CHAIN_DEPTH = 64
+
+
+def resolve_chain(table, medium_id, offset):
+    """Yield (medium_id, offset) probes from the top of the chain down.
+
+    Stops at a medium that holds its own data for the range (target =
+    none) or at a gap (a range no medium covers). Raises SnapshotError
+    on a cycle.
+    """
+    probes = []
+    visited = set()
+    current = (medium_id, offset)
+    while True:
+        if current in visited or len(probes) >= MAX_CHAIN_DEPTH:
+            raise SnapshotError(
+                "medium chain cycle or overlong chain at medium %d" % current[0]
+            )
+        visited.add(current)
+        probes.append(current)
+        row = table.range_covering(*current)
+        if row is None or row.maps_directly():
+            return probes
+        current = (row.target, row.target_offset + (current[1] - row.start))
+
+
+def chain_depth(table, medium_id, offset):
+    """Number of address-map probes a read of (medium, offset) needs."""
+    return len(resolve_chain(table, medium_id, offset))

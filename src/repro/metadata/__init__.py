@@ -1,0 +1,21 @@
+"""Compressed metadata encodings (paper Section 4.9).
+
+Purity stores metadata in column-store-style compressed pages: each
+page carries a dictionary header of per-field bases and bit widths, and
+tuples are fixed-width bit strings of offsets from those bases. Pages
+can be scanned for a value *without decompressing* by comparing bit
+patterns at fixed strides. Range encoding bounds the size of elide
+tables.
+"""
+
+from repro.metadata.bitpack import BitReader, BitWriter
+from repro.metadata.dictpage import DictionaryPage, FieldDictionary
+from repro.metadata.rangecode import IntRangeSet
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "DictionaryPage",
+    "FieldDictionary",
+    "IntRangeSet",
+]

@@ -1,0 +1,101 @@
+"""Bit-granular packing for compressed metadata pages.
+
+Section 4.9's page format stores every tuple as a fixed number of bits,
+so fields need sub-byte widths. :class:`BitWriter` appends fixed-width
+unsigned integers into a byte buffer; :class:`BitReader` reads them
+back, including random access at arbitrary bit offsets (the basis of
+scanning pages without decompressing them).
+
+Bits are packed most-significant-first within each byte, so the bit
+pattern of a page is a straightforward left-to-right concatenation.
+"""
+
+
+class BitWriter:
+    """Append-only bit stream writer."""
+
+    def __init__(self):
+        self._buffer = bytearray()
+        self._accumulator = 0
+        self._pending_bits = 0
+
+    @property
+    def bit_length(self):
+        """Total bits written so far."""
+        return len(self._buffer) * 8 + self._pending_bits
+
+    def write(self, value, width):
+        """Append ``value`` as an unsigned ``width``-bit integer."""
+        if width < 0:
+            raise ValueError("negative width")
+        if width == 0:
+            if value != 0:
+                raise ValueError("cannot store %d in zero bits" % value)
+            return
+        if value < 0 or value >> width:
+            raise ValueError("value %d does not fit in %d bits" % (value, width))
+        self._accumulator = (self._accumulator << width) | value
+        self._pending_bits += width
+        while self._pending_bits >= 8:
+            self._pending_bits -= 8
+            self._buffer.append((self._accumulator >> self._pending_bits) & 0xFF)
+        self._accumulator &= (1 << self._pending_bits) - 1
+
+    def getvalue(self):
+        """The packed bytes, zero-padded to a whole byte."""
+        out = bytearray(self._buffer)
+        if self._pending_bits:
+            out.append((self._accumulator << (8 - self._pending_bits)) & 0xFF)
+        return bytes(out)
+
+
+class BitReader:
+    """Random-access bit stream reader over packed bytes."""
+
+    def __init__(self, data):
+        self._data = data
+        self._bit_position = 0
+
+    @property
+    def bit_position(self):
+        """Current cursor, in bits from the start."""
+        return self._bit_position
+
+    def seek(self, bit_offset):
+        """Move the cursor to an absolute bit offset."""
+        if bit_offset < 0 or bit_offset > len(self._data) * 8:
+            raise ValueError("bit offset %d out of range" % bit_offset)
+        self._bit_position = bit_offset
+
+    def read(self, width):
+        """Read an unsigned ``width``-bit integer at the cursor."""
+        if width < 0:
+            raise ValueError("negative width")
+        if width == 0:
+            return 0
+        end = self._bit_position + width
+        if end > len(self._data) * 8:
+            raise ValueError("read past end of bit stream")
+        value = 0
+        position = self._bit_position
+        remaining = width
+        while remaining:
+            byte_index, bit_index = divmod(position, 8)
+            take = min(8 - bit_index, remaining)
+            chunk = self._data[byte_index]
+            chunk >>= 8 - bit_index - take
+            chunk &= (1 << take) - 1
+            value = (value << take) | chunk
+            position += take
+            remaining -= take
+        self._bit_position = end
+        return value
+
+    def read_at(self, bit_offset, width):
+        """Read ``width`` bits at ``bit_offset`` without moving the cursor."""
+        saved = self._bit_position
+        try:
+            self.seek(bit_offset)
+            return self.read(width)
+        finally:
+            self._bit_position = saved

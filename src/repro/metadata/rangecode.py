@@ -1,0 +1,61 @@
+"""Integer range sets with coalescing.
+
+Section 4.10: elide records over dense, monotonically increasing keys
+are encoded as ranges and contiguous ranges are merged, so the elide
+table "collapses rapidly" instead of growing without bound. This module
+provides that structure: a sorted set of disjoint, non-adjacent
+inclusive integer ranges.
+"""
+
+import bisect
+
+
+class IntRangeSet:
+    """Sorted disjoint inclusive integer ranges with automatic merging."""
+
+    def __init__(self, ranges=()):
+        self._los = []  # sorted range starts
+        self._his = []  # parallel range ends (inclusive)
+        for lo, hi in ranges:
+            self.add(lo, hi)
+
+    def __len__(self):
+        """Number of disjoint ranges (the elide-table record count)."""
+        return len(self._los)
+
+    def __iter__(self):
+        """Yield (lo, hi) pairs in ascending order."""
+        return iter(zip(self._los, self._his))
+
+    def __eq__(self, other):
+        if not isinstance(other, IntRangeSet):
+            return NotImplemented
+        return list(self) == list(other)
+
+    def add(self, lo, hi):
+        """Insert [lo, hi], merging with overlapping or adjacent ranges."""
+        if lo > hi:
+            raise ValueError("empty range [%d, %d]" % (lo, hi))
+        # Find the window of existing ranges that touch [lo-1, hi+1].
+        left = bisect.bisect_left(self._his, lo - 1)
+        right = bisect.bisect_right(self._los, hi + 1)
+        if left < right:
+            lo = min(lo, self._los[left])
+            hi = max(hi, self._his[right - 1])
+            del self._los[left:right]
+            del self._his[left:right]
+        self._los.insert(left, lo)
+        self._his.insert(left, hi)
+
+    def contains(self, value):
+        """True if ``value`` falls inside any range."""
+        index = bisect.bisect_right(self._los, value) - 1
+        return index >= 0 and value <= self._his[index]
+
+    def covered_count(self):
+        """Total integers covered by all ranges."""
+        return sum(hi - lo + 1 for lo, hi in self)
+
+    def __repr__(self):
+        parts = ", ".join("[%d,%d]" % pair for pair in self)
+        return "IntRangeSet(%s)" % parts

@@ -1,0 +1,42 @@
+"""Log-structured merge indexes ("pyramids") and monotonic facts.
+
+Section 3.2 and 4.8: Purity represents all persistent state as
+immutable facts carrying sequence numbers; metadata lives in relations
+indexed by LSM trees the paper calls *pyramids*, built from sorted
+*patches* combined by idempotent merge/flatten operations. Deletion is
+by *elision* — predicate tuples in a side table — rather than
+tombstones (Section 4.10).
+"""
+
+from repro.pyramid.tuples import (
+    Fact,
+    SequenceGenerator,
+    decode_fact,
+    decode_value,
+    encode_fact,
+    encode_value,
+)
+from repro.pyramid.memtable import MemTable
+from repro.pyramid.patch import Patch, merge_patches
+from repro.pyramid.pyramid import Pyramid
+from repro.pyramid.elision import ElideTable, KeyRangePredicate, KeyPrefixPredicate
+from repro.pyramid.relation import Relation
+from repro.pyramid.wal import MonotonicWAL
+
+__all__ = [
+    "Fact",
+    "SequenceGenerator",
+    "encode_fact",
+    "decode_fact",
+    "encode_value",
+    "decode_value",
+    "MemTable",
+    "Patch",
+    "merge_patches",
+    "Pyramid",
+    "ElideTable",
+    "KeyRangePredicate",
+    "KeyPrefixPredicate",
+    "Relation",
+    "MonotonicWAL",
+]

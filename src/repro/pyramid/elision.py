@@ -1,0 +1,127 @@
+"""Elision: atomic predicate-based tuple deletion (paper Section 4.10).
+
+Instead of per-key tombstones, each relation carries elide tables whose
+tuples are *deletion predicates*: every fact matching a predicate is
+treated as deleted. Dropping a medium inserts one record rather than
+deleting one cblock at a time; readers filter results against the elide
+table without locks; the garbage collector drops matching facts during
+merges, reclaiming space immediately.
+
+Elide records must not themselves leak space. Predicates over dense,
+monotonically increasing keys are stored as integer ranges and merged
+when contiguous, so the table is bounded by the number of live gaps in
+the key space rather than the number of deletions ever performed.
+"""
+
+from dataclasses import dataclass
+
+from repro.metadata.rangecode import IntRangeSet
+
+
+@dataclass(frozen=True)
+class KeyRangePredicate:
+    """Elides facts whose ``key[field]`` lies in [lo, hi].
+
+    ``as_of_seq`` bounds the predicate in time: only facts with
+    seqno < as_of_seq are elided (None elides all versions, the common
+    case when keys are never reused).
+    """
+
+    lo: int
+    hi: int
+    as_of_seq: int = None
+    field: int = 0
+
+    def __post_init__(self):
+        if self.lo > self.hi:
+            raise ValueError("empty range [%d, %d]" % (self.lo, self.hi))
+
+    def matches(self, fact):
+        """True if the fact is deleted under this predicate."""
+        if self.as_of_seq is not None and fact.seqno >= self.as_of_seq:
+            return False
+        if self.field >= len(fact.key):
+            return False
+        component = fact.key[self.field]
+        return isinstance(component, int) and self.lo <= component <= self.hi
+
+
+@dataclass(frozen=True)
+class KeyPrefixPredicate:
+    """Elides facts whose key starts with ``prefix``."""
+
+    prefix: tuple
+    as_of_seq: int = None
+
+    def matches(self, fact):
+        """True if the fact is deleted under this predicate."""
+        if self.as_of_seq is not None and fact.seqno >= self.as_of_seq:
+            return False
+        return fact.key[: len(self.prefix)] == self.prefix
+
+
+class ElideTable:
+    """The set of deletion predicates attached to one relation.
+
+    Unbounded-lifetime predicates (``as_of_seq is None``) over the
+    leading integer key field are held in an :class:`IntRangeSet`, which
+    coalesces contiguous ranges — the paper's bound on elide-table
+    growth. Sequence-bounded or prefix predicates are kept verbatim.
+    """
+
+    def __init__(self, name="elide"):
+        self.name = name
+        self._coalesced = {}  # field index -> IntRangeSet
+        self._predicates = []  # non-coalescible predicates
+        self.records_inserted = 0
+
+    def insert(self, predicate):
+        """Add one deletion predicate (idempotent)."""
+        self.records_inserted += 1
+        if isinstance(predicate, KeyRangePredicate) and predicate.as_of_seq is None:
+            ranges = self._coalesced.setdefault(predicate.field, IntRangeSet())
+            ranges.add(predicate.lo, predicate.hi)
+            return
+        if isinstance(predicate, KeyPrefixPredicate) and (
+            predicate.as_of_seq is None
+            and len(predicate.prefix) == 1
+            and isinstance(predicate.prefix[0], int)
+        ):
+            # A one-int prefix is a width-one range on field 0: coalesce it.
+            ranges = self._coalesced.setdefault(0, IntRangeSet())
+            ranges.add(predicate.prefix[0], predicate.prefix[0])
+            return
+        if predicate not in self._predicates:
+            self._predicates.append(predicate)
+
+    def elide_key_range(self, lo, hi, field=0):
+        """Convenience: elide all facts with key[field] in [lo, hi]."""
+        self.insert(KeyRangePredicate(lo, hi, field=field))
+
+    def elide_prefix(self, prefix, as_of_seq=None):
+        """Convenience: elide all facts whose key starts with ``prefix``."""
+        self.insert(KeyPrefixPredicate(tuple(prefix), as_of_seq=as_of_seq))
+
+    def is_elided(self, fact):
+        """True if any predicate deletes this fact."""
+        for field, ranges in self._coalesced.items():
+            if field < len(fact.key):
+                component = fact.key[field]
+                if isinstance(component, int) and ranges.contains(component):
+                    return True
+        return any(predicate.matches(fact) for predicate in self._predicates)
+
+    @property
+    def record_count(self):
+        """Live predicate records after range coalescing.
+
+        The paper's invariant: this stays bounded by the number of gaps
+        in the (dense, monotone) key space, not by deletions performed.
+        """
+        coalesced = sum(len(ranges) for ranges in self._coalesced.values())
+        return coalesced + len(self._predicates)
+
+    def ranges_for_field(self, field=0):
+        """The coalesced (lo, hi) ranges for one key field (for tests)."""
+        ranges = self._coalesced.get(field)
+        return list(ranges) if ranges is not None else []

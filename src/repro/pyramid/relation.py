@@ -1,0 +1,98 @@
+"""Relations: a pyramid plus its elide rules.
+
+Purity stores metadata in "log structured relational structures"
+(Section 3): each relation is a set of immutable facts indexed by a
+pyramid, with deletion policy expressed as elide rules over an elide
+table (Section 4.10). Readers may run in a relaxed mode that ignores
+retractions entirely, observing tuples that no longer exist — which is
+safe because facts are immutable.
+"""
+
+from repro.pyramid.elision import ElideTable
+from repro.pyramid.pyramid import Pyramid
+from repro.pyramid.tuples import Fact
+
+
+class Relation:
+    """A named table of immutable facts with predicate-based deletion."""
+
+    def __init__(self, name, key_arity=1, fanout=8):
+        if key_arity < 1:
+            raise ValueError("key arity must be at least 1")
+        self.name = name
+        self.key_arity = key_arity
+        self.pyramid = Pyramid(name, fanout=fanout)
+        self.elide_table = ElideTable(name + ".elide")
+
+    def make_fact(self, key, value, seqno):
+        """Build a fact, validating key arity."""
+        key = tuple(key)
+        if len(key) != self.key_arity:
+            raise ValueError(
+                "%s expects %d key fields, got %r" % (self.name, self.key_arity, key)
+            )
+        return Fact(key=key, seqno=seqno, value=tuple(value))
+
+    def insert(self, key, value, seqno):
+        """Insert one fact; returns it. Idempotent and commutative."""
+        fact = self.make_fact(key, value, seqno)
+        self.pyramid.insert(fact)
+        return fact
+
+    def insert_fact(self, fact):
+        """Insert a pre-built fact (recovery path)."""
+        self.pyramid.insert(fact)
+
+    def get(self, key, max_seq=None, ignore_elisions=False):
+        """Latest visible fact for ``key``, or None.
+
+        ``ignore_elisions=True`` is the relaxed consistency mode from
+        Section 3.2: the reader skips the retraction check and may see
+        deleted tuples.
+        """
+        fact = self.pyramid.lookup_latest(tuple(key), max_seq)
+        if fact is None:
+            return None
+        if not ignore_elisions and self.elide_table.is_elided(fact):
+            return None
+        return fact
+
+    def get_value(self, key, max_seq=None, default=None):
+        """The value tuple of the latest visible fact, or ``default``."""
+        fact = self.get(key, max_seq)
+        return fact.value if fact is not None else default
+
+    def scan(self, lo_key=None, hi_key=None, ignore_elisions=False):
+        """Yield the newest visible fact per key in key order."""
+        for fact in self.pyramid.scan_latest(lo_key, hi_key):
+            if ignore_elisions or not self.elide_table.is_elided(fact):
+                yield fact
+
+    def elide_key_range(self, lo, hi, field=0):
+        """Atomically delete all facts with key[field] in [lo, hi]."""
+        self.elide_table.elide_key_range(lo, hi, field=field)
+
+    def elide_prefix(self, prefix, as_of_seq=None):
+        """Atomically delete all facts whose key starts with ``prefix``."""
+        self.elide_table.elide_prefix(prefix, as_of_seq=as_of_seq)
+
+    def seal(self):
+        """Seal the memtable into a patch (segment-writer hand-off)."""
+        return self.pyramid.seal()
+
+    def compact(self):
+        """Background merge; drops elided facts during the merge."""
+        return self.pyramid.maybe_compact(drop=self.elide_table.is_elided)
+
+    def flatten(self):
+        """Merge the whole pyramid into one patch, applying elisions."""
+        self.pyramid.seal()
+        return self.pyramid.merge(drop=self.elide_table.is_elided)
+
+    def live_fact_count(self):
+        """Visible facts (latest version per key, elisions applied)."""
+        return sum(1 for _ in self.scan())
+
+    def stored_fact_count(self):
+        """Physical facts held, including superseded and elided ones."""
+        return self.pyramid.fact_count

@@ -1,0 +1,34 @@
+"""Discrete-event simulation substrate.
+
+The paper evaluates Purity on physical hardware; here, device timing is
+produced by a small discrete-event simulator. :class:`SimClock` carries
+the current simulated time, :class:`EventLoop` schedules and runs
+callbacks, and :mod:`repro.sim.distributions` provides the latency
+distributions the device models draw from.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.events import Event, EventLoop, Process
+from repro.sim.rand import RandomStream
+from repro.sim.distributions import (
+    Constant,
+    Exponential,
+    LogNormal,
+    Mixture,
+    Uniform,
+    percentile,
+)
+
+__all__ = [
+    "SimClock",
+    "Event",
+    "EventLoop",
+    "Process",
+    "RandomStream",
+    "Constant",
+    "Exponential",
+    "LogNormal",
+    "Mixture",
+    "Uniform",
+    "percentile",
+]

@@ -1,0 +1,41 @@
+"""Simulated wall clock.
+
+All device models and the array share one :class:`SimClock`. Time is a
+float number of seconds and only ever moves forward; the event loop is
+the sole advancer during simulation runs, but tests may call
+:meth:`SimClock.advance` directly.
+"""
+
+from repro.errors import PurityError
+
+
+class ClockError(PurityError):
+    """Attempt to move the simulated clock backwards."""
+
+
+class SimClock:
+    """Monotonically increasing simulated time in seconds."""
+
+    def __init__(self, start=0.0):
+        self._now = float(start)
+
+    @property
+    def now(self):
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, delta):
+        """Move time forward by ``delta`` seconds and return the new time."""
+        if delta < 0:
+            raise ClockError("cannot advance clock by negative delta %r" % delta)
+        self._now += delta
+        return self._now
+
+    def advance_to(self, timestamp):
+        """Move time forward to ``timestamp`` (no-op if already past it)."""
+        if timestamp > self._now:
+            self._now = timestamp
+        return self._now
+
+    def __repr__(self):
+        return "SimClock(now=%.9f)" % self._now

@@ -1,0 +1,149 @@
+"""Latency distributions for device service-time models.
+
+Each distribution exposes ``sample(stream)`` drawing one latency in
+seconds from a :class:`repro.sim.rand.RandomStream`, and ``mean()`` for
+analytic uses. SSD read latency under interference is modelled as a
+:class:`Mixture` of a fast path and a heavy slow tail, matching the
+erase-induced stalls Section 2.1 of the paper describes.
+"""
+
+import math
+
+
+class Distribution:
+    """Base interface for one-dimensional latency distributions."""
+
+    def sample(self, stream):
+        """Draw one value using the given random stream."""
+        raise NotImplementedError
+
+    def mean(self):
+        """Analytic mean of the distribution."""
+        raise NotImplementedError
+
+
+class Constant(Distribution):
+    """Degenerate distribution: always ``value``."""
+
+    def __init__(self, value):
+        if value < 0:
+            raise ValueError("latency must be non-negative, got %r" % value)
+        self.value = float(value)
+
+    def sample(self, stream):
+        return self.value
+
+    def mean(self):
+        return self.value
+
+    def __repr__(self):
+        return "Constant(%.3g)" % self.value
+
+
+class Uniform(Distribution):
+    """Uniform over [low, high]."""
+
+    def __init__(self, low, high):
+        if not 0 <= low <= high:
+            raise ValueError("need 0 <= low <= high, got %r, %r" % (low, high))
+        self.low = float(low)
+        self.high = float(high)
+
+    def sample(self, stream):
+        return stream.uniform(self.low, self.high)
+
+    def mean(self):
+        return (self.low + self.high) / 2.0
+
+    def __repr__(self):
+        return "Uniform(%.3g, %.3g)" % (self.low, self.high)
+
+
+class Exponential(Distribution):
+    """Exponential with the given mean."""
+
+    def __init__(self, mean):
+        if mean <= 0:
+            raise ValueError("mean must be positive, got %r" % mean)
+        self._mean = float(mean)
+
+    def sample(self, stream):
+        return stream.expovariate(1.0 / self._mean)
+
+    def mean(self):
+        return self._mean
+
+    def __repr__(self):
+        return "Exponential(mean=%.3g)" % self._mean
+
+
+class LogNormal(Distribution):
+    """Log-normal parameterized by its own median and sigma.
+
+    ``median`` is the distribution median (exp(mu)); ``sigma`` is the
+    shape parameter of the underlying normal.
+    """
+
+    def __init__(self, median, sigma):
+        if median <= 0:
+            raise ValueError("median must be positive, got %r" % median)
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative, got %r" % sigma)
+        self.median = float(median)
+        self.sigma = float(sigma)
+        self._mu = math.log(median)
+
+    def sample(self, stream):
+        return stream.lognormvariate(self._mu, self.sigma)
+
+    def mean(self):
+        return math.exp(self._mu + self.sigma ** 2 / 2.0)
+
+    def __repr__(self):
+        return "LogNormal(median=%.3g, sigma=%.3g)" % (self.median, self.sigma)
+
+
+class Mixture(Distribution):
+    """Weighted mixture of component distributions.
+
+    ``components`` is a list of ``(weight, distribution)`` pairs; weights
+    are normalized internally.
+    """
+
+    def __init__(self, components):
+        if not components:
+            raise ValueError("mixture needs at least one component")
+        total = float(sum(w for w, _ in components))
+        if total <= 0:
+            raise ValueError("mixture weights must sum to a positive value")
+        self.components = [(w / total, dist) for w, dist in components]
+
+    def sample(self, stream):
+        target = stream.random()
+        acc = 0.0
+        for weight, dist in self.components:
+            acc += weight
+            if target < acc:
+                return dist.sample(stream)
+        return self.components[-1][1].sample(stream)
+
+    def mean(self):
+        return sum(w * dist.mean() for w, dist in self.components)
+
+    def __repr__(self):
+        parts = ", ".join("%.3g:%r" % (w, d) for w, d in self.components)
+        return "Mixture(%s)" % parts
+
+
+def percentile(samples, fraction):
+    """The ``fraction`` quantile of ``samples`` (nearest-rank, inclusive).
+
+    ``fraction`` is in [0, 1]; e.g. 0.999 gives the 99.9th percentile.
+    """
+    if not samples:
+        raise ValueError("percentile of empty sample set")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1], got %r" % fraction)
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, math.ceil(fraction * len(ordered)) - 1))
+    return ordered[index]

@@ -1,0 +1,162 @@
+"""Event loop and lightweight processes for the simulator.
+
+Two styles of simulation are supported:
+
+* **Callback style** — :meth:`EventLoop.call_in` / :meth:`EventLoop.call_at`
+  schedule plain callables; :meth:`EventLoop.run` drains the queue in
+  timestamp order, advancing the shared :class:`~repro.sim.clock.SimClock`.
+
+* **Process style** — a generator passed to :meth:`EventLoop.process`
+  may ``yield`` a float (sleep that many simulated seconds) or an
+  :class:`Event` (suspend until someone calls :meth:`Event.succeed`).
+  This mirrors the event-driven request handlers Section 4.4 describes,
+  at simulation granularity rather than per-core granularity.
+
+Most device models do not need processes at all: they compute a
+completion time from per-device queues analytically. Processes are used
+by workload generators in benchmarks.
+"""
+
+import heapq
+import itertools
+
+from repro.errors import PurityError
+
+
+class SimulationError(PurityError):
+    """Misuse of the event loop (e.g. scheduling in the past)."""
+
+
+class Event:
+    """A one-shot condition processes can wait on.
+
+    ``succeed(value)`` wakes every waiting process, delivering ``value``
+    as the result of its ``yield``.
+    """
+
+    def __init__(self, loop):
+        self._loop = loop
+        self._waiters = []
+        self.triggered = False
+        self.value = None
+
+    def succeed(self, value=None):
+        """Trigger the event, waking all current waiters."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self.triggered = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            self._loop.call_in(0.0, process._resume, value)
+
+    def _add_waiter(self, process):
+        if self.triggered:
+            self._loop.call_in(0.0, process._resume, self.value)
+        else:
+            self._waiters.append(process)
+
+
+class Process:
+    """A running generator-based simulation process."""
+
+    def __init__(self, loop, generator):
+        self._loop = loop
+        self._generator = generator
+        self.finished = False
+        self.result = None
+        self._completion = Event(loop)
+
+    @property
+    def completion(self):
+        """Event triggered (with the return value) when the process ends."""
+        return self._completion
+
+    def _resume(self, value=None):
+        if self.finished:
+            return
+        try:
+            yielded = self._generator.send(value)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = stop.value
+            self._completion.succeed(stop.value)
+            return
+        if isinstance(yielded, Event):
+            yielded._add_waiter(self)
+        elif isinstance(yielded, Process):
+            yielded.completion._add_waiter(self)
+        elif isinstance(yielded, (int, float)):
+            if yielded < 0:
+                raise SimulationError("process slept negative time %r" % yielded)
+            self._loop.call_in(float(yielded), self._resume, None)
+        else:
+            raise SimulationError(
+                "process yielded %r; expected delay, Event, or Process" % (yielded,)
+            )
+
+
+class EventLoop:
+    """Priority-queue discrete-event loop over a shared clock."""
+
+    def __init__(self, clock):
+        self.clock = clock
+        self._queue = []
+        self._counter = itertools.count()
+
+    def __len__(self):
+        return len(self._queue)
+
+    def call_at(self, timestamp, callback, *args):
+        """Schedule ``callback(*args)`` at an absolute simulated time."""
+        if timestamp < self.clock.now - 1e-12:
+            raise SimulationError(
+                "cannot schedule at %.9f, now is %.9f" % (timestamp, self.clock.now)
+            )
+        heapq.heappush(
+            self._queue, (max(timestamp, self.clock.now), next(self._counter), callback, args)
+        )
+
+    def call_in(self, delay, callback, *args):
+        """Schedule ``callback(*args)`` after ``delay`` simulated seconds."""
+        self.call_at(self.clock.now + delay, callback, *args)
+
+    def event(self):
+        """Create a fresh :class:`Event` bound to this loop."""
+        return Event(self)
+
+    def process(self, generator):
+        """Start a generator as a simulation process; returns the Process."""
+        proc = Process(self, generator)
+        self.call_in(0.0, proc._resume, None)
+        return proc
+
+    def step(self):
+        """Run the single earliest pending event; returns False if idle."""
+        if not self._queue:
+            return False
+        timestamp, _seq, callback, args = heapq.heappop(self._queue)
+        self.clock.advance_to(timestamp)
+        callback(*args)
+        return True
+
+    def run(self, until=None, max_events=None):
+        """Drain the queue in time order.
+
+        Stops when the queue empties, when the next event lies beyond
+        ``until`` (clock is then advanced to ``until``), or after
+        ``max_events`` dispatches (a runaway-simulation guard).
+        Returns the number of events dispatched.
+        """
+        dispatched = 0
+        while self._queue:
+            if max_events is not None and dispatched >= max_events:
+                break
+            if until is not None and self._queue[0][0] > until:
+                self.clock.advance_to(until)
+                return dispatched
+            self.step()
+            dispatched += 1
+        if until is not None:
+            self.clock.advance_to(until)
+        return dispatched

@@ -1,0 +1,102 @@
+"""Deterministic random streams.
+
+Every stochastic component takes a :class:`RandomStream` so experiments
+are reproducible from a single seed. Independent components get
+independent substreams derived from a parent via :meth:`RandomStream.fork`,
+keeping results stable when unrelated components add or remove draws.
+"""
+
+import hashlib
+import random
+
+
+class RandomStream:
+    """A seeded random source with named, independent substreams."""
+
+    def __init__(self, seed=0):
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def fork(self, name):
+        """Return an independent stream derived from this one.
+
+        The child seed depends only on the parent seed and ``name``, so
+        forking order does not matter. Derivation uses a real hash, not
+        Python's ``hash()`` — the latter is salted per process, which
+        would make "deterministic" simulations differ run to run.
+        """
+        digest = hashlib.blake2b(
+            ("%s|%s" % (self.seed, name)).encode("utf-8"), digest_size=6
+        ).digest()
+        return RandomStream(int.from_bytes(digest, "big"))
+
+    def random(self):
+        """Uniform float in [0, 1)."""
+        return self._rng.random()
+
+    def uniform(self, low, high):
+        """Uniform float in [low, high]."""
+        return self._rng.uniform(low, high)
+
+    def randint(self, low, high):
+        """Uniform integer in [low, high] inclusive."""
+        return self._rng.randint(low, high)
+
+    def expovariate(self, rate):
+        """Exponential variate with the given rate (1/mean)."""
+        return self._rng.expovariate(rate)
+
+    def lognormvariate(self, mu, sigma):
+        """Log-normal variate with underlying normal (mu, sigma)."""
+        return self._rng.lognormvariate(mu, sigma)
+
+    def gauss(self, mu, sigma):
+        """Normal variate."""
+        return self._rng.gauss(mu, sigma)
+
+    def choice(self, seq):
+        """Uniformly chosen element of a non-empty sequence."""
+        return self._rng.choice(seq)
+
+    def sample(self, population, k):
+        """k distinct elements sampled without replacement."""
+        return self._rng.sample(population, k)
+
+    def shuffle(self, seq):
+        """Shuffle a mutable sequence in place."""
+        self._rng.shuffle(seq)
+
+    def randbytes(self, n):
+        """n random bytes."""
+        return self._rng.randbytes(n)
+
+    def zipf_index(self, n, theta=0.99):
+        """Index in [0, n) drawn from a Zipf-like (YCSB-style) skew.
+
+        Uses the standard inverse-CDF approximation over harmonic sums,
+        cached per (n, theta).
+        """
+        key = (n, theta)
+        cache = getattr(self, "_zipf_cache", None)
+        if cache is None:
+            cache = {}
+            self._zipf_cache = cache
+        cdf = cache.get(key)
+        if cdf is None:
+            weights = [1.0 / ((i + 1) ** theta) for i in range(n)]
+            total = sum(weights)
+            acc = 0.0
+            cdf = []
+            for w in weights:
+                acc += w / total
+                cdf.append(acc)
+            cache[key] = cdf
+        target = self._rng.random()
+        lo, hi = 0, n - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cdf[mid] < target:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo

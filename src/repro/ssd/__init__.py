@@ -1,0 +1,28 @@
+"""Simulated solid-state-disk substrate.
+
+The paper's appliance is built from consumer MLC SATA SSDs whose
+behavioural quirks (random-write penalties, erase-induced read stalls,
+finite program/erase endurance) drive most of Purity's design. This
+package reproduces those behaviours: :class:`SimulatedSSD` stores real
+bytes and charges simulated time for every operation, with an
+:class:`~repro.ssd.ftl.FlashTranslationLayer` model that punishes random
+writes and a :class:`~repro.ssd.wear.WearTracker` that ages erase blocks.
+"""
+
+from repro.ssd.geometry import SSDGeometry
+from repro.ssd.store import SparseByteStore
+from repro.ssd.ftl import FlashTranslationLayer
+from repro.ssd.wear import WearTracker
+from repro.ssd.device import SimulatedSSD
+from repro.ssd.nvram import NVRAMDevice
+from repro.ssd.shelf import Shelf
+
+__all__ = [
+    "SSDGeometry",
+    "SparseByteStore",
+    "FlashTranslationLayer",
+    "WearTracker",
+    "SimulatedSSD",
+    "NVRAMDevice",
+    "Shelf",
+]

@@ -1,0 +1,86 @@
+"""SSD geometry: dies, erase blocks, and pages (paper Figure 1).
+
+An SSD is a set of flash dies that operate in parallel; each die is a
+column of erase blocks, each erase block a run of pages. Pages are the
+minimum read/write unit and erase blocks the minimum erase unit. The
+geometry maps byte offsets to (die, erase block, page) so the device
+model can serialize operations that contend on the same die.
+"""
+
+from dataclasses import dataclass
+
+from repro.units import KIB, MIB
+
+
+@dataclass(frozen=True)
+class SSDGeometry:
+    """Physical layout parameters of a simulated SSD.
+
+    Defaults follow Section 2.1: pages of 512–4096 bytes (we use 4 KiB),
+    erase blocks of 2–16 MiB (we use 2 MiB), and enough independent dies
+    that the drive needs a read queue depth around 32 for peak
+    throughput.
+    """
+
+    capacity_bytes: int = 256 * MIB
+    page_size: int = 4 * KIB
+    erase_block_size: int = 2 * MIB
+    num_dies: int = 32
+
+    def __post_init__(self):
+        if self.page_size <= 0 or self.erase_block_size <= 0:
+            raise ValueError("page and erase block sizes must be positive")
+        if self.erase_block_size % self.page_size:
+            raise ValueError("erase block size must be a multiple of page size")
+        if self.capacity_bytes % self.erase_block_size:
+            raise ValueError("capacity must be a whole number of erase blocks")
+        if self.num_dies <= 0:
+            raise ValueError("num_dies must be positive")
+
+    @property
+    def pages_per_erase_block(self):
+        """Pages in one erase block."""
+        return self.erase_block_size // self.page_size
+
+    @property
+    def num_erase_blocks(self):
+        """Total erase blocks on the device."""
+        return self.capacity_bytes // self.erase_block_size
+
+    def check_range(self, offset, nbytes):
+        """Validate that [offset, offset+nbytes) lies on the device."""
+        if offset < 0 or nbytes < 0:
+            raise ValueError("negative offset or length")
+        if offset + nbytes > self.capacity_bytes:
+            raise ValueError(
+                "range [%d, %d) exceeds capacity %d"
+                % (offset, offset + nbytes, self.capacity_bytes)
+            )
+
+    def erase_block_of(self, offset):
+        """Index of the erase block containing ``offset``."""
+        return offset // self.erase_block_size
+
+    def die_of(self, offset):
+        """Die servicing ``offset``; erase blocks round-robin over dies."""
+        return self.erase_block_of(offset) % self.num_dies
+
+    def page_of(self, offset):
+        """Device-wide page index containing ``offset``."""
+        return offset // self.page_size
+
+    def pages_spanned(self, offset, nbytes):
+        """Number of pages touched by the byte range."""
+        if nbytes == 0:
+            return 0
+        first = self.page_of(offset)
+        last = self.page_of(offset + nbytes - 1)
+        return last - first + 1
+
+    def erase_blocks_spanned(self, offset, nbytes):
+        """Erase-block indexes touched by the byte range."""
+        if nbytes == 0:
+            return []
+        first = self.erase_block_of(offset)
+        last = self.erase_block_of(offset + nbytes - 1)
+        return list(range(first, last + 1))

@@ -1,0 +1,115 @@
+"""The shelf "NVRAM" device.
+
+Section 4.1: when Purity launched, true NVRAM was unavailable, so the
+shelves carry an extremely high-performance SLC flash part with bounded
+latency and a large P/E budget; the paper calls it NVRAM throughout and
+so do we. It lives on the shelf (not in a controller) so controllers
+stay stateless, and it is dual-ported via the interposers so the
+surviving controller can read it after a failover.
+
+The model is an append-only record log with low, bounded append latency
+and explicit trim; the commit path (Figure 4) appends fact batches here
+and acknowledges the client, while the segment writer later moves the
+facts into segios and trims.
+"""
+
+from dataclasses import dataclass
+
+from repro.errors import DeviceFailedError, OutOfSpaceError
+from repro.units import MIB, MICROSECOND
+
+
+@dataclass(frozen=True)
+class NVRAMTiming:
+    """Service-time parameters for the SLC commit device."""
+
+    append_base: float = 15 * MICROSECOND
+    append_bandwidth: float = 700 * MIB
+    read_base: float = 20 * MICROSECOND
+
+
+class NVRAMDevice:
+    """Append-only low-latency persistent record log."""
+
+    def __init__(self, name, clock, capacity_bytes=8 * MIB, timing=None):
+        self.name = name
+        self.clock = clock
+        self.capacity_bytes = capacity_bytes
+        self.timing = timing or NVRAMTiming()
+        self.failed = False
+        self._records = []  # list of (record_id, payload bytes)
+        self._next_record_id = 0
+        self._bytes_used = 0
+        self._busy_until = 0.0
+        self.appends = 0
+        self.trims = 0
+
+    def _check_alive(self):
+        if self.failed:
+            raise DeviceFailedError("NVRAM %s has failed" % self.name)
+
+    @property
+    def bytes_used(self):
+        """Bytes of live (untrimmed) records."""
+        return self._bytes_used
+
+    @property
+    def last_record_id(self):
+        """Highest record id ever issued (-1 if none)."""
+        return self._next_record_id - 1
+
+    @property
+    def record_count(self):
+        """Number of live records."""
+        return len(self._records)
+
+    def fail(self):
+        """Mark the device failed; contents are lost."""
+        self.failed = True
+        self._records.clear()
+        self._bytes_used = 0
+
+    def append(self, payload):
+        """Persist one record; returns (record_id, latency seconds)."""
+        self._check_alive()
+        nbytes = len(payload)
+        if self._bytes_used + nbytes > self.capacity_bytes:
+            raise OutOfSpaceError(
+                "NVRAM %s full: %d used + %d > %d capacity"
+                % (self.name, self._bytes_used, nbytes, self.capacity_bytes)
+            )
+        now = self.clock.now
+        service = self.timing.append_base + nbytes / self.timing.append_bandwidth
+        begin = max(now, self._busy_until)
+        self._busy_until = begin + service
+        record_id = self._next_record_id
+        self._next_record_id += 1
+        self._records.append((record_id, bytes(payload)))
+        self._bytes_used += nbytes
+        self.appends += 1
+        return record_id, self._busy_until - now
+
+    def scan(self):
+        """Return all live records as (record_id, payload), plus latency.
+
+        Used by recovery; the device is small so a full scan is cheap.
+        """
+        self._check_alive()
+        total = self._bytes_used
+        latency = self.timing.read_base + total / self.timing.append_bandwidth
+        return list(self._records), latency
+
+    def trim(self, upto_record_id):
+        """Drop records with id <= ``upto_record_id`` (segment writer done)."""
+        self._check_alive()
+        kept = []
+        freed = 0
+        for record_id, payload in self._records:
+            if record_id <= upto_record_id:
+                freed += len(payload)
+            else:
+                kept.append((record_id, payload))
+        self._records = kept
+        self._bytes_used -= freed
+        self.trims += 1
+        return freed

@@ -1,0 +1,78 @@
+"""Drive shelves (paper Figure 2).
+
+A shelf holds 11–24 MLC SSDs behind SAS interposers plus the NVRAM
+devices. The interposers dual-port every device: both controllers can
+reach them, so when a controller fails the survivor immediately owns
+the drives. In the simulation this simply means both controller objects
+hold references to the same shelf.
+"""
+
+from repro.ssd.device import SimulatedSSD
+from repro.ssd.nvram import NVRAMDevice
+
+
+class Shelf:
+    """A dual-ported enclosure of SSDs and NVRAM devices."""
+
+    MIN_DRIVES = 11
+    MAX_DRIVES = 24
+
+    def __init__(self, name, clock, stream, num_drives=11, geometry=None,
+                 timing=None, rated_pe_cycles=3000, nvram_capacity=None):
+        if not self.MIN_DRIVES <= num_drives <= self.MAX_DRIVES:
+            raise ValueError(
+                "shelves hold %d-%d drives, got %d"
+                % (self.MIN_DRIVES, self.MAX_DRIVES, num_drives)
+            )
+        self.name = name
+        self.clock = clock
+        self.drives = []
+        for index in range(num_drives):
+            drive_name = "%s/ssd%02d" % (name, index)
+            drive = SimulatedSSD(
+                drive_name,
+                clock,
+                stream.fork(drive_name),
+                geometry=geometry,
+                timing=timing,
+                rated_pe_cycles=rated_pe_cycles,
+            )
+            self.drives.append(drive)
+        nvram_kwargs = {}
+        if nvram_capacity is not None:
+            nvram_kwargs["capacity_bytes"] = nvram_capacity
+        self.nvram = NVRAMDevice("%s/nvram" % name, clock, **nvram_kwargs)
+
+    @property
+    def alive_drives(self):
+        """Drives that have not failed."""
+        return [drive for drive in self.drives if not drive.failed]
+
+    @property
+    def raw_capacity_bytes(self):
+        """Sum of raw capacity across alive drives."""
+        return sum(drive.capacity_bytes for drive in self.alive_drives)
+
+    def drive_by_name(self, name):
+        """Find a drive by its full name; raises KeyError if absent."""
+        for drive in self.drives:
+            if drive.name == name:
+                return drive
+        raise KeyError(name)
+
+    def replace_drive(self, index, stream):
+        """Swap a (typically failed) drive for a fresh one; returns it.
+
+        Models the four-hour-SLA hardware replacement from Section 5.1.
+        """
+        old = self.drives[index]
+        replacement = SimulatedSSD(
+            old.name + "'",
+            self.clock,
+            stream.fork(old.name + "-replacement"),
+            geometry=old.geometry,
+            timing=old.timing,
+            rated_pe_cycles=old.wear.rated_pe_cycles,
+        )
+        self.drives[index] = replacement
+        return replacement

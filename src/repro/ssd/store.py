@@ -1,0 +1,134 @@
+"""Sparse byte store backing the simulated devices.
+
+Stores written extents as (start, bytearray) runs kept sorted by start
+offset. Reads assemble data across runs, zero-filling gaps (flash reads
+of never-written pages return deterministic data in practice; zeros are
+a faithful stand-in). Overlapping writes split or truncate existing
+runs, and discard punches holes.
+
+Purity's own write pattern is append-only within 8 MiB allocation
+units, so runs stay few and large; the store nevertheless handles
+arbitrary overlap so tests and baselines can use it too.
+"""
+
+import bisect
+
+
+class SparseByteStore:
+    """A sparse, writable byte address space."""
+
+    def __init__(self):
+        self._starts = []  # sorted run start offsets
+        self._runs = {}  # start offset -> bytearray
+
+    def __len__(self):
+        """Total bytes currently stored (excludes holes)."""
+        return sum(len(run) for run in self._runs.values())
+
+    @property
+    def run_count(self):
+        """Number of distinct stored runs (fragmentation indicator)."""
+        return len(self._starts)
+
+    def write(self, offset, data):
+        """Write ``data`` at ``offset``, replacing anything beneath it."""
+        if offset < 0:
+            raise ValueError("negative offset")
+        if not data:
+            return
+        self.discard(offset, len(data))
+        # Coalesce with a run that ends exactly where this write begins.
+        index = bisect.bisect_right(self._starts, offset) - 1
+        if index >= 0:
+            prev_start = self._starts[index]
+            prev_run = self._runs[prev_start]
+            if prev_start + len(prev_run) == offset:
+                prev_run.extend(data)
+                self._maybe_merge_next(index)
+                return
+        bisect.insort(self._starts, offset)
+        self._runs[offset] = bytearray(data)
+        index = self._starts.index(offset)
+        self._maybe_merge_next(index)
+
+    def _maybe_merge_next(self, index):
+        """Merge run at ``index`` with its successor if they now abut."""
+        if index + 1 >= len(self._starts):
+            return
+        start = self._starts[index]
+        run = self._runs[start]
+        next_start = self._starts[index + 1]
+        if start + len(run) == next_start:
+            run.extend(self._runs.pop(next_start))
+            del self._starts[index + 1]
+
+    def read(self, offset, nbytes):
+        """Read ``nbytes`` at ``offset``; holes read as zero bytes."""
+        if offset < 0 or nbytes < 0:
+            raise ValueError("negative offset or length")
+        if nbytes == 0:
+            return b""
+        out = bytearray(nbytes)
+        end = offset + nbytes
+        index = bisect.bisect_right(self._starts, offset) - 1
+        if index < 0:
+            index = 0
+        while index < len(self._starts):
+            start = self._starts[index]
+            if start >= end:
+                break
+            run = self._runs[start]
+            run_end = start + len(run)
+            if run_end <= offset:
+                index += 1
+                continue
+            copy_from = max(start, offset)
+            copy_to = min(run_end, end)
+            out[copy_from - offset : copy_to - offset] = run[
+                copy_from - start : copy_to - start
+            ]
+            index += 1
+        return bytes(out)
+
+    def discard(self, offset, nbytes):
+        """Punch a hole over [offset, offset+nbytes)."""
+        if offset < 0 or nbytes < 0:
+            raise ValueError("negative offset or length")
+        if nbytes == 0:
+            return
+        end = offset + nbytes
+        index = bisect.bisect_right(self._starts, offset) - 1
+        if index < 0:
+            index = 0
+        while index < len(self._starts):
+            start = self._starts[index]
+            if start >= end:
+                break
+            run = self._runs[start]
+            run_end = start + len(run)
+            if run_end <= offset:
+                index += 1
+                continue
+            # The run overlaps the hole; remove it and re-add survivors.
+            del self._starts[index]
+            del self._runs[start]
+            if start < offset:
+                head = run[: offset - start]
+                bisect.insort(self._starts, start)
+                self._runs[start] = bytearray(head)
+                index = self._starts.index(start) + 1
+            if run_end > end:
+                tail = run[end - start :]
+                bisect.insort(self._starts, end)
+                self._runs[end] = bytearray(tail)
+                break
+
+    def clear(self):
+        """Drop all stored data."""
+        self._starts.clear()
+        self._runs.clear()
+
+    def extents(self):
+        """Yield (start, length) for each stored run, in offset order."""
+        for start in self._starts:
+            yield start, len(self._runs[start])

@@ -1,0 +1,75 @@
+"""Program/erase wear tracking and retention model.
+
+Section 2.1: consumer MLC supports roughly 3000–5000 P/E cycles.
+Section 5.1: worn flash does not fail catastrophically — it "simply
+begins losing pages", because old cells leak charge faster, and the
+rated endurance assumes a year of unpowered retention. Data rewritten
+frequently (as Purity's scrubber ensures) stays readable far past the
+rated cycle count.
+
+The model captures exactly that: each erase block has a P/E count; a
+page read fails with a probability that grows with both the block's
+wear and the time since the page was last programmed.
+"""
+
+
+class WearTracker:
+    """Per-erase-block wear state for one SSD."""
+
+    #: Retention the P/E rating assumes (Section 5.1: one year, in
+    #: simulated seconds).
+    RATED_RETENTION_SECONDS = 365.0 * 24 * 3600
+
+    def __init__(self, geometry, rated_pe_cycles=3000):
+        self.geometry = geometry
+        self.rated_pe_cycles = int(rated_pe_cycles)
+        self._pe_counts = {}
+        self._program_times = {}
+        self.total_erases = 0
+
+    def pe_count(self, erase_block):
+        """P/E cycles consumed by one erase block."""
+        return self._pe_counts.get(erase_block, 0)
+
+    def max_pe_count(self):
+        """Highest P/E count across the device (0 if never erased)."""
+        return max(self._pe_counts.values(), default=0)
+
+    def mean_pe_count(self):
+        """Mean P/E count across all erase blocks, counting untouched ones."""
+        total = sum(self._pe_counts.values())
+        return total / self.geometry.num_erase_blocks
+
+    def note_erase(self, erase_block, now):
+        """Record an erase of ``erase_block`` at simulated time ``now``."""
+        self._pe_counts[erase_block] = self._pe_counts.get(erase_block, 0) + 1
+        self._program_times.pop(erase_block, None)
+        self.total_erases += 1
+
+    def note_program(self, erase_block, now):
+        """Record that data was programmed into ``erase_block`` at ``now``."""
+        self._program_times[erase_block] = now
+
+    def wear_fraction(self, erase_block):
+        """Wear of a block relative to its rating (can exceed 1.0)."""
+        return self.pe_count(erase_block) / self.rated_pe_cycles
+
+    def page_loss_probability(self, erase_block, now):
+        """Probability a page read from this block is uncorrectable.
+
+        Zero while the block is inside its rated wear. Past the rating,
+        the probability scales with excess wear and with the fraction of
+        rated retention that has elapsed since the block was programmed,
+        reproducing the paper's observation that frequent rewriting
+        (scrubbing) keeps worn flash healthy.
+        """
+        wear = self.wear_fraction(erase_block)
+        if wear <= 1.0:
+            return 0.0
+        programmed_at = self._program_times.get(erase_block)
+        if programmed_at is None:
+            return 0.0
+        age = max(0.0, now - programmed_at)
+        retention_fraction = min(1.0, age / self.RATED_RETENTION_SECONDS)
+        excess = wear - 1.0
+        return min(0.5, excess * retention_fraction)

@@ -1,0 +1,59 @@
+"""Size and time unit constants used throughout the reproduction.
+
+All sizes are in bytes and all simulated times are in seconds (floats).
+The constants mirror the geometry the paper reports: 512 B sectors,
+cblocks up to 32 KiB, 1 MiB write units, 8 MiB allocation units.
+"""
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+TIB = 1024 * GIB
+
+#: Minimum unit of deduplication and compression (Section 4.6).
+SECTOR = 512
+
+#: Maximum cblock payload; cblocks are sized to match application writes
+#: up to this bound (Section 4.6).
+MAX_CBLOCK = 32 * KIB
+
+#: Write unit: each SSD in a segment is written atomically in these
+#: (Section 4.2).
+WRITE_UNIT = 1 * MIB
+
+#: Allocation unit: minimum allocation granularity per SSD (Section 4.2).
+ALLOCATION_UNIT = 8 * MIB
+
+MICROSECOND = 1e-6
+MILLISECOND = 1e-3
+
+
+def sectors(nbytes):
+    """Number of 512 B sectors needed to hold ``nbytes`` (rounded up)."""
+    return (nbytes + SECTOR - 1) // SECTOR
+
+
+def align_up(value, alignment):
+    """Round ``value`` up to the next multiple of ``alignment``."""
+    if alignment <= 0:
+        raise ValueError("alignment must be positive, got %r" % alignment)
+    return ((value + alignment - 1) // alignment) * alignment
+
+
+def align_down(value, alignment):
+    """Round ``value`` down to the previous multiple of ``alignment``."""
+    if alignment <= 0:
+        raise ValueError("alignment must be positive, got %r" % alignment)
+    return (value // alignment) * alignment
+
+
+def format_bytes(nbytes):
+    """Render a byte count as a human-readable string (binary units)."""
+    value = float(nbytes)
+    for suffix in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if value < 1024 or suffix == "TiB":
+            if suffix == "B":
+                return "%d %s" % (int(value), suffix)
+            return "%.2f %s" % (value, suffix)
+        value /= 1024
+    raise AssertionError("unreachable")

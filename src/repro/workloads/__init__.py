@@ -1,0 +1,34 @@
+"""Workload generators.
+
+The paper's data-reduction and performance numbers come from customer
+telemetry: relational databases reduce 3-8x, document stores ~10x,
+virtualization 5-10x, VDI fleets 20x+; I/O requests average ~55 KiB.
+These generators synthesize workloads with the same *redundancy
+structure* (repeated page headers, cloned images, skewed updates) so
+the engine has to earn its reduction ratios through its own dedup and
+compression path.
+"""
+
+from repro.workloads.base import IOOperation, IOTrace, OpKind
+from repro.workloads.datagen import DataGenerator, DataProfile
+from repro.workloads.ycsb import YCSBConfig, YCSBWorkload, YCSB_MIXES
+from repro.workloads.oltp import OLTPConfig, OLTPWorkload
+from repro.workloads.docstore import DocStoreConfig, DocStoreWorkload
+from repro.workloads.vdi import VDIConfig, VDIWorkload
+
+__all__ = [
+    "OpKind",
+    "IOOperation",
+    "IOTrace",
+    "DataProfile",
+    "DataGenerator",
+    "YCSBConfig",
+    "YCSBWorkload",
+    "YCSB_MIXES",
+    "OLTPConfig",
+    "OLTPWorkload",
+    "DocStoreConfig",
+    "DocStoreWorkload",
+    "VDIConfig",
+    "VDIWorkload",
+]

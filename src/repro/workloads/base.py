@@ -1,0 +1,86 @@
+"""Workload abstractions: operations, traces, and the driver loop."""
+
+import enum
+from dataclasses import dataclass
+
+
+class OpKind(enum.Enum):
+    """The I/O operation classes arrays serve."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class IOOperation:
+    """One array operation a workload emits."""
+
+    kind: OpKind
+    volume: str
+    offset: int
+    length: int = 0
+    data: bytes = b""
+
+    def __post_init__(self):
+        if self.kind is OpKind.WRITE and not self.data:
+            raise ValueError("write operations carry data")
+        if self.kind is OpKind.READ and self.length <= 0:
+            raise ValueError("read operations need a positive length")
+
+
+class IOTrace:
+    """A finite recorded sequence of operations plus summary stats."""
+
+    def __init__(self, operations=()):
+        self.operations = list(operations)
+
+    def __len__(self):
+        return len(self.operations)
+
+    def __iter__(self):
+        return iter(self.operations)
+
+    def append(self, operation):
+        self.operations.append(operation)
+
+    @property
+    def bytes_written(self):
+        return sum(
+            len(op.data) for op in self.operations if op.kind is OpKind.WRITE
+        )
+
+    @property
+    def bytes_read(self):
+        return sum(
+            op.length for op in self.operations if op.kind is OpKind.READ
+        )
+
+    @property
+    def mean_io_size(self):
+        """Mean transfer size across all operations (paper: ~55 KiB)."""
+        sizes = [
+            len(op.data) if op.kind is OpKind.WRITE else op.length
+            for op in self.operations
+        ]
+        if not sizes:
+            return 0.0
+        return sum(sizes) / len(sizes)
+
+
+def run_trace(array, trace, advance_clock=True):
+    """Drive a trace against an array; returns (read latencies, write
+    latencies) in operation order."""
+    read_latencies = []
+    write_latencies = []
+    for op in trace:
+        if op.kind is OpKind.WRITE:
+            latency = array.write(
+                op.volume, op.offset, op.data, advance_clock=advance_clock
+            )
+            write_latencies.append(latency)
+        else:
+            _data, latency = array.read(
+                op.volume, op.offset, op.length, advance_clock=advance_clock
+            )
+            read_latencies.append(latency)
+    return read_latencies, write_latencies

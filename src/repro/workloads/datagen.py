@@ -1,0 +1,102 @@
+"""Synthetic data with controlled compressibility and duplication.
+
+Reduction ratios must be *earned* by the engine, so the generator
+controls two orthogonal knobs:
+
+* ``compressibility`` — fraction of each block that is low-entropy
+  structure (repeated tokens, zero padding) versus random payload;
+* ``dup_fraction`` — probability that a generated block repeats one of
+  the last ``dup_pool`` blocks exactly (what deduplication catches).
+
+Profiles approximating the paper's workload classes are provided.
+"""
+
+from dataclasses import dataclass
+
+from repro.units import SECTOR
+
+
+@dataclass(frozen=True)
+class DataProfile:
+    """The redundancy structure of one workload class."""
+
+    name: str
+    compressibility: float  # 0 = pure entropy, 1 = pure structure
+    dup_fraction: float  # probability a block duplicates a recent one
+    dup_pool: int = 256  # how far back duplicates reach
+
+    def __post_init__(self):
+        if not 0.0 <= self.compressibility <= 1.0:
+            raise ValueError("compressibility must be in [0, 1]")
+        if not 0.0 <= self.dup_fraction < 1.0:
+            raise ValueError("dup_fraction must be in [0, 1)")
+
+
+#: Paper-aligned profiles: RDBMS 3-8x, document stores ~10x, VDI 20x+.
+PROFILES = {
+    "incompressible": DataProfile("incompressible", 0.0, 0.0),
+    "rdbms": DataProfile("rdbms", 0.75, 0.12),
+    "docstore": DataProfile("docstore", 0.85, 0.30),
+    "virtualization": DataProfile("virtualization", 0.75, 0.50),
+    "vdi": DataProfile("vdi", 0.75, 0.85, dup_pool=64),
+}
+
+
+class DataGenerator:
+    """Produces sector-aligned blocks matching a :class:`DataProfile`."""
+
+    def __init__(self, profile, stream, block_size=4096):
+        if block_size % SECTOR:
+            raise ValueError("block size must be a sector multiple")
+        if isinstance(profile, str):
+            profile = PROFILES[profile]
+        self.profile = profile
+        self.stream = stream
+        self.block_size = block_size
+        self._pool = []
+        self._token_cycle = 0
+
+    def _structured_bytes(self, length):
+        """Low-entropy filler: repeated header-ish tokens."""
+        self._token_cycle += 1
+        token = b"field=%06d;pad....;" % (self._token_cycle % 50)
+        repeated = token * (length // len(token) + 1)
+        return repeated[:length]
+
+    def _fresh_block(self):
+        structured = int(self.block_size * self.profile.compressibility)
+        random_part = self.stream.randbytes(self.block_size - structured)
+        return self._structured_bytes(structured) + random_part
+
+    def block(self):
+        """One block: either a duplicate of a pooled block or fresh."""
+        if self._pool and self.stream.random() < self.profile.dup_fraction:
+            return self.stream.choice(self._pool)
+        block = self._fresh_block()
+        self._pool.append(block)
+        if len(self._pool) > self.profile.dup_pool:
+            self._pool.pop(0)
+        return block
+
+    def buffer(self, nbytes):
+        """``nbytes`` of profile-shaped data (block-size granularity)."""
+        if nbytes % self.block_size:
+            raise ValueError(
+                "buffer size %d is not a multiple of block size %d"
+                % (nbytes, self.block_size)
+            )
+        return b"".join(self.block() for _ in range(nbytes // self.block_size))
+
+
+def paper_io_size_mix(stream):
+    """One transfer size from a mix averaging ~55 KiB (Section 4.6).
+
+    Small metadata-ish I/Os, dominant 32-64 KiB database transfers, and
+    occasional large prefetch runs.
+    """
+    roll = stream.random()
+    if roll < 0.25:
+        return stream.choice([4096, 8192, 16384])
+    if roll < 0.85:
+        return stream.choice([32768, 65536])
+    return stream.choice([131072, 262144])

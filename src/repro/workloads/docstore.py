@@ -1,0 +1,115 @@
+"""A document-store (MongoDB-style) workload.
+
+Documents are verbose, self-describing, and repetitive — the paper
+reports ~10x reduction for document stores. The generator emits batches
+of JSON-shaped documents with shared schema vocabulary (compression
+feast) and frequent near-identical documents (dedup feast), written in
+large sequential batches as storage engines do.
+"""
+
+from dataclasses import dataclass
+
+from repro.units import KIB, SECTOR, align_up
+from repro.workloads.base import IOOperation, IOTrace, OpKind
+
+
+@dataclass(frozen=True)
+class DocStoreConfig:
+    """Parameters of one simulated document collection."""
+
+    document_size: int = 2 * KIB
+    documents_per_batch: int = 32
+    batch_count: int = 32
+    #: Fraction of documents that are boilerplate copies of a template.
+    template_fraction: float = 0.6
+    read_fraction: float = 0.5
+
+
+class DocStoreWorkload:
+    """Generates collection loads and mixed operations."""
+
+    def __init__(self, config, stream, volume="docs"):
+        self.config = config
+        self.stream = stream
+        self.volume = volume
+        self._templates = [self._fresh_document(i) for i in range(8)]
+        self._written_batches = 0
+
+    def _fresh_document(self, doc_id):
+        body = (
+            b'{"_id": "%016x", "type": "order", "status": "open", '
+            b'"customer": {"region": "us-west", "tier": "gold"}, '
+            b'"lines": [{"sku": "%08d", "qty": 1, "price": 9.99}], '
+            b'"audit": {"created_by": "svc", "notes": "%s"}}'
+        ) % (doc_id, doc_id % 10 ** 8, b"n" * 64)
+        padded = body + b" " * (self.config.document_size - len(body) % self.config.document_size)
+        return padded[: self.config.document_size]
+
+    def _document(self, doc_id):
+        if self.stream.random() < self.config.template_fraction:
+            return self.stream.choice(self._templates)
+        return self._fresh_document(doc_id)
+
+    @property
+    def batch_bytes(self):
+        raw = self.config.document_size * self.config.documents_per_batch
+        return align_up(raw, SECTOR)
+
+    @property
+    def volume_size(self):
+        return self.batch_bytes * self.config.batch_count * 2
+
+    def _batch_payload(self, batch_index):
+        docs = b"".join(
+            self._document(batch_index * 1000 + i)
+            for i in range(self.config.documents_per_batch)
+        )
+        return docs + b"\x00" * (self.batch_bytes - len(docs))
+
+    def load_trace(self):
+        """Bulk-load the collection."""
+        trace = IOTrace()
+        for batch in range(self.config.batch_count):
+            trace.append(
+                IOOperation(
+                    kind=OpKind.WRITE,
+                    volume=self.volume,
+                    offset=batch * self.batch_bytes,
+                    data=self._batch_payload(batch),
+                )
+            )
+        self._written_batches = self.config.batch_count
+        return trace
+
+    def run_trace(self, operations):
+        """Mixed batch reads and new batch appends.
+
+        Appends stop at the volume's end; once full, remaining
+        operations become reads.
+        """
+        max_batches = self.volume_size // self.batch_bytes
+        trace = IOTrace()
+        for _ in range(operations):
+            full = self._written_batches >= max_batches
+            if full or self.stream.random() < self.config.read_fraction:
+                batch = self.stream.randint(0, self._written_batches - 1)
+                trace.append(
+                    IOOperation(
+                        kind=OpKind.READ,
+                        volume=self.volume,
+                        offset=batch * self.batch_bytes,
+                        length=self.batch_bytes,
+                    )
+                )
+            else:
+                batch = self._written_batches
+                self._written_batches += 1
+                trace.append(
+                    IOOperation(
+                        kind=OpKind.WRITE,
+                        volume=self.volume,
+                        offset=batch * self.batch_bytes,
+                        data=self._batch_payload(batch),
+                    )
+                )
+        return trace

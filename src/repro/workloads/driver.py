@@ -1,0 +1,78 @@
+"""Open-loop workload driving over the discrete-event loop.
+
+Closed-loop drivers (``run_trace``) issue the next operation when the
+previous acknowledges — fine for correctness, wrong for tail-latency
+claims, where what matters is how the array behaves under an *arrival
+process* it does not control. :class:`OpenLoopDriver` schedules
+operations at exponential (Poisson) interarrival times on the shared
+simulation clock and records each operation's acknowledged latency.
+
+The paper's "typical installations have 99.9 % latencies under 1 ms" is
+a statement about exactly this regime: offered load comfortably below
+saturation.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.sim.events import EventLoop
+from repro.workloads.base import OpKind
+
+
+@dataclass
+class DriveResult:
+    """Latencies collected by one open-loop run."""
+
+    read_latencies: list = field(default_factory=list)
+    write_latencies: list = field(default_factory=list)
+    operations: int = 0
+    elapsed: float = 0.0
+
+    @property
+    def offered_rate(self):
+        """Operations per second the driver actually offered."""
+        if self.elapsed <= 0:
+            return 0.0
+        return self.operations / self.elapsed
+
+
+class OpenLoopDriver:
+    """Issues a trace at a Poisson arrival rate against one array."""
+
+    def __init__(self, array, arrival_rate, stream):
+        if arrival_rate <= 0:
+            raise ValueError("arrival rate must be positive")
+        self.array = array
+        self.arrival_rate = arrival_rate
+        self.stream = stream
+
+    def run(self, trace):
+        """Drive every operation of ``trace``; returns a DriveResult.
+
+        Operations are scheduled at their arrival times on the array's
+        clock; each executes without advancing the clock itself (the
+        event loop owns time), so concurrent arrivals contend on the
+        simulated devices exactly as an open system would.
+        """
+        loop = EventLoop(self.array.clock)
+        result = DriveResult()
+        start = self.array.clock.now
+        arrival = start
+        for op in trace:
+            arrival += self.stream.expovariate(self.arrival_rate)
+            loop.call_at(arrival, self._execute, op, result)
+        loop.run()
+        result.elapsed = max(self.array.clock.now - start, arrival - start)
+        return result
+
+    def _execute(self, op, result):
+        if op.kind is OpKind.WRITE:
+            latency = self.array.write(
+                op.volume, op.offset, op.data, advance_clock=False
+            )
+            result.write_latencies.append(latency)
+        else:
+            _data, latency = self.array.read(
+                op.volume, op.offset, op.length, advance_clock=False
+            )
+            result.read_latencies.append(latency)
+        result.operations += 1

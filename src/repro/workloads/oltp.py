@@ -1,0 +1,122 @@
+"""An OLTP / relational-database page workload.
+
+Models the I/O shape of the paper's flagship customer workload (Oracle,
+SQL Server): fixed-size pages with structured headers updated under a
+Zipf skew, a sequential redo log with its own transfer size, and
+prefetch-style multi-page reads — the behaviour that defeats per-volume
+block-size tuning (Section 4.6) and reduces 3-8x (Section 5.2).
+"""
+
+from dataclasses import dataclass
+
+from repro.units import KIB
+from repro.workloads.base import IOOperation, IOTrace, OpKind
+from repro.workloads.datagen import DataGenerator
+
+
+@dataclass(frozen=True)
+class OLTPConfig:
+    """Parameters of one simulated database instance."""
+
+    page_size: int = 8 * KIB
+    page_count: int = 512
+    log_write_size: int = 32 * KIB
+    log_region_pages: int = 128
+    read_fraction: float = 0.70
+    log_write_fraction: float = 0.25  # of writes
+    prefetch_pages: int = 4
+    prefetch_probability: float = 0.3
+    zipf_theta: float = 0.9
+    data_profile: str = "rdbms"
+
+
+class OLTPWorkload:
+    """Generates database-shaped traces over one volume."""
+
+    def __init__(self, config, stream, volume="oltp"):
+        self.config = config
+        self.stream = stream
+        self.volume = volume
+        self.generator = DataGenerator(
+            config.data_profile, stream.fork("pages"),
+            block_size=config.page_size,
+        )
+        self.log_generator = DataGenerator(
+            "rdbms", stream.fork("log"), block_size=4096
+        )
+        self._log_cursor = 0
+
+    @property
+    def data_region_bytes(self):
+        return self.config.page_count * self.config.page_size
+
+    @property
+    def log_region_bytes(self):
+        return self.config.log_region_pages * self.config.log_write_size
+
+    @property
+    def volume_size(self):
+        return self.data_region_bytes + self.log_region_bytes
+
+    def _page_offset(self, page):
+        return page * self.config.page_size
+
+    def _log_write(self):
+        offset = self.data_region_bytes + self._log_cursor
+        self._log_cursor = (
+            self._log_cursor + self.config.log_write_size
+        ) % self.log_region_bytes
+        return IOOperation(
+            kind=OpKind.WRITE,
+            volume=self.volume,
+            offset=offset,
+            data=self.log_generator.buffer(self.config.log_write_size),
+        )
+
+    def load_trace(self):
+        """Populate every data page once."""
+        trace = IOTrace()
+        for page in range(self.config.page_count):
+            trace.append(
+                IOOperation(
+                    kind=OpKind.WRITE,
+                    volume=self.volume,
+                    offset=self._page_offset(page),
+                    data=self.generator.buffer(self.config.page_size),
+                )
+            )
+        return trace
+
+    def run_trace(self, operations):
+        """``operations`` of mixed page reads, page writes, log writes."""
+        config = self.config
+        trace = IOTrace()
+        for _ in range(operations):
+            if self.stream.random() < config.read_fraction:
+                page = self.stream.zipf_index(config.page_count, config.zipf_theta)
+                pages = 1
+                if self.stream.random() < config.prefetch_probability:
+                    pages = min(
+                        config.prefetch_pages, config.page_count - page
+                    )
+                trace.append(
+                    IOOperation(
+                        kind=OpKind.READ,
+                        volume=self.volume,
+                        offset=self._page_offset(page),
+                        length=pages * config.page_size,
+                    )
+                )
+            elif self.stream.random() < config.log_write_fraction:
+                trace.append(self._log_write())
+            else:
+                page = self.stream.zipf_index(config.page_count, config.zipf_theta)
+                trace.append(
+                    IOOperation(
+                        kind=OpKind.WRITE,
+                        volume=self.volume,
+                        offset=self._page_offset(page),
+                        data=self.generator.buffer(config.page_size),
+                    )
+                )
+        return trace

@@ -1,0 +1,120 @@
+"""A virtual-desktop (VDI) fleet workload.
+
+Section 5.3: thousands of near-identical virtual machine images —
+cash registers, terminals, standardized desktops — deduplicate at 20x
+or better. The generator builds one gold OS image, "boots" many
+desktops from it (each image differs only in small per-machine deltas),
+and then applies a software update that rewrites the same blocks in
+every image (which Purity re-deduplicates across the fleet).
+"""
+
+from dataclasses import dataclass
+
+from repro.units import KIB
+from repro.workloads.base import IOOperation, IOTrace, OpKind
+from repro.workloads.datagen import DataGenerator
+
+
+@dataclass(frozen=True)
+class VDIConfig:
+    """Parameters of one simulated desktop fleet."""
+
+    image_blocks: int = 24  # blocks per OS image
+    block_size: int = 16 * KIB
+    desktop_count: int = 12
+    #: Fraction of each desktop's image that diverges from gold.
+    delta_fraction: float = 0.05
+    #: Fraction of the image a software update rewrites (same bytes on
+    #: every desktop).
+    update_fraction: float = 0.25
+
+
+class VDIWorkload:
+    """Generates fleet provisioning and patching traces.
+
+    Each desktop is one volume named ``desktop<N>``.
+    """
+
+    def __init__(self, config, stream):
+        self.config = config
+        self.stream = stream
+        generator = DataGenerator("virtualization", stream.fork("gold"),
+                                  block_size=config.block_size)
+        self._gold = [generator.block() for _ in range(config.image_blocks)]
+        self._update_gen = DataGenerator(
+            "virtualization", stream.fork("update"), block_size=config.block_size
+        )
+        self._update_blocks = None
+
+    @property
+    def image_bytes(self):
+        return self.config.image_blocks * self.config.block_size
+
+    @property
+    def volume_size(self):
+        return self.image_bytes
+
+    def volume_names(self):
+        return ["desktop%03d" % index for index in range(self.config.desktop_count)]
+
+    def provision_trace(self):
+        """Every desktop writes its (nearly identical) image."""
+        config = self.config
+        trace = IOTrace()
+        delta_blocks = max(1, int(config.image_blocks * config.delta_fraction))
+        for desktop, volume in enumerate(self.volume_names()):
+            delta_at = set(
+                self.stream.sample(range(config.image_blocks), delta_blocks)
+            )
+            for block_index in range(config.image_blocks):
+                if block_index in delta_at:
+                    payload = self.stream.randbytes(config.block_size)
+                else:
+                    payload = self._gold[block_index]
+                trace.append(
+                    IOOperation(
+                        kind=OpKind.WRITE,
+                        volume=volume,
+                        offset=block_index * config.block_size,
+                        data=payload,
+                    )
+                )
+        return trace
+
+    def update_trace(self):
+        """A fleet-wide software update: identical rewrites everywhere."""
+        config = self.config
+        if self._update_blocks is None:
+            count = max(1, int(config.image_blocks * config.update_fraction))
+            positions = sorted(
+                self.stream.sample(range(config.image_blocks), count)
+            )
+            self._update_blocks = [
+                (position, self._update_gen.block()) for position in positions
+            ]
+        trace = IOTrace()
+        for volume in self.volume_names():
+            for block_index, payload in self._update_blocks:
+                trace.append(
+                    IOOperation(
+                        kind=OpKind.WRITE,
+                        volume=volume,
+                        offset=block_index * config.block_size,
+                        data=payload,
+                    )
+                )
+        return trace
+
+    def boot_storm_trace(self):
+        """Every desktop reads its whole image (morning login storm)."""
+        trace = IOTrace()
+        for volume in self.volume_names():
+            trace.append(
+                IOOperation(
+                    kind=OpKind.READ,
+                    volume=volume,
+                    offset=0,
+                    length=self.image_bytes,
+                )
+            )
+        return trace

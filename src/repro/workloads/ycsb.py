@@ -1,0 +1,127 @@
+"""YCSB-style key-value workloads (Section 2.3's comparison basis).
+
+The standard mixes A-F over a fixed record population, mapped onto a
+block volume: record ``i`` lives at ``i * record_size``. Key choice is
+Zipf-skewed like the YCSB default.
+"""
+
+from dataclasses import dataclass
+
+from repro.units import KIB
+from repro.workloads.base import IOOperation, IOTrace, OpKind
+from repro.workloads.datagen import DataGenerator
+
+#: (read fraction, update fraction, insert fraction) per standard mix.
+YCSB_MIXES = {
+    "A": (0.50, 0.50, 0.00),  # update heavy
+    "B": (0.95, 0.05, 0.00),  # read mostly
+    "C": (1.00, 0.00, 0.00),  # read only
+    "D": (0.95, 0.00, 0.05),  # read latest
+    "E": (0.95, 0.00, 0.05),  # short ranges (approximated as reads)
+    "F": (0.50, 0.50, 0.00),  # read-modify-write
+}
+
+
+@dataclass(frozen=True)
+class YCSBConfig:
+    """Parameters of one YCSB run."""
+
+    mix: str = "B"
+    record_count: int = 256
+    record_size: int = 32 * KIB  # the paper's pessimistic object size
+    zipf_theta: float = 0.99
+    data_profile: str = "docstore"
+
+    def __post_init__(self):
+        if self.mix not in YCSB_MIXES:
+            raise ValueError("unknown YCSB mix %r" % self.mix)
+        if self.record_size % 512:
+            raise ValueError("record size must be sector aligned")
+
+
+class YCSBWorkload:
+    """Generates load and run traces for one YCSB configuration."""
+
+    def __init__(self, config, stream, volume="ycsb"):
+        self.config = config
+        self.stream = stream
+        self.volume = volume
+        self.generator = DataGenerator(
+            config.data_profile, stream.fork("data"), block_size=4096
+        )
+        self._inserted = 0
+
+    @property
+    def volume_size(self):
+        # Headroom for inserts beyond the initial population.
+        return self.config.record_count * self.config.record_size * 2
+
+    def _record_payload(self):
+        size = self.config.record_size
+        block = self.generator.block_size
+        return self.generator.buffer((size // block) * block) + b"\x00" * (
+            size % block
+        )
+
+    def _offset_of(self, record_index):
+        return record_index * self.config.record_size
+
+    def load_trace(self):
+        """The initial population phase."""
+        trace = IOTrace()
+        for record in range(self.config.record_count):
+            trace.append(
+                IOOperation(
+                    kind=OpKind.WRITE,
+                    volume=self.volume,
+                    offset=self._offset_of(record),
+                    data=self._record_payload(),
+                )
+            )
+        self._inserted = self.config.record_count
+        return trace
+
+    def run_trace(self, operations):
+        """``operations`` transactions of the configured mix."""
+        read_fraction, update_fraction, _insert_fraction = YCSB_MIXES[
+            self.config.mix
+        ]
+        trace = IOTrace()
+        for _ in range(operations):
+            roll = self.stream.random()
+            if roll < read_fraction:
+                record = self.stream.zipf_index(
+                    self._inserted, self.config.zipf_theta
+                )
+                trace.append(
+                    IOOperation(
+                        kind=OpKind.READ,
+                        volume=self.volume,
+                        offset=self._offset_of(record),
+                        length=self.config.record_size,
+                    )
+                )
+            elif roll < read_fraction + update_fraction:
+                record = self.stream.zipf_index(
+                    self._inserted, self.config.zipf_theta
+                )
+                trace.append(
+                    IOOperation(
+                        kind=OpKind.WRITE,
+                        volume=self.volume,
+                        offset=self._offset_of(record),
+                        data=self._record_payload(),
+                    )
+                )
+            else:
+                record = self._inserted
+                self._inserted += 1
+                trace.append(
+                    IOOperation(
+                        kind=OpKind.WRITE,
+                        volume=self.volume,
+                        offset=self._offset_of(record),
+                        data=self._record_payload(),
+                    )
+                )
+        return trace

@@ -1,0 +1,63 @@
+"""Tests for Table 2 consolidation arithmetic."""
+
+import pytest
+
+from repro.analysis.consolidation import (
+    FA450_OPS,
+    PAPER_DEPLOYMENTS,
+    Deployment,
+    consolidation_table,
+)
+
+
+def by_name(rows):
+    return {row["service"]: row for row in rows}
+
+
+def test_paper_rows_present():
+    rows = by_name(consolidation_table())
+    assert set(rows) == {"PNUTS", "Spanner", "S3", "DynamoDB"}
+
+
+def test_pnuts_needs_eight_arrays():
+    """1.6M ops / 200K per array = 8 (the paper's published figure)."""
+    rows = by_name(consolidation_table())
+    assert rows["PNUTS"]["fa450_equivalents"] == pytest.approx(8.0)
+    assert rows["PNUTS"]["apps_per_array"] == pytest.approx(125.0)
+
+
+def test_s3_and_dynamo_single_digit_arrays():
+    rows = by_name(consolidation_table())
+    assert rows["S3"]["fa450_equivalents"] == pytest.approx(7.5)
+    assert rows["DynamoDB"]["fa450_equivalents"] == pytest.approx(13.0)
+
+
+def test_consolidation_ratios_are_order_100():
+    """The 100-250:1 machine consolidation claim."""
+    rows = consolidation_table(node_ops=1600)
+    ratios = [
+        row["nodes_per_array"] for row in rows if row["nodes_per_array"]
+    ]
+    assert ratios
+    for ratio in ratios:
+        assert 50 < ratio < 400
+
+
+def test_measured_array_ops_change_equivalents():
+    slower = by_name(consolidation_table(array_ops=100_000))
+    assert slower["PNUTS"]["fa450_equivalents"] == pytest.approx(16.0)
+
+
+def test_custom_deployment():
+    deployment = Deployment(
+        name="internal", scale_ops=400_000, scale_note="x", year=2015,
+        scope="dc", apps=10, nodes=250,
+    )
+    assert deployment.arrays_needed() == pytest.approx(2.0)
+    assert deployment.nodes_per_array() == pytest.approx(125.0)
+    assert deployment.apps_per_array() == pytest.approx(5.0)
+
+
+def test_node_ops_rederives_node_counts():
+    rows = by_name(consolidation_table(node_ops=1600))
+    assert rows["S3"]["nodes"] == round(1_500_000 / 1600)

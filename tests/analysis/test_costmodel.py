@@ -1,0 +1,112 @@
+"""Tests for Table 1 arithmetic and the Figure 7 cost model."""
+
+import pytest
+
+from repro.analysis.costmodel import (
+    PAPER_DISK_ARRAY,
+    PAPER_PURITY_ARRAY,
+    StorageTier,
+    build_table1,
+    crossover_interval,
+    figure7_series,
+    spec_with_measured,
+    standard_tiers,
+)
+from repro.units import KIB
+
+
+def table1_improvements():
+    rows = build_table1(PAPER_PURITY_ARRAY, PAPER_DISK_ARRAY)
+    return {metric: improvement for metric, _p, _d, improvement in rows}
+
+
+def test_table1_reproduces_paper_factors():
+    """The paper's improvement column, regenerated from its own inputs."""
+    factors = table1_improvements()
+    assert factors["Peak IOPS @ 32 KiB"] == pytest.approx(3.08, abs=0.01)
+    assert factors["Latency (s)"] == pytest.approx(5.0, abs=0.01)
+    assert factors["Usable capacity (bytes)"] == pytest.approx(1.6, abs=0.01)
+    assert factors["Rack units"] == pytest.approx(3.5, abs=0.01)
+    assert factors["Installation (hours)"] == pytest.approx(10.0, abs=0.01)
+    assert factors["Power (W)"] == pytest.approx(2.82, abs=0.01)
+    assert factors["$/GB"] == pytest.approx(3.6, abs=0.01)
+    assert factors["IOPS/RU"] == pytest.approx(10.7, abs=0.1)
+    assert factors["IOPS/W"] == pytest.approx(8.6, abs=0.2)
+    assert factors["IOPS/$"] == pytest.approx(6.9, abs=0.3)
+
+
+def test_spec_with_measured_overrides():
+    spec = spec_with_measured(PAPER_PURITY_ARRAY, peak_iops=123, latency=0.002)
+    assert spec.peak_iops_32k == 123
+    assert spec.latency_seconds == 0.002
+    assert spec.rack_units == PAPER_PURITY_ARRAY.rack_units
+
+
+def test_tier_cost_monotone_in_interval():
+    tier = StorageTier("t", price_per_gb=5.0, price_per_iops=1.0)
+    hot = tier.cost(55 * KIB, 1.0)
+    cold = tier.cost(55 * KIB, 3600.0)
+    assert hot > cold
+
+
+def test_tier_cost_rejects_bad_interval():
+    tier = StorageTier("t", 5.0, 1.0)
+    with pytest.raises(ValueError):
+        tier.cost(55 * KIB, 0)
+
+
+def test_reduction_divides_capacity_cost():
+    base = StorageTier("1x", 5.0, 1.0, reduction=1.0)
+    reduced = StorageTier("10x", 5.0, 1.0, reduction=10.0)
+    interval = 24 * 3600.0  # cold data: capacity dominated
+    assert reduced.cost(55 * KIB, interval) < base.cost(55 * KIB, interval)
+
+
+def test_paper_rules_of_thumb():
+    """Figure 7's stated conclusions emerge from the tiers."""
+    tiers = {tier.name: tier for tier in standard_tiers()}
+    ram = tiers["ECC DIMM"]
+    disk = tiers["Hard disk"]
+    mongo = tiers["10x - MongoDB"]
+    rdbms = tiers["4x - RDBMS"]
+    item = 55 * KIB
+
+    # Rule 1: performance disk is dead — at every interval from seconds
+    # to a day, some flash line beats disk.
+    for interval in [1, 60, 600, 3600, 86400]:
+        flash_best = min(
+            tiers[name].cost(item, interval)
+            for name in ("1x - No reduction", "4x - RDBMS", "10x - MongoDB")
+        )
+        assert flash_best < disk.cost(item, interval)
+
+    # Rule 3: with 10x reduction, data accessed less often than every
+    # ~half hour is cheaper on the array than in RAM.
+    crossover = crossover_interval(mongo, ram, item)
+    assert crossover is not None
+    assert 5 * 60 < crossover < 90 * 60
+
+    # Rule 4: with RDBMS-class reduction the crossover sits earlier —
+    # the "ten-minute rule" regime (order-of-magnitude check).
+    rdbms_crossover = crossover_interval(rdbms, ram, item)
+    assert rdbms_crossover is not None
+    assert rdbms_crossover > crossover
+
+
+def test_figure7_series_shapes():
+    intervals = [1.0, 10.0, 60.0, 600.0, 3600.0, 86400.0]
+    series = figure7_series(intervals)
+    assert set(series) == {tier.name for tier in standard_tiers()}
+    # RAM is flat; disk falls steeply with interval.
+    ram = series["ECC DIMM"]
+    assert ram[0] == pytest.approx(ram[-1])
+    disk = series["Hard disk"]
+    assert disk[0] > disk[-1] * 100
+    # Everything is normalized: minimum across the figure is 1.0.
+    assert min(min(values) for values in series.values()) == pytest.approx(1.0)
+
+
+def test_crossover_none_when_no_intersection():
+    cheap_everything = StorageTier("a", 1.0, 0.0)
+    expensive_everything = StorageTier("b", 10.0, 5.0)
+    assert crossover_interval(cheap_everything, expensive_everything) is None

@@ -1,0 +1,37 @@
+"""Tests for table formatting."""
+
+from repro.analysis.reporting import format_ratio, format_table
+
+
+def test_format_table_aligns_columns():
+    text = format_table(
+        ["Metric", "Value"],
+        [["IOPS", 200000.0], ["Latency", 0.001]],
+        title="Demo",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "Demo"
+    assert "Metric" in lines[1]
+    assert set(lines[2]) == {"-"}
+    assert len(lines) == 5
+
+
+def test_format_table_handles_none():
+    text = format_table(["a"], [[None]])
+    assert "-" in text.splitlines()[-1]
+
+
+def test_format_table_empty_rows():
+    text = format_table(["a", "b"], [])
+    assert "a" in text
+
+
+def test_format_ratio():
+    assert format_ratio(3.078) == "3.08x"
+    assert format_ratio(None) == "-"
+
+
+def test_large_and_small_floats():
+    text = format_table(["x"], [[123456.0], [0.000123]])
+    assert "1.23e+05" in text
+    assert "0.000123" in text

@@ -1,0 +1,75 @@
+"""Tests for the transaction-rollback model (Section 5.2.1)."""
+
+import pytest
+
+from repro.analysis.rollback import TransactionModel, naive_speedup_bound
+from repro.units import MILLISECOND
+
+
+@pytest.fixture
+def model():
+    return TransactionModel(tps=2000, ios_per_txn=8, cpu_seconds=0.0005,
+                            keys_per_txn=4, hot_keys=5000)
+
+
+def test_duration_scales_with_latency(model):
+    assert model.duration(5 * MILLISECOND) > model.duration(0.5 * MILLISECOND)
+
+
+def test_concurrency_follows_littles_law(model):
+    latency = 1 * MILLISECOND
+    assert model.concurrency(latency) == pytest.approx(
+        model.tps * model.duration(latency)
+    )
+
+
+def test_rollbacks_grow_nonlinearly_with_latency(model):
+    """Doubling latency more than doubles the rollback rate."""
+    base = model.rollback_probability(1 * MILLISECOND)
+    doubled = model.rollback_probability(2 * MILLISECOND)
+    assert doubled > base * 2
+
+
+def test_flash_cuts_rollbacks_more_than_latency_ratio(model):
+    """A 10x latency cut reduces rollbacks by MORE than 10x."""
+    reduction = model.rollback_reduction(
+        disk_latency=5 * MILLISECOND, flash_latency=0.5 * MILLISECOND
+    )
+    assert reduction > 10.0
+
+
+def test_naive_bound_matches_intuition():
+    """60% CPU / 40% I/O: Amdahl caps the naive expectation near 1.6x."""
+    bound = naive_speedup_bound(0.6, 0.4, io_speedup=10.0)
+    assert bound == pytest.approx(1.0 / (0.6 + 0.04), abs=0.01)
+    assert bound < 2.0
+
+
+def test_actual_speedup_exceeds_naive_bound():
+    """The paper's observation: real speedups approach 10x, not 2x,
+    because retries and lock-hold times collapse together."""
+    model = TransactionModel(tps=3000, ios_per_txn=10, cpu_seconds=0.0002,
+                             keys_per_txn=6, hot_keys=4000)
+    speedup = model.speedup(
+        disk_latency=5 * MILLISECOND, flash_latency=0.5 * MILLISECOND
+    )
+    naive = naive_speedup_bound(0.6, 0.4, io_speedup=10.0)
+    assert speedup > naive
+    assert speedup > 5.0
+
+
+def test_saturated_system_has_infinite_cost():
+    model = TransactionModel(tps=100_000, ios_per_txn=50, keys_per_txn=50,
+                             hot_keys=100)
+    assert model.effective_txn_cost(10 * MILLISECOND) == float("inf")
+
+
+def test_fraction_validation():
+    with pytest.raises(ValueError):
+        naive_speedup_bound(0.5, 0.4, 10)
+
+
+def test_rollback_probability_bounds(model):
+    for latency in (0.0001, 0.001, 0.01, 0.1):
+        p = model.rollback_probability(latency)
+        assert 0.0 <= p <= 1.0

@@ -1,0 +1,65 @@
+"""Tests for the spinning-disk model."""
+
+import pytest
+
+from repro.baselines.disk import DiskTiming, SpinningDisk
+from repro.sim.clock import SimClock
+from repro.sim.rand import RandomStream
+from repro.units import KIB, MILLISECOND
+
+
+@pytest.fixture
+def disk():
+    return SpinningDisk("d0", SimClock(), RandomStream(1))
+
+
+def test_mechanics_limit_random_iops():
+    timing = DiskTiming()
+    # A 15K disk is a few-hundred-IOPS device (Section 2.2).
+    assert 150 < timing.random_iops < 400
+
+
+def test_random_read_pays_seek(disk):
+    latency = disk.read(10 * 1024 * 1024, 4 * KIB)
+    assert latency > 1 * MILLISECOND
+
+
+def test_sequential_read_skips_seek(disk):
+    first = disk.read(0, 64 * KIB)
+    disk.clock.advance(first)
+    sequential = disk.read(64 * KIB, 64 * KIB)
+    disk.clock.advance(sequential)
+    random = disk.read(500 * 1024 * 1024, 64 * KIB)
+    assert sequential < random
+
+
+def test_operations_serialize_on_spindle(disk):
+    first = disk.read(0, 4 * KIB)
+    second = disk.read(10 * 1024 * 1024, 4 * KIB)
+    assert second > first
+
+
+def test_counters(disk):
+    disk.read(0, 4 * KIB)
+    disk.write(8 * KIB, 4 * KIB)
+    assert disk.reads == 1
+    assert disk.writes == 1
+    assert disk.bytes_moved == 8 * KIB
+
+
+def test_failed_disk_raises(disk):
+    disk.failed = True
+    with pytest.raises(RuntimeError):
+        disk.read(0, 512)
+
+
+def test_ssd_vs_disk_latency_gap():
+    """The core premise: SSD reads are ~50x faster than disk seeks."""
+    from repro.ssd.device import SimulatedSSD
+
+    clock = SimClock()
+    ssd = SimulatedSSD("ssd", clock, RandomStream(2))
+    disk = SpinningDisk("hdd", clock, RandomStream(3))
+    ssd_latency = ssd.read(0, 4 * KIB).latency
+    disk_latency = disk.read(123456789, 4 * KIB)
+    assert disk_latency > ssd_latency * 10

@@ -1,0 +1,87 @@
+"""Tests for the RAID disk-array baseline."""
+
+import pytest
+
+from repro.baselines.diskarray import DiskArray, DiskArrayConfig
+from repro.sim.clock import SimClock
+from repro.units import GIB, KIB, MILLISECOND
+
+
+@pytest.fixture
+def array():
+    return DiskArray(SimClock(), DiskArrayConfig(num_disks=20))
+
+
+def test_usable_capacity_halved_by_mirroring():
+    config = DiskArrayConfig(num_disks=10, disk_capacity=600 * GIB)
+    assert config.usable_capacity == 5 * 600 * GIB
+
+
+def test_cache_misses_pay_disk_latency(array):
+    latencies = []
+    for _ in range(200):
+        latency = array.read(32 * KIB)
+        array.clock.advance(latency)
+        latencies.append(latency)
+    misses = [lat for lat in latencies if lat > MILLISECOND]
+    hits = [lat for lat in latencies if lat <= MILLISECOND]
+    assert misses and hits
+    hit_fraction = len(hits) / len(latencies)
+    assert hit_fraction == pytest.approx(
+        array.config.read_cache_hit_rate, abs=0.12
+    )
+
+
+def test_write_cache_absorbs_bursts_then_saturates():
+    clock = SimClock()
+    config = DiskArrayConfig(
+        num_disks=4, write_cache_bytes=1 * 1024 * 1024, destage_bandwidth=1
+    )
+    array = DiskArray(clock, config)
+    fast = array.write(64 * KIB)
+    assert fast < MILLISECOND
+    # Keep writing without letting destage catch up: eventually slow.
+    saw_slow = False
+    for _ in range(64):
+        latency = array.write(64 * KIB)
+        if latency > MILLISECOND:
+            saw_slow = True
+            break
+    assert saw_slow
+
+
+def test_destage_drains_over_time():
+    clock = SimClock()
+    config = DiskArrayConfig(
+        num_disks=4,
+        write_cache_bytes=256 * KIB,
+        destage_bandwidth=100 * 1024 * 1024,
+    )
+    array = DiskArray(clock, config)
+    for _ in range(3):
+        array.write(64 * KIB)
+    clock.advance(1.0)  # a second of destaging at 100 MB/s clears it
+    assert array.write(64 * KIB) < MILLISECOND
+
+
+def test_peak_iops_scales_with_spindles():
+    clock = SimClock()
+    small = DiskArray(clock, DiskArrayConfig(num_disks=10))
+    large = DiskArray(clock, DiskArrayConfig(num_disks=100))
+    assert large.peak_random_iops() == pytest.approx(
+        small.peak_random_iops() * 10
+    )
+
+
+def test_writes_cost_more_iops_than_reads(array):
+    read_heavy = array.peak_random_iops(read_fraction=1.0)
+    write_heavy = array.peak_random_iops(read_fraction=0.0)
+    assert write_heavy < read_heavy
+
+
+def test_thousand_disk_array_matches_paper_scale():
+    """A VNX-class array (hundreds of 15K disks) lands near 65K IOPS."""
+    clock = SimClock()
+    array = DiskArray(clock, DiskArrayConfig(num_disks=480))
+    iops = array.peak_random_iops(read_fraction=0.7)
+    assert 40_000 < iops < 130_000

@@ -1,0 +1,47 @@
+"""Tests for the scale-out KV cluster model."""
+
+import pytest
+
+from repro.baselines.kvcluster import KVCluster, KVNode, KVNodeConfig
+
+
+def test_node_throughput_matches_ycsb_study():
+    """The paper's YCSB citation: ~1600 ops/s per disk-backed node."""
+    ops = KVNode().ops_per_second(read_fraction=0.95)
+    assert 800 < ops < 3000
+
+
+def test_write_heavy_mixes_are_slower():
+    node = KVNode()
+    assert node.ops_per_second(0.5) < node.ops_per_second(0.99)
+
+
+def test_cluster_scales_sublinearly():
+    one = KVCluster(1).ops_per_second()
+    hundred = KVCluster(100).ops_per_second()
+    assert hundred > one * 50
+    assert hundred < one * 100
+
+
+def test_replication_taxes_writes():
+    read_only = KVCluster(10).ops_per_second(read_fraction=1.0)
+    mixed = KVCluster(10).ops_per_second(read_fraction=0.5)
+    assert mixed < read_only / 1.5
+
+
+def test_nodes_for_throughput_roundtrip():
+    cluster = KVCluster(1)
+    nodes = cluster.nodes_for_throughput(200_000)
+    assert KVCluster(nodes).ops_per_second() >= 200_000
+    assert KVCluster(nodes - 5).ops_per_second() < 200_000
+
+
+def test_paper_consolidation_magnitude():
+    """One FA-450 (200K ops) replaces on the order of 100+ KV nodes."""
+    nodes = KVCluster(1).nodes_for_throughput(200_000)
+    assert 80 < nodes < 400
+
+
+def test_invalid_cluster_size():
+    with pytest.raises(ValueError):
+        KVCluster(0)

@@ -1,0 +1,88 @@
+"""Tests for the tombstone LSM baseline (the elision contrast)."""
+
+import pytest
+
+from repro.baselines.tombstone_lsm import TombstoneLSM
+
+
+@pytest.fixture
+def lsm():
+    return TombstoneLSM()
+
+
+def test_insert_and_get(lsm):
+    lsm.insert((1,), ("a",))
+    lsm.insert((1,), ("b",))
+    assert lsm.get((1,)) == ("b",)
+    assert lsm.get((2,)) is None
+
+
+def test_delete_hides_key(lsm):
+    lsm.insert((1,), ("a",))
+    lsm.delete((1,))
+    assert lsm.get((1,)) is None
+
+
+def test_delete_costs_one_record_per_key(lsm):
+    for key in range(100):
+        lsm.insert((key,), (key,))
+    lsm.delete_range([(key,) for key in range(100)])
+    assert lsm.tombstones_written == 100
+    # Before compaction, all 200 records are physically present.
+    assert lsm.stored_fact_count() == 200
+
+
+def test_space_reclaimed_only_after_full_compaction(lsm):
+    for key in range(50):
+        lsm.insert((key,), (key,))
+    lsm.seal()
+    lsm.delete_range([(key,) for key in range(50)])
+    lsm.seal()
+    # One compaction step is not enough in a deeper tree; build one.
+    lsm.insert((999,), ("live",))
+    lsm.compact_fully()
+    assert lsm.stored_fact_count() == 1  # only the live record remains
+    assert lsm.get((999,)) == ("live",)
+    assert lsm.get((10,)) is None
+
+
+def test_partial_compaction_keeps_tombstones(lsm):
+    lsm.insert((1,), ("old",))
+    lsm.seal()
+    lsm.insert((2,), ("x",))
+    lsm.seal()
+    lsm.delete((1,))
+    lsm.seal()
+    # Merge only the two newest levels: the tombstone must survive
+    # because (1,)'s old value lives below.
+    lsm.compact_once()
+    assert lsm.get((1,)) is None
+    facts = lsm.stored_fact_count()
+    assert facts >= 3  # old value + tombstone + live record
+
+
+def test_live_key_count(lsm):
+    lsm.insert((1,), ("a",))
+    lsm.insert((2,), ("b",))
+    lsm.delete((1,))
+    assert lsm.live_key_count() == 1
+
+
+def test_elision_vs_tombstone_record_costs():
+    """The headline contrast: N tombstones vs 1 coalesced elide range."""
+    from repro.pyramid.relation import Relation
+    from repro.pyramid.tuples import SequenceGenerator
+
+    n = 500
+    tombstone = TombstoneLSM()
+    for key in range(n):
+        tombstone.insert((key,), (key,))
+    tombstone.delete_range([(key,) for key in range(n)])
+    assert tombstone.tombstones_written == n
+
+    relation = Relation("elide_side", key_arity=1)
+    seq = SequenceGenerator()
+    for key in range(n):
+        relation.insert((key,), (key,), seq.next())
+    relation.elide_key_range(0, n - 1)
+    assert relation.elide_table.record_count == 1

@@ -1,0 +1,64 @@
+"""Tests for compressors and reduction stats."""
+
+import pytest
+
+from repro.compression.engine import (
+    CODEC_STORED,
+    CODEC_ZLIB,
+    CompressionStats,
+    NullCompressor,
+    ZlibCompressor,
+    best_effort_compress,
+    decompress_payload,
+)
+from repro.errors import EncodingError
+
+
+def test_null_roundtrip():
+    codec = NullCompressor()
+    assert codec.decompress(codec.compress(b"abc")) == b"abc"
+    assert codec.codec_id == CODEC_STORED
+
+
+def test_zlib_roundtrip():
+    codec = ZlibCompressor()
+    data = b"repetitive " * 100
+    compressed = codec.compress(data)
+    assert len(compressed) < len(data)
+    assert codec.decompress(compressed) == data
+
+
+def test_zlib_level_validation():
+    with pytest.raises(ValueError):
+        ZlibCompressor(level=10)
+
+
+def test_best_effort_uses_codec_when_it_helps():
+    codec_id, payload = best_effort_compress(b"aaaa" * 256, ZlibCompressor())
+    assert codec_id == CODEC_ZLIB
+    assert len(payload) < 1024
+    assert decompress_payload(codec_id, payload) == b"aaaa" * 256
+
+
+def test_best_effort_stores_incompressible():
+    import os
+
+    data = os.urandom(1024)
+    codec_id, payload = best_effort_compress(data, ZlibCompressor())
+    assert codec_id == CODEC_STORED
+    assert payload == data
+
+
+def test_decompress_unknown_codec():
+    with pytest.raises(EncodingError):
+        decompress_payload(99, b"x")
+
+
+def test_stats_ratio():
+    stats = CompressionStats()
+    assert stats.ratio == 1.0
+    stats.note(4096, 1024, CODEC_ZLIB)
+    stats.note(4096, 4096, CODEC_STORED)
+    assert stats.cblocks == 2
+    assert stats.incompressible_cblocks == 1
+    assert stats.ratio == pytest.approx(8192 / 5120)

@@ -1,0 +1,45 @@
+"""Shared fixtures for whole-array tests.
+
+Arrays use the miniature geometry from ArrayConfig.small(): identical
+code paths to paper scale, sized so tests run in milliseconds.
+"""
+
+import pytest
+
+from repro.core.array import PurityArray
+from repro.core.config import ArrayConfig
+from repro.sim.rand import RandomStream
+from repro.units import KIB, MIB, SECTOR
+
+
+@pytest.fixture
+def config():
+    return ArrayConfig.small()
+
+
+@pytest.fixture
+def array(config):
+    return PurityArray.create(config)
+
+
+@pytest.fixture
+def stream():
+    return RandomStream(42)
+
+
+def compressible_bytes(length, stamp=b"page"):
+    """Sector-aligned compressible data with a recognizable pattern."""
+    pattern = (stamp + b" header %08d " % len(stamp)) * 64
+    data = (pattern * (length // len(pattern) + 1))[:length]
+    return data
+
+
+def unique_bytes(length, stream):
+    """Sector-aligned incompressible, dedup-proof data."""
+    return stream.randbytes(length)
+
+
+@pytest.fixture
+def volume(array):
+    array.create_volume("vol0", 2 * MIB)
+    return "vol0"

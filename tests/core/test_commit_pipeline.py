@@ -1,0 +1,120 @@
+"""Direct tests for the commit pipeline's drain/checkpoint machinery."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import tables as T
+from repro.core.array import PurityArray
+from repro.core.commit import CommitPipeline
+from repro.core.config import ArrayConfig
+from repro.pyramid.elision import KeyPrefixPredicate, KeyRangePredicate
+from repro.units import KIB
+
+from tests.core.conftest import unique_bytes
+
+
+@pytest.fixture
+def pipeline(array):
+    return array.pipeline
+
+
+def test_insert_meta_is_wal_first(pipeline):
+    records_before = pipeline.wal.nvram.record_count
+    fact, latency = pipeline.insert_meta(T.SEGMENTS, (999,), ((("d", 0),),))
+    assert pipeline.wal.nvram.record_count == records_before + 1
+    assert latency > 0
+    assert pipeline.tables.segments.get((999,)) is not None
+
+
+def test_insert_derived_skips_wal(pipeline):
+    records_before = pipeline.wal.nvram.record_count
+    pipeline.insert_derived(T.SEGMENTS, (998,), ((("d", 0),),))
+    assert pipeline.wal.nvram.record_count == records_before
+
+
+def test_drain_trims_only_up_to_snapshot(pipeline, array, volume, stream):
+    array.write(volume, 0, unique_bytes(4 * KIB, stream))
+    assert pipeline.wal.nvram.record_count > 0
+    pipeline.drain()
+    assert pipeline.wal.nvram.record_count == 0
+    # A commit after the drain stays in NVRAM.
+    pipeline.insert_meta(T.SEGMENTS, (997,), ((("d", 0),),))
+    assert pipeline.wal.nvram.record_count == 1
+
+
+def test_drain_is_reentrancy_guarded(pipeline):
+    pipeline._draining = True
+    assert pipeline.drain() == 0.0
+    pipeline._draining = False
+
+
+def test_watermark_triggers_drain(array, volume, stream):
+    drains_before = array.pipeline.drains
+    capacity = array.pipeline.wal.nvram.capacity_bytes
+    written = 0
+    while written < capacity:  # cross the watermark at least once
+        array.write(volume, written % (1024 * KIB), unique_bytes(16 * KIB, stream))
+        written += 16 * KIB
+    assert array.pipeline.drains > drains_before
+
+
+def test_checkpoint_records_counters(pipeline, array):
+    pipeline.checkpoint()
+    checkpoint, _latency = array.boot_region.read_checkpoint()
+    assert checkpoint["next_seqno"] == pipeline.sequence.last_issued + 1
+    assert "frontier" in checkpoint
+    assert "patch_pointers" in checkpoint
+    assert "open_units" in checkpoint
+
+
+def test_checkpoint_updates_pinned_identities(pipeline, array, volume, stream):
+    array.write(volume, 0, unique_bytes(16 * KIB, stream))
+    array.checkpoint()
+    assert pipeline.pinned_segment_ids()
+
+
+elide_spec = st.one_of(
+    st.builds(
+        KeyRangePredicate,
+        lo=st.integers(0, 100),
+        hi=st.integers(101, 1000),
+        as_of_seq=st.one_of(st.none(), st.integers(1, 10 ** 6)),
+        field=st.integers(0, 3),
+    ),
+    st.builds(
+        KeyPrefixPredicate,
+        prefix=st.tuples(st.integers(0, 1000)),
+        as_of_seq=st.one_of(st.none(), st.integers(1, 10 ** 6)),
+    ),
+    st.builds(
+        KeyPrefixPredicate,
+        prefix=st.tuples(st.text(max_size=8), st.text(max_size=8)),
+        as_of_seq=st.one_of(st.none(), st.integers(1, 10 ** 6)),
+    ),
+)
+
+
+@given(predicate=elide_spec)
+def test_elide_spec_roundtrip(predicate):
+    spec = CommitPipeline._predicate_to_spec(predicate)
+    revived = CommitPipeline.spec_to_predicate(spec)
+    assert revived == predicate
+
+
+def test_elide_persists_and_applies(pipeline, array, volume, stream):
+    array.write(volume, 0, unique_bytes(4 * KIB, stream))
+    anchor = array.volumes.anchor_medium(volume)
+    pipeline.elide_prefix(T.ADDRESS_MAP, (anchor,))
+    # Applied in memory ...
+    assert array.tables.address_map.get((anchor, 0)) is None
+    # ... and persisted as a fact.
+    assert array.tables[T.ELIDES].live_fact_count() >= 1
+
+
+def test_metadata_commit_counter(pipeline):
+    before = pipeline.metadata_commits
+    pipeline.insert_meta_batch(
+        T.SEGMENTS, [((1001,), ((("d", 0),),)), ((1002,), ((("d", 1),),))]
+    )
+    assert pipeline.metadata_commits == before + 1  # one WAL record

@@ -1,0 +1,114 @@
+"""Durable elision: deletions must survive crashes (Section 4.10).
+
+Elide records are immutable facts in their own relation; recovery
+replays them into every elide table. Without this, destroyed volumes,
+dropped snapshots, and collected segments would resurrect after a
+failover — the bug family the stateful property test originally found.
+"""
+
+import pytest
+
+from repro.core.array import PurityArray
+from repro.core.config import ArrayConfig
+from repro.core.recovery import recover_array
+from repro.errors import VolumeNotFoundError
+from repro.units import KIB, MIB
+
+from tests.core.conftest import unique_bytes
+
+
+def crash_recover(array):
+    shelf, boot, clock = array.crash()
+    return recover_array(PurityArray, array.config, shelf, boot, clock)
+
+
+def test_destroyed_volume_stays_destroyed(array, volume, stream):
+    array.write(volume, 0, unique_bytes(8 * KIB, stream))
+    array.destroy_volume(volume)
+    recovered, report = crash_recover(array)
+    assert report.extra["elides_replayed"] >= 1
+    with pytest.raises(VolumeNotFoundError):
+        recovered.read(volume, 0, 512)
+    assert recovered.reduction_report().logical_live_bytes == 0
+
+
+def test_destroyed_snapshot_stays_destroyed(array, volume, stream):
+    array.write(volume, 0, unique_bytes(4 * KIB, stream))
+    array.snapshot(volume, "s")
+    array.destroy_snapshot(volume, "s")
+    recovered, _ = crash_recover(array)
+    assert recovered.volumes.snapshot_names(volume) == []
+
+
+def test_collected_segment_rows_stay_collected(array, volume, stream):
+    """The original corruption: a resurrected segment row lets GC free
+    AUs that a newer segment now owns."""
+    for block in range(10):
+        array.write(volume, block * 16 * KIB, unique_bytes(16 * KIB, stream))
+    array.checkpoint()
+    before = {fact.key[0] for fact in array.tables.segments.scan()}
+    array.run_gc(max_segments=10)
+    after_gc = {fact.key[0] for fact in array.tables.segments.scan()}
+    collected = before - after_gc
+    recovered, _ = crash_recover(array)
+    resurrected = {
+        fact.key[0] for fact in recovered.tables.segments.scan()
+    } & collected
+    assert not resurrected
+
+
+def test_volume_name_reuse_after_destroy(array, stream):
+    """Sequence-bounded prefix elision: a recreated volume of the same
+    name is a different object, not a ghost of the deleted one."""
+    array.create_volume("reborn", MIB)
+    old = unique_bytes(8 * KIB, stream)
+    array.write("reborn", 0, old)
+    array.destroy_volume("reborn")
+    array.create_volume("reborn", MIB)
+    fresh = unique_bytes(8 * KIB, stream)
+    array.write("reborn", 8 * KIB, fresh)
+    # Old contents are gone; new contents visible.
+    zeros, _ = array.read("reborn", 0, 8 * KIB)
+    assert zeros == b"\x00" * (8 * KIB)
+    data, _ = array.read("reborn", 8 * KIB, 8 * KIB)
+    assert data == fresh
+    # And it all survives a crash.
+    recovered, _ = crash_recover(array)
+    data, _ = recovered.read("reborn", 8 * KIB, 8 * KIB)
+    assert data == fresh
+    assert recovered.volumes.volume_names() == ["reborn"]
+
+
+def test_snapshot_name_reuse_after_destroy(array, volume, stream):
+    v1 = unique_bytes(4 * KIB, stream)
+    array.write(volume, 0, v1)
+    array.snapshot(volume, "nightly")
+    array.destroy_snapshot(volume, "nightly")
+    v2 = unique_bytes(4 * KIB, stream)
+    array.write(volume, 0, v2)
+    array.snapshot(volume, "nightly")  # same name, new snapshot
+    recovered, _ = crash_recover(array)
+    recovered.clone(volume, "nightly", "restored")
+    data, _ = recovered.read("restored", 0, 4 * KIB)
+    assert data == v2
+
+
+def test_elides_relation_grows_with_deletions(array, volume, stream):
+    array.write(volume, 0, unique_bytes(4 * KIB, stream))
+    from repro.core import tables as T
+
+    before = array.tables[T.ELIDES].stored_fact_count()
+    array.destroy_volume(volume)
+    after = array.tables[T.ELIDES].stored_fact_count()
+    assert after > before
+
+
+def test_elide_replay_is_idempotent(array, volume, stream):
+    array.write(volume, 0, unique_bytes(4 * KIB, stream))
+    array.destroy_volume(volume)
+    recovered, _ = crash_recover(array)
+    first = recovered.pipeline.replay_elides()
+    second = recovered.pipeline.replay_elides()
+    assert first == second  # re-applying predicates changes nothing
+    with pytest.raises(VolumeNotFoundError):
+        recovered.read(volume, 0, 512)

@@ -1,0 +1,116 @@
+"""Drive failures: availability through one and two SSD losses."""
+
+import pytest
+
+from repro.errors import UncorrectableError
+from repro.units import KIB, MIB
+
+from tests.core.conftest import unique_bytes
+
+
+def write_blocks(array, volume, stream, count=12):
+    blocks = {}
+    for block in range(count):
+        payload = unique_bytes(16 * KIB, stream)
+        array.write(volume, block * 16 * KIB, payload)
+        blocks[block * 16 * KIB] = payload
+    array.drain()
+    return blocks
+
+
+def test_reads_survive_one_drive_failure(array, volume, stream):
+    blocks = write_blocks(array, volume, stream)
+    array.fail_drive(list(array.drives)[0])
+    array.datapath.drop_caches()  # force reads to hit the drives
+    for offset, payload in blocks.items():
+        data, _ = array.read(volume, offset, 16 * KIB)
+        assert data == payload
+    assert array.segreader.reconstructed_reads > 0
+
+
+def test_reads_survive_two_drive_failures(array, volume, stream):
+    blocks = write_blocks(array, volume, stream)
+    names = list(array.drives)
+    array.fail_drive(names[0])
+    array.fail_drive(names[4])
+    array.datapath.drop_caches()
+    for offset, payload in blocks.items():
+        data, _ = array.read(volume, offset, 16 * KIB)
+        assert data == payload
+
+
+def test_writes_continue_after_failures(array, volume, stream):
+    write_blocks(array, volume, stream, count=4)
+    names = list(array.drives)
+    array.fail_drive(names[1])
+    array.fail_drive(names[7])
+    fresh = unique_bytes(16 * KIB, stream)
+    array.write(volume, 512 * KIB, fresh)
+    array.drain()
+    data, _ = array.read(volume, 512 * KIB, 16 * KIB)
+    assert data == fresh
+
+
+def test_rebuild_restores_full_protection(array, volume, stream):
+    blocks = write_blocks(array, volume, stream)
+    names = list(array.drives)
+    array.fail_drive(names[0])
+    rebuilt = array.rebuild()
+    assert rebuilt > 0
+    # After re-protection, two *more* failures are survivable.
+    array.fail_drive(names[2])
+    array.fail_drive(names[5])
+    array.datapath.drop_caches()
+    for offset, payload in blocks.items():
+        data, _ = array.read(volume, offset, 16 * KIB)
+        assert data == payload
+
+
+def test_three_failures_without_rebuild_lose_data(array, volume, stream):
+    write_blocks(array, volume, stream, count=8)
+    names = list(array.drives)
+    for name in names[:3]:
+        array.fail_drive(name)
+    array.datapath.drop_caches()
+    with pytest.raises(UncorrectableError):
+        for offset in range(0, 8 * 16 * KIB, 16 * KIB):
+            array.read(volume, offset, 16 * KIB)
+
+
+def test_replaced_drive_rejoins_allocation(array, volume, stream):
+    write_blocks(array, volume, stream, count=4)
+    victim = list(array.drives)[3]
+    array.fail_drive(victim)
+    free_after_failure = array.allocator.free_count()
+    replacement = array.replace_drive(victim)
+    assert array.allocator.free_count() > free_after_failure
+    assert not replacement.failed
+
+
+def test_recovery_with_failed_drive(array, volume, stream):
+    """Controller crash while a drive is down: headers are replicated."""
+    from repro.core.array import PurityArray
+    from repro.core.recovery import recover_array
+
+    blocks = write_blocks(array, volume, stream, count=6)
+    array.fail_drive(list(array.drives)[0])
+    shelf, boot, clock = array.crash()
+    recovered, _report = recover_array(
+        PurityArray, array.config, shelf, boot, clock
+    )
+    recovered.fail_drive(list(recovered.drives)[0])  # re-register the loss
+    for offset, payload in blocks.items():
+        data, _ = recovered.read(volume, offset, 16 * KIB)
+        assert data == payload
+
+
+def test_degraded_write_readable_after_another_failure(array, volume, stream):
+    """Data written while one drive is down still tolerates one more loss."""
+    names = list(array.drives)
+    array.fail_drive(names[0])
+    payload = unique_bytes(16 * KIB, stream)
+    array.write(volume, 0, payload)
+    array.drain()
+    array.fail_drive(names[5])
+    data, _ = array.read(volume, 0, 16 * KIB)
+    assert data == payload

@@ -1,0 +1,104 @@
+"""Dual-controller high availability (Figure 2)."""
+
+import pytest
+
+from repro.core.config import ArrayConfig
+from repro.core.ha import CLIENT_TIMEOUT_SECONDS, DualControllerArray
+from repro.errors import ControllerError
+from repro.units import KIB, MIB
+
+from tests.core.conftest import unique_bytes
+
+
+@pytest.fixture
+def appliance():
+    ha = DualControllerArray(ArrayConfig.small())
+    ha.create_volume("v", 2 * MIB)
+    return ha
+
+
+def test_basic_io_through_ha_wrapper(appliance, stream):
+    payload = unique_bytes(8 * KIB, stream)
+    appliance.write("v", 0, payload)
+    data, latency = appliance.read("v", 0, 8 * KIB)
+    assert data == payload
+    assert latency >= 0
+
+
+def test_failover_preserves_acknowledged_writes(appliance, stream):
+    payload = unique_bytes(8 * KIB, stream)
+    appliance.write("v", 0, payload)
+    result = appliance.fail_primary()
+    assert result.within_client_timeout
+    data, _ = appliance.read("v", 0, 8 * KIB)
+    assert data == payload
+
+
+def test_failover_downtime_well_under_timeout(appliance, stream):
+    for block in range(20):
+        appliance.write("v", block * 16 * KIB, unique_bytes(16 * KIB, stream))
+    result = appliance.fail_primary()
+    assert result.downtime < CLIENT_TIMEOUT_SECONDS / 10
+
+
+def test_service_continues_after_failover(appliance, stream):
+    appliance.write("v", 0, unique_bytes(4 * KIB, stream))
+    appliance.fail_primary()
+    fresh = unique_bytes(4 * KIB, stream)
+    appliance.write("v", 8 * KIB, fresh)
+    data, _ = appliance.read("v", 8 * KIB, 4 * KIB)
+    assert data == fresh
+
+
+def test_both_controllers_down_is_an_outage(appliance):
+    appliance.fail_secondary()
+    with pytest.raises(ControllerError):
+        appliance.fail_primary()
+
+
+def test_secondary_failure_improves_latency(stream):
+    """Section 4.1: latencies improve slightly when the secondary fails."""
+    config = ArrayConfig.small()
+    with_secondary = DualControllerArray(
+        config, secondary_port_fraction=1.0
+    )
+    with_secondary.create_volume("v", MIB)
+    payload = unique_bytes(4 * KIB, stream)
+    with_secondary.write("v", 0, payload)
+    _data, latency_forwarded = with_secondary.read("v", 0, 4 * KIB)
+    with_secondary.fail_secondary()
+    _data, latency_direct = with_secondary.read("v", 0, 4 * KIB)
+    # Forwarding penalty is gone; fixed costs aside, direct is cheaper
+    # by about the InfiniBand hop.
+    assert latency_direct < latency_forwarded
+
+
+def test_replacement_controller_restores_redundancy(appliance, stream):
+    appliance.fail_primary()
+    assert not appliance.secondary_alive
+    appliance.replace_failed_controller()
+    assert appliance.secondary_alive
+    # And the array can fail over again.
+    payload = unique_bytes(4 * KIB, stream)
+    appliance.write("v", 0, payload)
+    result = appliance.fail_primary()
+    assert result.within_client_timeout
+    data, _ = appliance.read("v", 0, 4 * KIB)
+    assert data == payload
+
+
+def test_double_secondary_failure_rejected(appliance):
+    appliance.fail_secondary()
+    with pytest.raises(ControllerError):
+        appliance.fail_secondary()
+
+
+def test_snapshots_survive_failover(appliance, stream):
+    original = unique_bytes(4 * KIB, stream)
+    appliance.write("v", 0, original)
+    appliance.snapshot("v", "keep")
+    appliance.write("v", 0, unique_bytes(4 * KIB, stream))
+    appliance.fail_primary()
+    appliance.clone("v", "keep", "restored")
+    data, _ = appliance.read("restored", 0, 4 * KIB)
+    assert data == original

@@ -1,0 +1,119 @@
+"""Data reduction through the full write path: dedup + compression."""
+
+import pytest
+
+from repro.units import KIB, MIB
+
+from tests.core.conftest import compressible_bytes, unique_bytes
+
+
+def test_compression_shrinks_compressible_data(array, volume):
+    array.write(volume, 0, compressible_bytes(128 * KIB))
+    report = array.reduction_report()
+    assert report.compression_ratio > 3.0
+    assert report.data_reduction > 3.0
+
+
+def test_incompressible_data_not_inflated(array, volume, stream):
+    array.write(volume, 0, unique_bytes(128 * KIB, stream))
+    report = array.reduction_report()
+    assert 0.9 < report.compression_ratio <= 1.05
+
+
+def test_dedup_within_volume(array, volume, stream):
+    payload = unique_bytes(16 * KIB, stream)
+    array.write(volume, 0, payload)
+    for copy in range(1, 6):
+        array.write(volume, copy * 64 * KIB, payload)
+    report = array.reduction_report()
+    assert report.dedup_ratio > 4.0
+    # Every copy reads back correctly.
+    for copy in range(6):
+        data, _ = array.read(volume, copy * 64 * KIB if copy else 0, 16 * KIB)
+        assert data == payload
+
+
+def test_dedup_across_volumes(array, stream):
+    """Duplicate blocks written to different logical addresses share flash."""
+    array.create_volume("vm1", MIB)
+    array.create_volume("vm2", MIB)
+    image = unique_bytes(64 * KIB, stream)
+    array.write("vm1", 0, image)
+    array.write("vm2", 0, image)
+    report = array.reduction_report()
+    assert report.dedup_ratio > 1.8
+    a, _ = array.read("vm1", 0, 64 * KIB)
+    b, _ = array.read("vm2", 0, 64 * KIB)
+    assert a == b == image
+
+
+def test_dedup_detects_shifted_duplicates(array, volume, stream):
+    """Anchor extension finds duplicates at different alignments."""
+    payload = unique_bytes(32 * KIB, stream)
+    array.write(volume, 0, payload)
+    # Rewrite the same bytes 2 KiB (4 sectors) further along.
+    array.write(volume, 128 * KIB + 2 * KIB, payload)
+    report = array.reduction_report()
+    assert report.dedup_ratio > 1.5
+    data, _ = array.read(volume, 128 * KIB + 2 * KIB, 32 * KIB)
+    assert data == payload
+
+
+def test_dedup_verifies_before_sharing(array, volume, stream):
+    """No false sharing: distinct data stays distinct."""
+    a = unique_bytes(16 * KIB, stream)
+    b = unique_bytes(16 * KIB, stream)
+    array.write(volume, 0, a)
+    array.write(volume, 64 * KIB, b)
+    data_a, _ = array.read(volume, 0, 16 * KIB)
+    data_b, _ = array.read(volume, 64 * KIB, 16 * KIB)
+    assert data_a == a
+    assert data_b == b
+
+
+def test_inline_dedup_can_be_disabled(config, stream):
+    from repro.core.array import PurityArray
+    from repro.core.config import ArrayConfig
+
+    no_dedup = PurityArray.create(ArrayConfig.small(inline_dedup=False))
+    no_dedup.create_volume("v", MIB)
+    payload = unique_bytes(16 * KIB, stream)
+    no_dedup.write("v", 0, payload)
+    no_dedup.write("v", 64 * KIB, payload)
+    report = no_dedup.reduction_report()
+    assert report.dedup_ratio == pytest.approx(1.0)
+
+
+def test_compression_can_be_disabled(stream):
+    from repro.core.array import PurityArray
+    from repro.core.config import ArrayConfig
+
+    plain = PurityArray.create(ArrayConfig.small(inline_compression=False))
+    plain.create_volume("v", MIB)
+    plain.write("v", 0, compressible_bytes(64 * KIB))
+    report = plain.reduction_report()
+    assert report.compression_ratio == pytest.approx(1.0, abs=0.05)
+    data, _ = plain.read("v", 0, 64 * KIB)
+    assert data == compressible_bytes(64 * KIB)
+
+
+def test_thin_provisioning_reported_separately(array):
+    array.create_volume("sparse", MIB)
+    array.write("sparse", 0, compressible_bytes(4 * KIB))
+    report = array.reduction_report()
+    assert report.thin_provisioning > 100  # 3 MiB provisioned, 4 KiB written
+    # Thin provisioning does not inflate the data-reduction number.
+    assert report.data_reduction < 100
+
+
+def test_overwrites_do_not_inflate_logical_live(array, volume, stream):
+    for _round in range(5):
+        array.write(volume, 0, unique_bytes(16 * KIB, stream))
+    report = array.reduction_report()
+    assert report.logical_live_bytes == 16 * KIB
+
+
+def test_reduction_report_empty_array(array):
+    report = array.reduction_report()
+    assert report.data_reduction == 1.0
+    assert report.logical_live_bytes == 0

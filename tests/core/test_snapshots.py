@@ -1,0 +1,140 @@
+"""Snapshot and clone semantics over the medium layer."""
+
+import pytest
+
+from repro.errors import SnapshotError, VolumeExistsError
+from repro.mediums.resolver import chain_depth
+from repro.units import KIB, MIB
+
+from tests.core.conftest import unique_bytes
+
+
+def test_snapshot_preserves_point_in_time(array, volume, stream):
+    original = unique_bytes(8 * KIB, stream)
+    array.write(volume, 0, original)
+    array.snapshot(volume, "before")
+    overwrite = unique_bytes(8 * KIB, stream)
+    array.write(volume, 0, overwrite)
+    live, _ = array.read(volume, 0, 8 * KIB)
+    assert live == overwrite
+    # The snapshot still serves the original via a clone.
+    array.clone(volume, "before", "restored")
+    snap_data, _ = array.read("restored", 0, 8 * KIB)
+    assert snap_data == original
+
+
+def test_clone_diverges_from_snapshot(array, volume, stream):
+    base = unique_bytes(4 * KIB, stream)
+    array.write(volume, 0, base)
+    array.snapshot(volume, "s")
+    array.clone(volume, "s", "dev")
+    divergent = unique_bytes(4 * KIB, stream)
+    array.write("dev", 0, divergent)
+    original, _ = array.read(volume, 0, 4 * KIB)
+    cloned, _ = array.read("dev", 0, 4 * KIB)
+    assert original == base
+    assert cloned == divergent
+
+
+def test_clone_inherits_unwritten_ranges(array, volume, stream):
+    payload = unique_bytes(4 * KIB, stream)
+    array.write(volume, 16 * KIB, payload)
+    array.snapshot(volume, "s")
+    array.clone(volume, "s", "copy")
+    data, _ = array.read("copy", 16 * KIB, 4 * KIB)
+    assert data == payload
+    zeros, _ = array.read("copy", 0, 4 * KIB)
+    assert zeros == b"\x00" * (4 * KIB)
+
+
+def test_writes_after_snapshot_do_not_leak_into_clone(array, volume, stream):
+    array.write(volume, 0, unique_bytes(4 * KIB, stream))
+    array.snapshot(volume, "s")
+    late = unique_bytes(4 * KIB, stream)
+    array.write(volume, 4 * KIB, late)
+    array.clone(volume, "s", "copy")
+    data, _ = array.read("copy", 4 * KIB, 4 * KIB)
+    assert data == b"\x00" * (4 * KIB)
+
+
+def test_snapshot_chain(array, volume, stream):
+    versions = []
+    for generation in range(4):
+        payload = unique_bytes(4 * KIB, stream)
+        array.write(volume, 0, payload)
+        array.snapshot(volume, "gen%d" % generation)
+        versions.append(payload)
+    for generation, payload in enumerate(versions):
+        clone_name = "restore%d" % generation
+        array.clone(volume, "gen%d" % generation, clone_name)
+        data, _ = array.read(clone_name, 0, 4 * KIB)
+        assert data == payload
+
+
+def test_clone_volume_shortcut(array, volume, stream):
+    payload = unique_bytes(4 * KIB, stream)
+    array.write(volume, 0, payload)
+    array.clone_volume(volume, "copy")
+    data, _ = array.read("copy", 0, 4 * KIB)
+    assert data == payload
+
+
+def test_duplicate_snapshot_name_rejected(array, volume):
+    array.snapshot(volume, "s")
+    with pytest.raises(SnapshotError):
+        array.snapshot(volume, "s")
+
+
+def test_clone_to_existing_volume_rejected(array, volume):
+    array.snapshot(volume, "s")
+    array.create_volume("taken", MIB)
+    with pytest.raises(VolumeExistsError):
+        array.clone(volume, "s", "taken")
+
+
+def test_clone_of_missing_snapshot_rejected(array, volume):
+    with pytest.raises(SnapshotError):
+        array.clone(volume, "ghost", "x")
+
+
+def test_destroy_snapshot_keeps_volume_data(array, volume, stream):
+    payload = unique_bytes(4 * KIB, stream)
+    array.write(volume, 0, payload)
+    array.snapshot(volume, "s")
+    array.destroy_snapshot(volume, "s")
+    data, _ = array.read(volume, 0, 4 * KIB)
+    assert data == payload
+    assert array.volumes.snapshot_names(volume) == []
+
+
+def test_snapshots_are_instant_no_data_movement(array, volume, stream):
+    """Snapshot cost is medium-table bookkeeping, not copying."""
+    array.write(volume, 0, unique_bytes(64 * KIB, stream))
+    data_bytes_before = array.segwriter.data_bytes_written
+    for index in range(10):
+        array.snapshot(volume, "snap%d" % index)
+    assert array.segwriter.data_bytes_written == data_bytes_before
+
+
+def test_snapshot_names_listed(array, volume):
+    array.snapshot(volume, "b")
+    array.snapshot(volume, "a")
+    assert array.volumes.snapshot_names(volume) == ["a", "b"]
+
+
+def test_deep_clone_chain_remains_correct(array, volume, stream):
+    payload = unique_bytes(4 * KIB, stream)
+    array.write(volume, 0, payload)
+    source = volume
+    for depth in range(5):
+        array.snapshot(source, "s")
+        array.clone(source, "s", "gen%d" % depth)
+        source = "gen%d" % depth
+    data, _ = array.read(source, 0, 4 * KIB)
+    assert data == payload
+    # GC's chain shortening keeps read fan-out bounded.
+    array.run_gc()
+    anchor = array.volumes.anchor_medium(source)
+    assert chain_depth(array.medium_table, anchor, 0) <= 3
+    data, _ = array.read(source, 0, 4 * KIB)
+    assert data == payload

@@ -1,0 +1,69 @@
+"""Tests for telemetry primitives: latency traces and reduction math."""
+
+import pytest
+
+from repro.core.telemetry import LatencyRecorder, ReductionReport
+
+
+def test_latency_recorder_basics():
+    recorder = LatencyRecorder()
+    for value in (0.001, 0.002, 0.003):
+        recorder.record("read", value)
+    recorder.record("write", 0.0001)
+    assert recorder.count("read") == 3
+    assert recorder.count("write") == 1
+    assert recorder.mean("read") == pytest.approx(0.002)
+    assert recorder.percentile("read", 0.5) == 0.002
+    assert set(recorder.operations()) == {"read", "write"}
+
+
+def test_latency_recorder_empty_mean_raises():
+    recorder = LatencyRecorder()
+    with pytest.raises(ValueError):
+        recorder.mean("read")
+
+
+def test_latency_recorder_clear():
+    recorder = LatencyRecorder()
+    recorder.record("read", 1.0)
+    recorder.clear()
+    assert recorder.count("read") == 0
+
+
+def make_report(logical=1000, unique=500, physical=250, provisioned=10000):
+    return ReductionReport(
+        logical_live_bytes=logical,
+        unique_logical_bytes=unique,
+        physical_stored_bytes=physical,
+        physical_with_parity_bytes=int(physical * 9 / 7),
+        provisioned_bytes=provisioned,
+    )
+
+
+def test_reduction_decomposes_multiplicatively():
+    report = make_report()
+    assert report.dedup_ratio == pytest.approx(2.0)
+    assert report.compression_ratio == pytest.approx(2.0)
+    assert report.data_reduction == pytest.approx(
+        report.dedup_ratio * report.compression_ratio
+    )
+
+
+def test_thin_provisioning_separate_from_reduction():
+    report = make_report()
+    assert report.thin_provisioning == pytest.approx(10.0)
+    # Thin provisioning never enters data_reduction (the paper excludes it).
+    assert report.data_reduction == pytest.approx(4.0)
+
+
+def test_empty_report_degenerates_to_unity():
+    report = make_report(logical=0, unique=0, physical=0, provisioned=0)
+    assert report.data_reduction == 1.0
+    assert report.dedup_ratio == 1.0
+    assert report.compression_ratio == 1.0
+    assert report.thin_provisioning == 1.0
+
+
+def test_provisioned_with_no_data_is_infinite_thin():
+    report = make_report(logical=0, unique=0, physical=0, provisioned=100)
+    assert report.thin_provisioning == float("inf")

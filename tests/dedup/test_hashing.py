@@ -1,0 +1,36 @@
+"""Tests for sector hashing."""
+
+import pytest
+
+from repro.dedup.hashing import HASH_BITS, SAMPLE_EVERY, sector_hash, sector_hashes
+from repro.units import SECTOR
+
+
+def test_hash_fits_in_64_bits():
+    value = sector_hash(b"a" * SECTOR)
+    assert 0 <= value < 2 ** HASH_BITS
+
+
+def test_hash_is_deterministic():
+    assert sector_hash(b"x" * SECTOR) == sector_hash(b"x" * SECTOR)
+
+
+def test_different_sectors_differ():
+    assert sector_hash(b"a" * SECTOR) != sector_hash(b"b" * SECTOR)
+
+
+def test_sector_hashes_per_sector():
+    data = b"a" * SECTOR + b"b" * SECTOR + b"a" * SECTOR
+    hashes = sector_hashes(data)
+    assert len(hashes) == 3
+    assert hashes[0] == hashes[2]
+    assert hashes[0] != hashes[1]
+
+
+def test_sector_hashes_requires_alignment():
+    with pytest.raises(ValueError):
+        sector_hashes(b"short")
+
+
+def test_sampling_constant_matches_paper():
+    assert SAMPLE_EVERY == 8

@@ -1,0 +1,91 @@
+"""Tests for GF(256) arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.erasure.gf256 import GF256
+
+nonzero = st.integers(min_value=1, max_value=255)
+element = st.integers(min_value=0, max_value=255)
+
+
+def test_add_is_xor():
+    assert GF256.add(0b1010, 0b0110) == 0b1100
+    assert GF256.add(77, 77) == 0
+
+
+def test_mul_identities():
+    for a in range(256):
+        assert GF256.mul(a, 1) == a
+        assert GF256.mul(a, 0) == 0
+        assert GF256.mul(0, a) == 0
+
+
+@given(element, element)
+def test_mul_commutative(a, b):
+    assert GF256.mul(a, b) == GF256.mul(b, a)
+
+
+@given(element, element, element)
+def test_mul_associative(a, b, c):
+    assert GF256.mul(GF256.mul(a, b), c) == GF256.mul(a, GF256.mul(b, c))
+
+
+@given(element, element, element)
+def test_distributive(a, b, c):
+    assert GF256.mul(a, b ^ c) == GF256.mul(a, b) ^ GF256.mul(a, c)
+
+
+@given(nonzero)
+def test_inverse(a):
+    assert GF256.mul(a, GF256.inv(a)) == 1
+
+
+@given(element, nonzero)
+def test_div_inverts_mul(a, b):
+    assert GF256.div(GF256.mul(a, b), b) == a
+
+
+def test_div_by_zero_raises():
+    with pytest.raises(ZeroDivisionError):
+        GF256.div(5, 0)
+    with pytest.raises(ZeroDivisionError):
+        GF256.inv(0)
+
+
+@given(nonzero, st.integers(min_value=0, max_value=10))
+def test_pow_matches_repeated_mul(a, n):
+    expected = 1
+    for _ in range(n):
+        expected = GF256.mul(expected, a)
+    assert GF256.pow(a, n) == expected
+
+
+def test_mul_array_matches_scalar():
+    data = np.arange(256, dtype=np.uint8)
+    scalar = 0x53
+    product = GF256.mul_array(data, scalar)
+    for index in range(256):
+        assert product[index] == GF256.mul(index, scalar)
+
+
+def test_mul_array_by_zero_and_one():
+    data = np.array([1, 2, 3, 255], dtype=np.uint8)
+    assert GF256.mul_array(data, 0).tolist() == [0, 0, 0, 0]
+    assert GF256.mul_array(data, 1).tolist() == [1, 2, 3, 255]
+
+
+def test_matinv_roundtrip():
+    matrix = [[1, 2, 3], [4, 5, 6], [7, 8, 10]]
+    inverse = GF256.matinv(matrix)
+    product = GF256.matmul(matrix, inverse)
+    identity = [[1 if i == j else 0 for j in range(3)] for i in range(3)]
+    assert product == identity
+
+
+def test_matinv_singular_raises():
+    singular = [[1, 2], [1, 2]]
+    with pytest.raises(ValueError):
+        GF256.matinv(singular)

@@ -1,0 +1,155 @@
+"""Tests for the Reed-Solomon codec, including property-based erasure
+recovery over the paper's 7+2 geometry."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.erasure.reed_solomon import ReedSolomon
+from repro.errors import UncorrectableError
+
+
+@pytest.fixture(scope="module")
+def purity_code():
+    """The 7+2 code Purity uses (Section 4.4)."""
+    return ReedSolomon(7, 2)
+
+
+def make_shards(code, length=64, seed=1):
+    import random
+
+    rng = random.Random(seed)
+    return [rng.randbytes(length) for _ in range(code.data_shards)]
+
+
+def test_encode_produces_parity(purity_code):
+    data = make_shards(purity_code)
+    parity = purity_code.encode(data)
+    assert len(parity) == 2
+    assert all(len(shard) == 64 for shard in parity)
+
+
+def test_systematic_property(purity_code):
+    """Data shards pass through unchanged; stripe verifies."""
+    data = make_shards(purity_code)
+    parity = purity_code.encode(data)
+    assert purity_code.verify(data + parity)
+
+
+def test_single_data_erasure(purity_code):
+    data = make_shards(purity_code)
+    parity = purity_code.encode(data)
+    stripe = data + parity
+    lost = list(stripe)
+    lost[3] = None
+    recovered = purity_code.reconstruct(lost)
+    assert recovered == stripe
+
+
+def test_double_data_erasure(purity_code):
+    data = make_shards(purity_code)
+    parity = purity_code.encode(data)
+    stripe = data + parity
+    lost = list(stripe)
+    lost[0] = None
+    lost[6] = None
+    assert purity_code.reconstruct(lost) == stripe
+
+
+def test_parity_erasure(purity_code):
+    data = make_shards(purity_code)
+    parity = purity_code.encode(data)
+    stripe = data + parity
+    lost = list(stripe)
+    lost[7] = None
+    lost[8] = None
+    assert purity_code.reconstruct(lost) == stripe
+
+
+def test_mixed_data_and_parity_erasure(purity_code):
+    data = make_shards(purity_code)
+    parity = purity_code.encode(data)
+    stripe = data + parity
+    lost = list(stripe)
+    lost[2] = None
+    lost[8] = None
+    assert purity_code.reconstruct(lost) == stripe
+
+
+def test_three_erasures_uncorrectable(purity_code):
+    data = make_shards(purity_code)
+    parity = purity_code.encode(data)
+    lost = list(data + parity)
+    lost[0] = lost[1] = lost[7] = None
+    with pytest.raises(UncorrectableError):
+        purity_code.reconstruct(lost)
+
+
+def test_no_erasures_is_identity(purity_code):
+    data = make_shards(purity_code)
+    stripe = data + purity_code.encode(data)
+    assert purity_code.reconstruct(list(stripe)) == stripe
+
+
+def test_shard_length_mismatch_rejected(purity_code):
+    data = make_shards(purity_code)
+    data[0] = data[0][:-1]
+    with pytest.raises(ValueError):
+        purity_code.encode(data)
+
+
+def test_wrong_shard_count_rejected(purity_code):
+    with pytest.raises(ValueError):
+        purity_code.encode([b"ab"] * 6)
+    with pytest.raises(ValueError):
+        purity_code.reconstruct([b"ab"] * 8)
+
+
+def test_invalid_geometry_rejected():
+    with pytest.raises(ValueError):
+        ReedSolomon(0, 2)
+    with pytest.raises(ValueError):
+        ReedSolomon(7, 0)
+    with pytest.raises(ValueError):
+        ReedSolomon(250, 10)
+
+
+def test_verify_detects_corruption(purity_code):
+    data = make_shards(purity_code)
+    parity = purity_code.encode(data)
+    stripe = data + parity
+    corrupted = list(stripe)
+    corrupted[4] = bytes(b ^ 0xFF for b in corrupted[4])
+    assert not purity_code.verify(corrupted)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    data=st.lists(
+        st.binary(min_size=16, max_size=16), min_size=7, max_size=7
+    ),
+    erasures=st.sets(st.integers(min_value=0, max_value=8), min_size=0, max_size=2),
+)
+def test_any_two_erasures_recoverable(data, erasures):
+    code = ReedSolomon(7, 2)
+    stripe = data + code.encode(data)
+    lost = [None if index in erasures else shard for index, shard in enumerate(stripe)]
+    assert code.reconstruct(lost) == stripe
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    k=st.integers(min_value=2, max_value=10),
+    m=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_general_geometries(k, m, seed):
+    import random
+
+    rng = random.Random(seed)
+    code = ReedSolomon(k, m)
+    data = [rng.randbytes(32) for _ in range(k)]
+    stripe = data + code.encode(data)
+    erased = rng.sample(range(k + m), m)
+    lost = [None if index in erased else shard for index, shard in enumerate(stripe)]
+    assert code.reconstruct(lost) == stripe

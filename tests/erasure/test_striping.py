@@ -1,0 +1,53 @@
+"""Tests for payload striping helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.erasure.striping import stripe_payload, unstripe_payload
+
+
+def test_even_split():
+    shards, shard_length = stripe_payload(b"abcdefgh", 4)
+    assert shard_length == 2
+    assert shards == [b"ab", b"cd", b"ef", b"gh"]
+
+
+def test_padding_applied():
+    shards, shard_length = stripe_payload(b"abcde", 3)
+    assert shard_length == 2
+    assert b"".join(shards)[:5] == b"abcde"
+    assert all(len(shard) == 2 for shard in shards)
+
+
+def test_alignment_respected():
+    shards, shard_length = stripe_payload(b"x" * 100, 7, alignment=64)
+    assert shard_length == 64
+    assert all(len(shard) == 64 for shard in shards)
+
+
+def test_empty_payload():
+    shards, shard_length = stripe_payload(b"", 7, alignment=16)
+    assert shard_length == 16
+    assert all(shard == b"\x00" * 16 for shard in shards)
+
+
+def test_unstripe_rejects_overlong_claim():
+    shards, _ = stripe_payload(b"abc", 2)
+    with pytest.raises(ValueError):
+        unstripe_payload(shards, 100)
+
+
+def test_invalid_shard_count():
+    with pytest.raises(ValueError):
+        stripe_payload(b"abc", 0)
+
+
+@given(payload=st.binary(max_size=2048), k=st.integers(min_value=1, max_value=9),
+       alignment=st.sampled_from([1, 16, 512]))
+def test_roundtrip(payload, k, alignment):
+    shards, shard_length = stripe_payload(payload, k, alignment=alignment)
+    assert len(shards) == k
+    assert all(len(shard) == shard_length for shard in shards)
+    assert shard_length % alignment == 0
+    assert unstripe_payload(shards, len(payload)) == payload

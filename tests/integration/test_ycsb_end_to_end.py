@@ -1,0 +1,71 @@
+"""End-to-end YCSB runs against the full array."""
+
+import pytest
+
+from repro.core.array import PurityArray
+from repro.core.config import ArrayConfig
+from repro.sim.rand import RandomStream
+from repro.units import KIB, MIB
+from repro.workloads.base import OpKind, run_trace
+from repro.workloads.ycsb import YCSBConfig, YCSBWorkload
+
+
+@pytest.fixture
+def array():
+    return PurityArray.create(
+        ArrayConfig.small(num_drives=11, drive_capacity=64 * MIB)
+    )
+
+
+@pytest.mark.parametrize("mix", ["A", "B", "C", "F"])
+def test_ycsb_mix_end_to_end(array, mix):
+    config = YCSBConfig(mix=mix, record_count=48, record_size=8 * KIB)
+    workload = YCSBWorkload(config, RandomStream(hash(mix) & 0xFFFF))
+    array.create_volume(workload.volume, workload.volume_size)
+    run_trace(array, workload.load_trace())
+    reads, writes = run_trace(array, workload.run_trace(200))
+    read_fraction, _update, _insert = __import__(
+        "repro.workloads.ycsb", fromlist=["YCSB_MIXES"]
+    ).YCSB_MIXES[mix]
+    total = len(reads) + len(writes)
+    assert total == 200
+    if read_fraction < 1.0:
+        assert writes
+    assert all(latency >= 0 for latency in reads + writes)
+
+
+def test_ycsb_records_read_back_exactly(array):
+    """Every record write is later readable byte-for-byte, even after
+    maintenance runs between phases."""
+    config = YCSBConfig(mix="C", record_count=32, record_size=8 * KIB)
+    workload = YCSBWorkload(config, RandomStream(77))
+    array.create_volume(workload.volume, workload.volume_size)
+    load = workload.load_trace()
+    run_trace(array, load)
+    array.drain()
+    array.run_gc()
+    expected = {}
+    for op in load:
+        expected[op.offset] = op.data  # latest write per offset wins
+    array.datapath.drop_caches()
+    for offset, payload in expected.items():
+        data, _ = array.read(workload.volume, offset, len(payload))
+        assert data == payload
+
+
+def test_ycsb_survives_mid_run_crash(array):
+    config = YCSBConfig(mix="A", record_count=32, record_size=8 * KIB)
+    workload = YCSBWorkload(config, RandomStream(88))
+    array.create_volume(workload.volume, workload.volume_size)
+    run_trace(array, workload.load_trace())
+    run_trace(array, workload.run_trace(60))
+    written = {}
+    for op in workload.run_trace(20):
+        if op.kind is OpKind.WRITE:
+            array.write(op.volume, op.offset, op.data)
+            written[op.offset] = op.data
+    shelf, boot, clock = array.crash()
+    recovered, _report = PurityArray.recover(array.config, shelf, boot, clock)
+    for offset, payload in written.items():
+        data, _ = recovered.read(workload.volume, offset, len(payload))
+        assert data == payload

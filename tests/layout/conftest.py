@@ -1,0 +1,92 @@
+"""Shared small-scale layout fixtures.
+
+Tests run with miniature geometry (64 KiB AUs, 16 KiB write units) so
+whole segments fit comfortably in test time; the code paths are
+identical to paper scale.
+"""
+
+import pytest
+
+from repro.erasure.reed_solomon import ReedSolomon
+from repro.layout.allocation import Allocator
+from repro.layout.bootregion import BootRegion
+from repro.layout.frontier import FrontierManager
+from repro.layout.segment import SegmentGeometry
+from repro.layout.segreader import SegmentReader
+from repro.layout.segwriter import SegmentWriter
+from repro.sim.clock import SimClock
+from repro.sim.rand import RandomStream
+from repro.ssd.device import SimulatedSSD
+from repro.ssd.geometry import SSDGeometry
+from repro.units import KIB, MIB
+
+
+@pytest.fixture
+def geometry():
+    return SegmentGeometry(
+        data_shards=7,
+        parity_shards=2,
+        au_size=64 * KIB,
+        write_unit=16 * KIB,
+        wu_header_size=1 * KIB,
+    )
+
+
+@pytest.fixture
+def clock():
+    return SimClock()
+
+
+@pytest.fixture
+def drives(clock):
+    stream = RandomStream(7)
+    ssd_geometry = SSDGeometry(
+        capacity_bytes=4 * MIB, page_size=1 * KIB, erase_block_size=64 * KIB,
+        num_dies=8,
+    )
+    return {
+        "ssd%02d" % index: SimulatedSSD(
+            "ssd%02d" % index, clock, stream.fork(index), geometry=ssd_geometry
+        )
+        for index in range(11)
+    }
+
+
+@pytest.fixture
+def codec(geometry):
+    return ReedSolomon(geometry.data_shards, geometry.parity_shards)
+
+
+@pytest.fixture
+def allocator(drives, geometry):
+    aus_per_drive = 4 * MIB // geometry.au_size
+    return Allocator(list(drives), aus_per_drive)
+
+
+@pytest.fixture
+def frontier(allocator):
+    manager = FrontierManager(allocator, batch_per_drive=4)
+    manager.refill()
+    manager.mark_persisted()
+    return manager
+
+
+@pytest.fixture
+def boot_region(clock):
+    return BootRegion(clock)
+
+
+@pytest.fixture
+def writer(geometry, codec, drives, frontier, clock):
+    def checkpointer():
+        frontier.refill()
+        frontier.mark_persisted()
+
+    return SegmentWriter(
+        geometry, codec, drives, frontier, clock, checkpointer=checkpointer
+    )
+
+
+@pytest.fixture
+def reader(geometry, codec, drives):
+    return SegmentReader(geometry, codec, drives)

@@ -1,0 +1,70 @@
+"""Tests for the AU allocator."""
+
+import pytest
+
+from repro.errors import AllocationError, OutOfSpaceError
+from repro.layout.allocation import Allocator
+
+
+@pytest.fixture
+def allocator():
+    return Allocator(["d0", "d1", "d2"], aus_per_drive=4)
+
+
+def test_initial_state(allocator):
+    assert allocator.free_count() == 12
+    assert allocator.used_count() == 0
+    assert allocator.free_count("d1") == 4
+
+
+def test_take_specific(allocator):
+    allocator.take_specific("d0", 2)
+    assert allocator.free_count("d0") == 3
+    assert allocator.used_count() == 1
+    assert ("d0", 2) in allocator.used_units()
+    with pytest.raises(AllocationError):
+        allocator.take_specific("d0", 2)  # already taken
+    with pytest.raises(AllocationError):
+        allocator.take_specific("nope", 0)
+
+
+def test_release(allocator):
+    allocator.take_specific("d0", 0)
+    allocator.release([("d0", 0)])
+    assert allocator.free_count("d0") == 4
+    with pytest.raises(AllocationError):
+        allocator.release([("d0", 0)])  # double free
+
+
+def test_reserve_batch_is_plan_not_allocation(allocator):
+    batch = allocator.reserve_batch(2)
+    assert len(batch) == 6
+    assert allocator.used_count() == 0  # reservation does not allocate
+
+
+def test_drop_and_add_drive(allocator):
+    allocator.drop_drive("d0")
+    assert allocator.free_count() == 8
+    allocator.add_drive("d3")
+    assert allocator.free_count() == 12
+    with pytest.raises(AllocationError):
+        allocator.add_drive("d1")
+
+
+def test_ensure_capacity(allocator):
+    allocator.ensure_capacity(3)
+    for au in range(4):
+        allocator.take_specific("d0", au)
+    with pytest.raises(OutOfSpaceError):
+        allocator.ensure_capacity(3)
+    allocator.ensure_capacity(2)
+
+
+def test_restore_state(allocator):
+    allocator.take_specific("d0", 0)
+    allocator.take_specific("d1", 3)
+    saved = allocator.used_units()
+    fresh = Allocator(["d0", "d1", "d2"], aus_per_drive=4)
+    fresh.restore_state(saved)
+    assert fresh.used_units() == saved
+    assert fresh.free_count() == 10

@@ -1,0 +1,56 @@
+"""Tests for the boot region."""
+
+import pytest
+
+from repro.errors import RecoveryError
+from repro.layout.bootregion import BootRegion
+from repro.sim.clock import SimClock
+
+
+@pytest.fixture
+def boot_region():
+    return BootRegion(SimClock())
+
+
+def test_empty_boot_region_raises(boot_region):
+    assert boot_region.is_empty
+    with pytest.raises(RecoveryError):
+        boot_region.read_checkpoint()
+
+
+def test_checkpoint_roundtrip(boot_region):
+    checkpoint = {
+        "next_segment_id": 42,
+        "frontier": (("d0", 1), ("d1", 2)),
+        "used_units": (("d0", 0),),
+        "wal_trim": 17,
+    }
+    latency = boot_region.write_checkpoint(checkpoint)
+    assert latency > 0
+    loaded, read_latency = boot_region.read_checkpoint()
+    assert read_latency > 0
+    assert loaded == checkpoint
+
+
+def test_later_checkpoint_replaces_earlier(boot_region):
+    boot_region.write_checkpoint({"generation": 1})
+    boot_region.write_checkpoint({"generation": 2})
+    loaded, _ = boot_region.read_checkpoint()
+    assert loaded == {"generation": 2}
+    assert boot_region.writes == 2
+
+
+def test_bytes_written_accumulates(boot_region):
+    boot_region.write_checkpoint({"a": 1})
+    first = boot_region.bytes_written
+    boot_region.write_checkpoint({"a": 1, "b": (1, 2, 3)})
+    assert boot_region.bytes_written > first
+
+
+def test_checkpoint_is_serialized_snapshot(boot_region):
+    """Mutating the dict after writing must not alter the checkpoint."""
+    frontier = [("d0", 1)]
+    boot_region.write_checkpoint({"frontier": tuple(frontier)})
+    frontier.append(("d1", 9))
+    loaded, _ = boot_region.read_checkpoint()
+    assert loaded["frontier"] == (("d0", 1),)

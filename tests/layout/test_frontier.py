@@ -1,0 +1,89 @@
+"""Tests for the frontier manager."""
+
+import pytest
+
+from repro.errors import OutOfSpaceError
+from repro.layout.allocation import Allocator
+from repro.layout.frontier import FrontierManager
+
+
+@pytest.fixture
+def allocator():
+    return Allocator(["d%d" % i for i in range(11)], aus_per_drive=8)
+
+
+@pytest.fixture
+def frontier(allocator):
+    manager = FrontierManager(allocator, batch_per_drive=2)
+    manager.refill()
+    manager.mark_persisted()
+    return manager
+
+
+def test_unpersisted_frontier_refuses_allocation(allocator):
+    manager = FrontierManager(allocator, batch_per_drive=2)
+    manager.refill()
+    with pytest.raises(OutOfSpaceError):
+        manager.take_group(9)
+
+
+def test_take_group_uses_distinct_drives(frontier):
+    group = frontier.take_group(9)
+    assert len(group) == 9
+    assert len({drive for drive, _au in group}) == 9
+
+
+def test_allocation_comes_from_frontier(frontier):
+    persisted = set(frontier.current_units())
+    group = frontier.take_group(9)
+    assert set(group) <= persisted
+
+
+def test_speculative_promotion_avoids_checkpoint(frontier):
+    # Drain the current frontier (2 AUs x 11 drives = 22 AUs -> 2 groups
+    # of 9 leave too few drives with current AUs).
+    frontier.take_group(9)
+    frontier.take_group(9)
+    refills_before = frontier.refills
+    group = frontier.take_group(9)  # must promote the speculative set
+    assert len(group) == 9
+    assert frontier.refills == refills_before
+    assert not frontier.persist_needed
+
+
+def test_exhaustion_raises_until_refilled(allocator):
+    manager = FrontierManager(allocator, batch_per_drive=1, speculative_batches=0)
+    manager.refill()
+    manager.mark_persisted()
+    manager.take_group(9)
+    with pytest.raises(OutOfSpaceError):
+        manager.take_group(9)
+    manager.refill()
+    manager.mark_persisted()
+    assert len(manager.take_group(9)) == 9
+
+
+def test_scan_set_covers_current_and_speculative(frontier):
+    scan = set(frontier.scan_set())
+    assert set(frontier.current_units()) <= scan
+    assert set(frontier.speculative_units()) <= scan
+
+
+def test_drop_drive_removes_from_sets(frontier):
+    frontier.drop_drive("d3")
+    assert all(drive != "d3" for drive, _au in frontier.scan_set())
+
+
+def test_restore_roundtrip(frontier, allocator):
+    current = frontier.current_units()
+    speculative = frontier.speculative_units()
+    fresh = FrontierManager(allocator, batch_per_drive=2)
+    fresh.restore(current, speculative)
+    assert not fresh.persist_needed
+    assert sorted(fresh.current_units()) == sorted(current)
+    assert sorted(fresh.speculative_units()) == sorted(speculative)
+
+
+def test_refill_marks_persist_needed(frontier):
+    frontier.refill()
+    assert frontier.persist_needed

@@ -1,0 +1,107 @@
+"""Tests for segment geometry and headers."""
+
+import pytest
+
+from repro.errors import EncodingError
+from repro.layout.segment import SegioHeader, SegmentDescriptor, SegmentGeometry
+from repro.units import KIB, MIB
+
+
+def test_default_geometry_matches_paper():
+    geometry = SegmentGeometry()
+    assert geometry.data_shards == 7
+    assert geometry.parity_shards == 2
+    assert geometry.au_size == 8 * MIB
+    assert geometry.write_unit == 1 * MIB
+    assert geometry.segios_per_segment == 8
+
+
+def test_geometry_validation():
+    with pytest.raises(ValueError):
+        SegmentGeometry(data_shards=0)
+    with pytest.raises(ValueError):
+        SegmentGeometry(au_size=3 * MIB, write_unit=2 * MIB)
+    with pytest.raises(ValueError):
+        SegmentGeometry(write_unit=4 * KIB, wu_header_size=4 * KIB)
+
+
+def test_locate_roundtrip():
+    geometry = SegmentGeometry(
+        au_size=64 * KIB, write_unit=16 * KIB, wu_header_size=1 * KIB
+    )
+    body = geometry.shard_body
+    assert geometry.locate(0) == (0, 0, 0)
+    assert geometry.locate(body) == (0, 1, 0)
+    assert geometry.locate(body * 7) == (1, 0, 0)
+    assert geometry.locate(body * 7 + 5) == (1, 0, 5)
+    with pytest.raises(ValueError):
+        geometry.locate(geometry.payload_per_segment)
+    with pytest.raises(ValueError):
+        geometry.locate(-1)
+
+
+def test_split_payload_range_covers_contiguously():
+    geometry = SegmentGeometry(
+        au_size=64 * KIB, write_unit=16 * KIB, wu_header_size=1 * KIB
+    )
+    body = geometry.shard_body
+    chunks = list(geometry.split_payload_range(body - 10, 25))
+    assert chunks == [(0, 0, body - 10, 10), (0, 1, 0, 15)]
+    total = sum(chunk[3] for chunk in geometry.split_payload_range(100, 5 * body + 7))
+    assert total == 5 * body + 7
+
+
+def make_header(**overrides):
+    fields = dict(
+        segment_id=12,
+        segio_index=3,
+        shard_index=1,
+        placements=tuple(("ssd%02d" % i, i + 2) for i in range(9)),
+        data_length=1000,
+        log_locators=((5000, 64), (4936, 64)),
+        seq_min=100,
+        seq_max=142,
+        max_record_id=77,
+    )
+    fields.update(overrides)
+    return SegioHeader(**fields)
+
+
+def test_header_roundtrip():
+    header = make_header()
+    encoded = header.encode(1024)
+    assert len(encoded) == 1024
+    decoded = SegioHeader.decode(encoded)
+    assert decoded == header
+
+
+def test_header_decode_rejects_garbage():
+    assert SegioHeader.decode(b"\x00" * 1024) is None
+    assert SegioHeader.decode(b"nope") is None
+    encoded = make_header().encode(1024)
+    assert SegioHeader.decode(encoded[:10]) is None
+
+
+def test_header_too_large_raises():
+    header = make_header(
+        log_locators=tuple((i, 64) for i in range(200))
+    )
+    with pytest.raises(EncodingError):
+        header.encode(256)
+
+
+def test_header_yields_descriptor():
+    header = make_header()
+    descriptor = header.descriptor()
+    assert isinstance(descriptor, SegmentDescriptor)
+    assert descriptor.segment_id == 12
+    assert descriptor.drive_names()[0] == "ssd00"
+
+
+def test_descriptor_au_start():
+    geometry = SegmentGeometry(
+        au_size=64 * KIB, write_unit=16 * KIB, wu_header_size=1 * KIB
+    )
+    descriptor = SegmentDescriptor(1, (("a", 0), ("b", 3)))
+    assert descriptor.au_start(0, geometry) == 0
+    assert descriptor.au_start(1, geometry) == 3 * 64 * KIB

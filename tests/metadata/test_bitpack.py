@@ -1,0 +1,96 @@
+"""Tests for bit-level packing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metadata.bitpack import BitReader, BitWriter
+
+
+def test_single_value_roundtrip():
+    writer = BitWriter()
+    writer.write(5, 3)
+    reader = BitReader(writer.getvalue())
+    assert reader.read(3) == 5
+
+
+def test_multiple_values_cross_byte_boundaries():
+    writer = BitWriter()
+    values = [(3, 2), (17, 5), (1, 1), (255, 8), (1023, 10)]
+    for value, width in values:
+        writer.write(value, width)
+    reader = BitReader(writer.getvalue())
+    for value, width in values:
+        assert reader.read(width) == value
+
+
+def test_zero_width_fields_cost_nothing():
+    writer = BitWriter()
+    writer.write(0, 0)
+    writer.write(1, 1)
+    assert writer.bit_length == 1
+    reader = BitReader(writer.getvalue())
+    assert reader.read(0) == 0
+    assert reader.read(1) == 1
+
+
+def test_zero_width_rejects_nonzero_value():
+    writer = BitWriter()
+    with pytest.raises(ValueError):
+        writer.write(1, 0)
+
+
+def test_value_too_wide_rejected():
+    writer = BitWriter()
+    with pytest.raises(ValueError):
+        writer.write(8, 3)
+    with pytest.raises(ValueError):
+        writer.write(-1, 4)
+
+
+def test_read_past_end_raises():
+    writer = BitWriter()
+    writer.write(1, 4)
+    reader = BitReader(writer.getvalue())
+    reader.read(4)
+    # The padding rounds to a byte; reading past that byte fails.
+    reader.read(4)
+    with pytest.raises(ValueError):
+        reader.read(1)
+
+
+def test_seek_and_read_at():
+    writer = BitWriter()
+    writer.write(0b101, 3)
+    writer.write(0b0110, 4)
+    writer.write(0b11, 2)
+    reader = BitReader(writer.getvalue())
+    assert reader.read_at(3, 4) == 0b0110
+    assert reader.bit_position == 0  # read_at does not move the cursor
+    reader.seek(7)
+    assert reader.read(2) == 0b11
+
+
+def test_seek_out_of_range():
+    reader = BitReader(b"\x00")
+    with pytest.raises(ValueError):
+        reader.seek(9)
+    with pytest.raises(ValueError):
+        reader.seek(-1)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=1, max_value=24), st.integers(min_value=0)),
+        max_size=50,
+    ).map(
+        lambda pairs: [(width, value % (1 << width)) for width, value in pairs]
+    )
+)
+def test_roundtrip_property(pairs):
+    writer = BitWriter()
+    for width, value in pairs:
+        writer.write(value, width)
+    reader = BitReader(writer.getvalue())
+    for width, value in pairs:
+        assert reader.read(width) == value

@@ -1,0 +1,103 @@
+"""Tests for coalescing integer range sets."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metadata.rangecode import IntRangeSet
+
+
+def test_add_and_contains():
+    ranges = IntRangeSet()
+    ranges.add(5, 10)
+    assert ranges.contains(5)
+    assert ranges.contains(10)
+    assert not ranges.contains(4)
+    assert not ranges.contains(11)
+
+
+def test_adjacent_ranges_merge():
+    ranges = IntRangeSet()
+    ranges.add(0, 4)
+    ranges.add(5, 9)
+    assert len(ranges) == 1
+    assert list(ranges) == [(0, 9)]
+
+
+def test_overlapping_ranges_merge():
+    ranges = IntRangeSet()
+    ranges.add(0, 10)
+    ranges.add(5, 20)
+    assert list(ranges) == [(0, 20)]
+
+
+def test_disjoint_ranges_stay_separate():
+    ranges = IntRangeSet()
+    ranges.add(0, 5)
+    ranges.add(10, 15)
+    assert len(ranges) == 2
+    assert not ranges.contains(7)
+
+
+def test_bridge_merges_three():
+    ranges = IntRangeSet()
+    ranges.add(0, 5)
+    ranges.add(10, 15)
+    ranges.add(6, 9)
+    assert list(ranges) == [(0, 15)]
+
+
+def test_contained_range_is_absorbed():
+    ranges = IntRangeSet()
+    ranges.add(0, 100)
+    ranges.add(40, 60)
+    assert list(ranges) == [(0, 100)]
+
+
+def test_covered_count():
+    ranges = IntRangeSet([(0, 4), (10, 10)])
+    assert ranges.covered_count() == 6
+
+
+def test_empty_range_rejected():
+    with pytest.raises(ValueError):
+        IntRangeSet().add(5, 4)
+
+
+def test_equality():
+    assert IntRangeSet([(0, 5)]) == IntRangeSet([(0, 2), (3, 5)])
+
+
+def test_negative_values():
+    ranges = IntRangeSet()
+    ranges.add(-10, -5)
+    ranges.add(-4, 0)
+    assert list(ranges) == [(-10, 0)]
+    assert ranges.contains(-7)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    pairs=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=200),
+            st.integers(min_value=0, max_value=30),
+        ),
+        max_size=40,
+    )
+)
+def test_matches_set_reference(pairs):
+    """The range set always answers exactly like a plain set of ints."""
+    ranges = IntRangeSet()
+    reference = set()
+    for start, width in pairs:
+        ranges.add(start, start + width)
+        reference.update(range(start, start + width + 1))
+    for value in range(-1, 240):
+        assert ranges.contains(value) == (value in reference)
+    assert ranges.covered_count() == len(reference)
+    # Invariant: stored ranges are sorted, disjoint, non-adjacent.
+    listed = list(ranges)
+    for (lo_a, hi_a), (lo_b, _hi_b) in zip(listed, listed[1:]):
+        assert hi_a + 1 < lo_b
+    assert all(lo <= hi for lo, hi in listed)

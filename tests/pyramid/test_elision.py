@@ -1,0 +1,104 @@
+"""Tests for elision tables and predicates."""
+
+import pytest
+
+from repro.pyramid.elision import ElideTable, KeyPrefixPredicate, KeyRangePredicate
+from repro.pyramid.tuples import Fact
+
+
+def fact(key, seqno=1):
+    if not isinstance(key, tuple):
+        key = (key,)
+    return Fact(key=key, seqno=seqno)
+
+
+def test_key_range_predicate_matches():
+    predicate = KeyRangePredicate(5, 10)
+    assert predicate.matches(fact(5))
+    assert predicate.matches(fact(10))
+    assert not predicate.matches(fact(4))
+    assert not predicate.matches(fact(11))
+
+
+def test_key_range_predicate_seq_bound():
+    predicate = KeyRangePredicate(0, 100, as_of_seq=50)
+    assert predicate.matches(fact(5, seqno=49))
+    assert not predicate.matches(fact(5, seqno=50))
+    assert not predicate.matches(fact(5, seqno=99))
+
+
+def test_key_range_predicate_on_other_field():
+    predicate = KeyRangePredicate(7, 7, field=1)
+    assert predicate.matches(fact((1, 7)))
+    assert not predicate.matches(fact((7, 1)))
+    assert not predicate.matches(fact((1,)))  # field absent
+
+
+def test_key_range_rejects_empty():
+    with pytest.raises(ValueError):
+        KeyRangePredicate(10, 5)
+
+
+def test_prefix_predicate():
+    predicate = KeyPrefixPredicate(prefix=(3, "a"))
+    assert predicate.matches(fact((3, "a", 99)))
+    assert predicate.matches(fact((3, "a")))
+    assert not predicate.matches(fact((3, "b", 99)))
+
+
+def test_elide_table_basic():
+    table = ElideTable()
+    table.elide_key_range(10, 20)
+    assert table.is_elided(fact(15))
+    assert not table.is_elided(fact(25))
+
+
+def test_contiguous_ranges_coalesce():
+    """The paper's bound: dense monotone keys collapse into few ranges."""
+    table = ElideTable()
+    for medium_id in range(1000):
+        table.elide_key_range(medium_id, medium_id)
+    assert table.records_inserted == 1000
+    assert table.record_count == 1
+    assert table.ranges_for_field(0) == [(0, 999)]
+
+
+def test_ranges_with_gaps_stay_separate():
+    table = ElideTable()
+    table.elide_key_range(0, 10)
+    table.elide_key_range(20, 30)
+    assert table.record_count == 2
+    table.elide_key_range(11, 19)  # fills the gap
+    assert table.record_count == 1
+
+
+def test_single_int_prefix_coalesces_as_range():
+    table = ElideTable()
+    table.elide_prefix((5,))
+    table.elide_prefix((6,))
+    assert table.record_count == 1
+    assert table.is_elided(fact((5, 123)))
+    assert table.is_elided(fact((6,)))
+    assert not table.is_elided(fact((7,)))
+
+
+def test_seq_bounded_predicates_not_coalesced_but_bounded():
+    table = ElideTable()
+    table.insert(KeyRangePredicate(0, 5, as_of_seq=100))
+    table.insert(KeyRangePredicate(0, 5, as_of_seq=100))  # duplicate
+    assert table.record_count == 1
+    assert table.is_elided(fact(3, seqno=50))
+    assert not table.is_elided(fact(3, seqno=150))
+
+
+def test_non_int_key_component_never_matches_ranges():
+    table = ElideTable()
+    table.elide_key_range(0, 1000)
+    assert not table.is_elided(fact(("strkey",)))
+
+
+def test_elision_is_idempotent():
+    table = ElideTable()
+    table.elide_key_range(5, 9)
+    table.elide_key_range(5, 9)
+    assert table.record_count == 1

@@ -1,0 +1,63 @@
+"""Tests for the memtable."""
+
+from repro.pyramid.memtable import MemTable
+from repro.pyramid.tuples import Fact
+
+
+def fact(key, seqno, value=0):
+    return Fact(key=(key,), seqno=seqno, value=(value,))
+
+
+def test_insert_and_lookup():
+    table = MemTable()
+    table.insert(fact(1, 1, "a"))
+    table.insert(fact(1, 3, "b"))
+    assert table.lookup_latest((1,)).value == ("b",)
+    assert table.lookup_latest((1,), max_seq=2).value == ("a",)
+    assert table.lookup_latest((9,)) is None
+    assert len(table) == 2
+
+
+def test_duplicate_insert_is_noop():
+    table = MemTable()
+    duplicate = fact(1, 1)
+    table.insert(duplicate)
+    table.insert(duplicate)
+    assert len(table) == 1
+
+
+def test_seq_bounds_tracked():
+    table = MemTable()
+    assert table.min_seq is None
+    table.insert(fact(1, 5))
+    table.insert(fact(2, 3))
+    table.insert(fact(3, 9))
+    assert table.min_seq == 3
+    assert table.max_seq == 9
+
+
+def test_to_patch_snapshots_sorted():
+    table = MemTable()
+    table.insert(fact(5, 1))
+    table.insert(fact(2, 2))
+    patch = table.to_patch()
+    assert [f.key[0] for f in patch] == [2, 5]
+    # Mutating the memtable afterwards does not affect the patch.
+    table.insert(fact(9, 3))
+    assert len(patch) == 2
+
+
+def test_clear():
+    table = MemTable()
+    table.insert(fact(1, 1))
+    table.clear()
+    assert len(table) == 0
+    assert table.min_seq is None
+    assert table.lookup_latest((1,)) is None
+
+
+def test_lookup_all_sorted_by_seqno():
+    table = MemTable()
+    table.insert(fact(1, 9, "late"))
+    table.insert(fact(1, 2, "early"))
+    assert [f.seqno for f in table.lookup_all((1,))] == [2, 9]

@@ -1,0 +1,82 @@
+"""Tests for patches and merging."""
+
+from repro.pyramid.patch import Patch, merge_patches
+from repro.pyramid.tuples import Fact
+
+
+def fact(key, seqno, value=0):
+    return Fact(key=(key,), seqno=seqno, value=(value,))
+
+
+def test_patch_sorts_facts():
+    patch = Patch([fact(3, 1), fact(1, 2), fact(2, 3)])
+    assert [f.key[0] for f in patch] == [1, 2, 3]
+    assert patch.min_seq == 1
+    assert patch.max_seq == 3
+    assert patch.key_range == ((1,), (3,))
+
+
+def test_empty_patch():
+    patch = Patch([])
+    assert len(patch) == 0
+    assert patch.key_range is None
+    assert patch.lookup_latest((1,)) is None
+
+
+def test_lookup_all_returns_versions_in_order():
+    patch = Patch([fact(1, 5, "new"), fact(1, 2, "old"), fact(2, 3)])
+    versions = patch.lookup_all((1,))
+    assert [v.seqno for v in versions] == [2, 5]
+
+
+def test_lookup_latest_with_seq_bound():
+    patch = Patch([fact(1, 2, "old"), fact(1, 5, "new")])
+    assert patch.lookup_latest((1,)).value == ("new",)
+    assert patch.lookup_latest((1,), max_seq=4).value == ("old",)
+    assert patch.lookup_latest((1,), max_seq=1) is None
+
+
+def test_scan_range():
+    patch = Patch([fact(k, k) for k in range(10)])
+    keys = [f.key[0] for f in patch.scan((3,), (6,))]
+    assert keys == [3, 4, 5, 6]
+    assert [f.key[0] for f in patch.scan()] == list(range(10))
+    assert [f.key[0] for f in patch.scan(lo_key=(8,))] == [8, 9]
+    assert [f.key[0] for f in patch.scan(hi_key=(1,))] == [0, 1]
+
+
+def test_merge_combines_and_sorts():
+    old = Patch([fact(1, 1), fact(3, 2)])
+    new = Patch([fact(2, 3), fact(3, 4)])
+    merged = merge_patches([old, new])
+    assert [f.key[0] for f in merged] == [1, 2, 3, 3]
+    assert merged.min_seq == 1
+    assert merged.max_seq == 4
+
+
+def test_merge_deduplicates_identical_facts():
+    duplicate = fact(1, 1, "same")
+    merged = merge_patches([Patch([duplicate]), Patch([duplicate])])
+    assert len(merged) == 1
+
+
+def test_merge_is_idempotent():
+    a = Patch([fact(1, 1), fact(2, 2)])
+    b = Patch([fact(2, 2), fact(3, 3)])
+    once = merge_patches([a, b])
+    twice = merge_patches([once, once])
+    assert list(once) == list(twice)
+
+
+def test_merge_drop_filter():
+    patch = Patch([fact(k, k + 1) for k in range(6)])
+    merged = merge_patches([patch], drop=lambda f: f.key[0] % 2 == 0)
+    assert [f.key[0] for f in merged] == [1, 3, 5]
+
+
+def test_merge_preserves_distinct_versions():
+    merged = merge_patches(
+        [Patch([fact(1, 1, "v1")]), Patch([fact(1, 2, "v2")])]
+    )
+    assert len(merged) == 2
+    assert merged.lookup_latest((1,)).value == ("v2",)

@@ -1,0 +1,135 @@
+"""Tests for the pyramid LSM index."""
+
+import pytest
+
+from repro.pyramid.pyramid import Pyramid
+from repro.pyramid.patch import Patch
+from repro.pyramid.tuples import Fact
+
+
+def fact(key, seqno, value=0):
+    return Fact(key=(key,), seqno=seqno, value=(value,))
+
+
+def test_insert_seal_lookup():
+    pyramid = Pyramid("t")
+    pyramid.insert(fact(1, 1, "a"))
+    assert pyramid.lookup_latest((1,)).value == ("a",)
+    pyramid.seal()
+    assert pyramid.patch_count == 1
+    assert pyramid.lookup_latest((1,)).value == ("a",)
+
+
+def test_seal_empty_returns_none():
+    pyramid = Pyramid("t")
+    assert pyramid.seal() is None
+    assert pyramid.patch_count == 0
+
+
+def test_newer_versions_shadow_older_across_patches():
+    pyramid = Pyramid("t")
+    pyramid.insert(fact(1, 1, "old"))
+    pyramid.seal()
+    pyramid.insert(fact(1, 5, "new"))
+    pyramid.seal()
+    assert pyramid.lookup_latest((1,)).value == ("new",)
+    assert pyramid.lookup_latest((1,), max_seq=3).value == ("old",)
+
+
+def test_out_of_order_insert_still_resolves_by_seqno():
+    """Lagging writers may insert older facts later (Section 3.2)."""
+    pyramid = Pyramid("t")
+    pyramid.insert(fact(1, 5, "new"))
+    pyramid.seal()
+    pyramid.insert(fact(1, 1, "stale"))  # arrives late
+    pyramid.seal()
+    assert pyramid.lookup_latest((1,)).value == ("new",)
+
+
+def test_lookup_all_deduplicates():
+    pyramid = Pyramid("t")
+    pyramid.insert(fact(1, 1))
+    pyramid.seal()
+    pyramid.insert(fact(1, 1))  # same fact redelivered
+    pyramid.insert(fact(1, 2))
+    assert [f.seqno for f in pyramid.lookup_all((1,))] == [1, 2]
+
+
+def test_scan_latest_yields_one_fact_per_key():
+    pyramid = Pyramid("t")
+    for key in range(5):
+        pyramid.insert(fact(key, key + 1, "v1"))
+    pyramid.seal()
+    for key in range(5):
+        pyramid.insert(fact(key, key + 10, "v2"))
+    pyramid.seal()
+    results = list(pyramid.scan_latest())
+    assert len(results) == 5
+    assert all(f.value == ("v2",) for f in results)
+    bounded = list(pyramid.scan_latest((1,), (3,)))
+    assert [f.key[0] for f in bounded] == [1, 2, 3]
+
+
+def test_merge_reduces_patch_count_preserves_lookups():
+    pyramid = Pyramid("t")
+    for round_number in range(4):
+        for key in range(10):
+            pyramid.insert(fact(key, round_number * 10 + key + 1, round_number))
+        pyramid.seal()
+    assert pyramid.patch_count == 4
+    pyramid.merge()
+    assert pyramid.patch_count == 1
+    for key in range(10):
+        assert pyramid.lookup_latest((key,)).value == (3,)
+
+
+def test_merge_with_drop_applies_elision():
+    pyramid = Pyramid("t")
+    for key in range(10):
+        pyramid.insert(fact(key, key + 1))
+    pyramid.seal()
+    pyramid.insert(fact(100, 200))
+    pyramid.seal()
+    pyramid.merge(drop=lambda f: f.key[0] < 5)
+    assert pyramid.lookup_latest((3,)) is None
+    assert pyramid.lookup_latest((7,)) is not None
+    assert pyramid.lookup_latest((100,)) is not None
+
+
+def test_maybe_compact_respects_fanout():
+    pyramid = Pyramid("t", fanout=3)
+    for round_number in range(8):
+        pyramid.insert(fact(round_number, round_number + 1))
+        pyramid.seal()
+    assert pyramid.patch_count == 8
+    assert pyramid.maybe_compact()
+    assert pyramid.patch_count <= 3
+    for key in range(8):
+        assert pyramid.lookup_latest((key,)) is not None
+
+
+def test_merge_is_idempotent_under_retry():
+    """Re-running a merge after a simulated failure changes nothing."""
+    pyramid = Pyramid("t")
+    for key in range(6):
+        pyramid.insert(fact(key, key + 1))
+        pyramid.seal()
+    first = pyramid.merge()
+    before = list(first)
+    second = pyramid.merge()  # single patch left: no-op
+    assert second is None
+    assert list(pyramid.patches[0]) == before
+
+
+def test_adopt_patch():
+    pyramid = Pyramid("t")
+    external = Patch([fact(1, 1, "loaded")])
+    pyramid.adopt_patch(external)
+    assert pyramid.lookup_latest((1,)).value == ("loaded",)
+    pyramid.adopt_patch(Patch([]))  # empty patches ignored
+    assert pyramid.patch_count == 1
+
+
+def test_invalid_fanout():
+    with pytest.raises(ValueError):
+        Pyramid("t", fanout=1)

@@ -1,0 +1,103 @@
+"""Property tests: the pyramid versus a reference dict, and the
+paper's elide-table bound.
+
+The pyramid under arbitrary insert/seal/merge/compact interleavings
+must answer exactly like a dict keyed by (key -> latest fact); the
+elide table's record count must never exceed the number of coalesced
+gaps regardless of deletion order.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pyramid.elision import ElideTable
+from repro.pyramid.pyramid import Pyramid
+from repro.pyramid.relation import Relation
+from repro.pyramid.tuples import Fact, SequenceGenerator
+
+
+operation = st.one_of(
+    st.tuples(st.just("insert"), st.integers(0, 30), st.integers(0, 1000)),
+    st.tuples(st.just("seal"), st.just(0), st.just(0)),
+    st.tuples(st.just("merge"), st.just(0), st.just(0)),
+    st.tuples(st.just("compact"), st.just(0), st.just(0)),
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(operations=st.lists(operation, max_size=60))
+def test_pyramid_matches_dict_reference(operations):
+    pyramid = Pyramid("prop", fanout=3)
+    sequence = SequenceGenerator()
+    reference = {}
+    for kind, key, value in operations:
+        if kind == "insert":
+            seqno = sequence.next()
+            pyramid.insert(Fact(key=(key,), seqno=seqno, value=(value,)))
+            reference[(key,)] = (value, seqno)
+        elif kind == "seal":
+            pyramid.seal()
+        elif kind == "merge":
+            pyramid.seal()
+            pyramid.merge()
+        elif kind == "compact":
+            pyramid.maybe_compact()
+    for key, (value, seqno) in reference.items():
+        fact = pyramid.lookup_latest(key)
+        assert fact is not None
+        assert fact.value == (value,)
+        assert fact.seqno == seqno
+    # scan_latest agrees with the reference exactly.
+    scanned = {fact.key: fact.value[0] for fact in pyramid.scan_latest()}
+    assert scanned == {key: value for key, (value, _s) in reference.items()}
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    drops=st.lists(
+        st.tuples(st.integers(0, 200), st.integers(0, 20)), max_size=50
+    )
+)
+def test_elide_table_bound(drops):
+    """Paper invariant: coalesced ranges never exceed the number of
+    disjoint runs actually deleted (and collapse as gaps fill)."""
+    table = ElideTable()
+    deleted = set()
+    for start, width in drops:
+        table.elide_key_range(start, start + width)
+        deleted.update(range(start, start + width + 1))
+    # Count the disjoint runs in the deleted set.
+    runs = 0
+    previous = None
+    for value in sorted(deleted):
+        if previous is None or value != previous + 1:
+            runs += 1
+        previous = value
+    assert table.record_count == runs
+    # Membership is exact.
+    for probe in range(-1, 225):
+        fact = Fact(key=(probe,), seqno=1)
+        assert table.is_elided(fact) == (probe in deleted)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    keys=st.lists(st.integers(0, 40), min_size=1, max_size=40),
+    drop_lo=st.integers(0, 40),
+    drop_width=st.integers(0, 10),
+)
+def test_relation_elision_equals_filtered_dict(keys, drop_lo, drop_width):
+    relation = Relation("prop", key_arity=1, fanout=3)
+    sequence = SequenceGenerator()
+    reference = {}
+    for key in keys:
+        relation.insert((key,), (key * 2,), sequence.next())
+        reference[key] = key * 2
+    relation.elide_key_range(drop_lo, drop_lo + drop_width)
+    relation.flatten()
+    surviving = {
+        key: value for key, value in reference.items()
+        if not drop_lo <= key <= drop_lo + drop_width
+    }
+    scanned = {fact.key[0]: fact.value[0] for fact in relation.scan()}
+    assert scanned == surviving

@@ -1,0 +1,94 @@
+"""Tests for relations (pyramid + elide rules)."""
+
+import pytest
+
+from repro.pyramid.relation import Relation
+from repro.pyramid.tuples import SequenceGenerator
+
+
+@pytest.fixture
+def relation():
+    return Relation("blocks", key_arity=2)
+
+
+@pytest.fixture
+def seq():
+    return SequenceGenerator()
+
+
+def test_insert_and_get(relation, seq):
+    relation.insert((1, 0), ("payload",), seq.next())
+    fact = relation.get((1, 0))
+    assert fact.value == ("payload",)
+    assert relation.get_value((1, 0)) == ("payload",)
+    assert relation.get((9, 9)) is None
+    assert relation.get_value((9, 9), default="missing") == "missing"
+
+
+def test_key_arity_enforced(relation, seq):
+    with pytest.raises(ValueError):
+        relation.insert((1,), ("short",), seq.next())
+
+
+def test_latest_version_wins(relation, seq):
+    relation.insert((1, 0), ("v1",), seq.next())
+    relation.insert((1, 0), ("v2",), seq.next())
+    assert relation.get_value((1, 0)) == ("v2",)
+
+
+def test_elision_hides_facts(relation, seq):
+    relation.insert((1, 0), ("a",), seq.next())
+    relation.insert((2, 0), ("b",), seq.next())
+    relation.elide_prefix((1,))
+    assert relation.get((1, 0)) is None
+    assert relation.get((2, 0)) is not None
+
+
+def test_relaxed_readers_see_elided_facts(relation, seq):
+    """Section 3.2: relaxed readers may observe deleted tuples."""
+    relation.insert((1, 0), ("ghost",), seq.next())
+    relation.elide_prefix((1,))
+    assert relation.get((1, 0)) is None
+    assert relation.get((1, 0), ignore_elisions=True).value == ("ghost",)
+
+
+def test_scan_filters_elisions(relation, seq):
+    for medium in range(4):
+        relation.insert((medium, 0), (medium,), seq.next())
+    relation.elide_prefix((2,))
+    visible = [fact.key[0] for fact in relation.scan()]
+    assert visible == [0, 1, 3]
+    assert relation.live_fact_count() == 3
+
+
+def test_flatten_physically_drops_elided(relation, seq):
+    for medium in range(10):
+        relation.insert((medium, 0), (medium,), seq.next())
+    relation.elide_key_range(0, 4)
+    assert relation.stored_fact_count() == 10
+    relation.flatten()
+    assert relation.stored_fact_count() == 5
+    assert relation.get((7, 0)) is not None
+
+
+def test_compact_applies_fanout(seq):
+    relation = Relation("small", key_arity=1, fanout=2)
+    for round_number in range(6):
+        relation.insert((round_number,), (round_number,), seq.next())
+        relation.seal()
+    assert relation.pyramid.patch_count == 6
+    relation.compact()
+    assert relation.pyramid.patch_count <= 2
+    assert relation.get_value((3,)) == (3,)
+
+
+def test_insert_is_idempotent(relation, seq):
+    seqno = seq.next()
+    fact = relation.insert((1, 1), ("same",), seqno)
+    relation.insert_fact(fact)  # redelivery
+    assert relation.stored_fact_count() == 1
+
+
+def test_invalid_arity():
+    with pytest.raises(ValueError):
+        Relation("bad", key_arity=0)

@@ -1,0 +1,121 @@
+"""Tests for facts, sequence numbers, and the wire codec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import EncodingError
+from repro.pyramid.tuples import (
+    Fact,
+    SequenceGenerator,
+    decode_fact,
+    decode_value,
+    encode_fact,
+    encode_value,
+)
+
+
+def test_fact_is_immutable_and_ordered():
+    a = Fact(key=(1,), seqno=1, value=("x",))
+    b = Fact(key=(1,), seqno=2, value=("y",))
+    c = Fact(key=(2,), seqno=1, value=("z",))
+    assert a < b < c
+    with pytest.raises(AttributeError):
+        a.seqno = 5
+
+
+def test_fact_validates_inputs():
+    with pytest.raises(TypeError):
+        Fact(key=[1], seqno=1)
+    with pytest.raises(TypeError):
+        Fact(key=(1,), seqno=1, value=[2])
+    with pytest.raises(ValueError):
+        Fact(key=(1,), seqno=-1)
+
+
+def test_sequence_generator_is_monotonic():
+    gen = SequenceGenerator()
+    values = [gen.next() for _ in range(100)]
+    assert values == sorted(values)
+    assert len(set(values)) == 100
+    assert gen.last_issued == values[-1]
+
+
+def test_sequence_generator_advance_past():
+    gen = SequenceGenerator()
+    gen.next()
+    gen.advance_past(500)
+    assert gen.next() == 501
+    gen.advance_past(100)  # must not go backwards
+    assert gen.next() == 502
+
+
+def test_sequence_generator_rejects_bad_start():
+    with pytest.raises(ValueError):
+        SequenceGenerator(start=0)
+
+
+primitive = st.one_of(
+    st.integers(min_value=-(2 ** 62), max_value=2 ** 62),
+    st.binary(max_size=64),
+    st.text(max_size=32),
+    st.none(),
+)
+
+
+@given(st.tuples(primitive, primitive, primitive))
+def test_value_codec_roundtrip(values):
+    encoded = encode_value(values)
+    decoded, end = decode_value(encoded)
+    assert decoded == values
+    assert end == len(encoded)
+
+
+def test_nested_tuple_roundtrip():
+    values = ((1, (2, b"x")), "outer", None)
+    decoded, _ = decode_value(encode_value(values))
+    assert decoded == values
+
+
+def test_bool_encodes_as_int():
+    decoded, _ = decode_value(encode_value((True, False)))
+    assert decoded == (1, 0)
+
+
+@given(
+    key=st.tuples(st.integers(min_value=0, max_value=2 ** 32), st.binary(max_size=16)),
+    seqno=st.integers(min_value=0, max_value=2 ** 40),
+    value=st.tuples(st.text(max_size=16)),
+)
+def test_fact_codec_roundtrip(key, seqno, value):
+    fact = Fact(key=key, seqno=seqno, value=value)
+    decoded, end = decode_fact(encode_fact(fact))
+    assert decoded == fact
+
+
+def test_decode_truncated_raises():
+    fact = Fact(key=(1, 2), seqno=3, value=(b"abcdef",))
+    encoded = encode_fact(fact)
+    with pytest.raises(EncodingError):
+        decode_fact(encoded[:-3])
+
+
+def test_decode_garbage_raises():
+    with pytest.raises(EncodingError):
+        decode_value(b"\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff")
+
+
+def test_unencodable_type_raises():
+    with pytest.raises(EncodingError):
+        encode_value((1.5,))
+
+
+def test_multiple_facts_stream():
+    facts = [Fact(key=(i,), seqno=i + 1, value=(i * 2,)) for i in range(10)]
+    blob = b"".join(encode_fact(fact) for fact in facts)
+    offset = 0
+    decoded = []
+    while offset < len(blob):
+        fact, offset = decode_fact(blob, offset)
+        decoded.append(fact)
+    assert decoded == facts

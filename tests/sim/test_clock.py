@@ -1,0 +1,36 @@
+"""Tests for the simulated clock."""
+
+import pytest
+
+from repro.sim.clock import ClockError, SimClock
+
+
+def test_starts_at_zero_by_default():
+    assert SimClock().now == 0.0
+
+
+def test_advance_moves_forward():
+    clock = SimClock()
+    clock.advance(1.5)
+    clock.advance(0.5)
+    assert clock.now == pytest.approx(2.0)
+
+
+def test_advance_rejects_negative():
+    clock = SimClock()
+    with pytest.raises(ClockError):
+        clock.advance(-0.1)
+
+
+def test_advance_to_never_goes_backwards():
+    clock = SimClock(start=10.0)
+    clock.advance_to(5.0)
+    assert clock.now == 10.0
+    clock.advance_to(12.5)
+    assert clock.now == 12.5
+
+
+def test_zero_advance_is_allowed():
+    clock = SimClock()
+    clock.advance(0.0)
+    assert clock.now == 0.0

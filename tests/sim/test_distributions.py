@@ -1,0 +1,80 @@
+"""Tests for latency distributions."""
+
+import pytest
+
+from repro.sim.distributions import (
+    Constant,
+    Exponential,
+    LogNormal,
+    Mixture,
+    Uniform,
+    percentile,
+)
+from repro.sim.rand import RandomStream
+
+
+@pytest.fixture
+def stream():
+    return RandomStream(123)
+
+
+def test_constant(stream):
+    dist = Constant(0.005)
+    assert dist.sample(stream) == 0.005
+    assert dist.mean() == 0.005
+
+
+def test_constant_rejects_negative():
+    with pytest.raises(ValueError):
+        Constant(-1.0)
+
+
+def test_uniform_bounds(stream):
+    dist = Uniform(0.001, 0.002)
+    samples = [dist.sample(stream) for _ in range(500)]
+    assert all(0.001 <= s <= 0.002 for s in samples)
+    assert dist.mean() == pytest.approx(0.0015)
+
+
+def test_exponential_mean(stream):
+    dist = Exponential(0.01)
+    samples = [dist.sample(stream) for _ in range(20000)]
+    assert sum(samples) / len(samples) == pytest.approx(0.01, rel=0.05)
+
+
+def test_lognormal_median_and_mean(stream):
+    dist = LogNormal(median=0.0001, sigma=0.25)
+    samples = sorted(dist.sample(stream) for _ in range(20000))
+    observed_median = samples[len(samples) // 2]
+    assert observed_median == pytest.approx(0.0001, rel=0.05)
+    assert dist.mean() > 0.0001  # log-normal mean exceeds median
+
+
+def test_mixture_weights(stream):
+    fast = Constant(0.0001)
+    slow = Constant(0.01)
+    dist = Mixture([(0.9, fast), (0.1, slow)])
+    samples = [dist.sample(stream) for _ in range(10000)]
+    slow_fraction = sum(1 for s in samples if s == 0.01) / len(samples)
+    assert slow_fraction == pytest.approx(0.1, abs=0.02)
+    assert dist.mean() == pytest.approx(0.9 * 0.0001 + 0.1 * 0.01)
+
+
+def test_mixture_rejects_empty():
+    with pytest.raises(ValueError):
+        Mixture([])
+
+
+def test_percentile_nearest_rank():
+    samples = list(range(1, 101))  # 1..100
+    assert percentile(samples, 0.5) == 50
+    assert percentile(samples, 0.99) == 99
+    assert percentile(samples, 1.0) == 100
+    assert percentile(samples, 0.0) == 1
+
+
+def test_percentile_validates_input():
+    with pytest.raises(ValueError):
+        percentile([], 0.5)
+    with pytest.raises(ValueError):
+        percentile([1.0], 1.5)

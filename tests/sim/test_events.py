@@ -1,0 +1,147 @@
+"""Tests for the discrete-event loop and processes."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+from repro.sim.events import EventLoop, SimulationError
+
+
+def make_loop():
+    return EventLoop(SimClock())
+
+
+def test_events_run_in_time_order():
+    loop = make_loop()
+    seen = []
+    loop.call_in(2.0, seen.append, "late")
+    loop.call_in(1.0, seen.append, "early")
+    loop.call_in(3.0, seen.append, "last")
+    loop.run()
+    assert seen == ["early", "late", "last"]
+    assert loop.clock.now == pytest.approx(3.0)
+
+
+def test_ties_run_in_scheduling_order():
+    loop = make_loop()
+    seen = []
+    loop.call_in(1.0, seen.append, "first")
+    loop.call_in(1.0, seen.append, "second")
+    loop.run()
+    assert seen == ["first", "second"]
+
+
+def test_run_until_stops_clock_at_bound():
+    loop = make_loop()
+    seen = []
+    loop.call_in(5.0, seen.append, "never")
+    loop.run(until=2.0)
+    assert seen == []
+    assert loop.clock.now == pytest.approx(2.0)
+    loop.run()
+    assert seen == ["never"]
+
+
+def test_cannot_schedule_in_the_past():
+    loop = make_loop()
+    loop.clock.advance(10.0)
+    with pytest.raises(SimulationError):
+        loop.call_at(5.0, lambda: None)
+
+
+def test_max_events_guard():
+    loop = make_loop()
+
+    def reschedule():
+        loop.call_in(1.0, reschedule)
+
+    loop.call_in(1.0, reschedule)
+    dispatched = loop.run(max_events=50)
+    assert dispatched == 50
+
+
+def test_process_sleeps_consume_simulated_time():
+    loop = make_loop()
+    ticks = []
+
+    def worker():
+        for _ in range(3):
+            yield 1.0
+            ticks.append(loop.clock.now)
+
+    loop.process(worker())
+    loop.run()
+    assert ticks == [pytest.approx(1.0), pytest.approx(2.0), pytest.approx(3.0)]
+
+
+def test_process_waits_on_event():
+    loop = make_loop()
+    order = []
+    gate = loop.event()
+
+    def waiter():
+        value = yield gate
+        order.append(("woke", value, loop.clock.now))
+
+    def signaller():
+        yield 5.0
+        order.append(("signal", loop.clock.now))
+        gate.succeed("payload")
+
+    loop.process(waiter())
+    loop.process(signaller())
+    loop.run()
+    assert order[0] == ("signal", pytest.approx(5.0))
+    assert order[1][0] == "woke"
+    assert order[1][1] == "payload"
+
+
+def test_process_can_wait_on_another_process():
+    loop = make_loop()
+    results = []
+
+    def inner():
+        yield 2.0
+        return 42
+
+    def outer():
+        child = loop.process(inner())
+        value = yield child
+        results.append((value, loop.clock.now))
+
+    loop.process(outer())
+    loop.run()
+    assert results == [(42, pytest.approx(2.0))]
+
+
+def test_event_already_triggered_wakes_immediately():
+    loop = make_loop()
+    gate = loop.event()
+    gate.succeed("early")
+    results = []
+
+    def waiter():
+        value = yield gate
+        results.append(value)
+
+    loop.process(waiter())
+    loop.run()
+    assert results == ["early"]
+
+
+def test_double_succeed_raises():
+    loop = make_loop()
+    gate = loop.event()
+    gate.succeed()
+    with pytest.raises(SimulationError):
+        gate.succeed()
+
+
+def test_process_rejects_negative_sleep():
+    loop = make_loop()
+
+    def bad():
+        yield -1.0
+
+    loop.process(bad())
+    with pytest.raises(SimulationError):
+        loop.run()

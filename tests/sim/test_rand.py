@@ -1,0 +1,61 @@
+"""Tests for deterministic random streams."""
+
+from repro.sim.rand import RandomStream
+
+
+def test_same_seed_same_sequence():
+    a = RandomStream(7)
+    b = RandomStream(7)
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_different_seeds_differ():
+    a = RandomStream(1)
+    b = RandomStream(2)
+    assert [a.random() for _ in range(10)] != [b.random() for _ in range(10)]
+
+
+def test_fork_is_order_independent():
+    parent_a = RandomStream(42)
+    parent_b = RandomStream(42)
+    # Fork in different orders; same-named children must match.
+    left_a = parent_a.fork("left")
+    right_a = parent_a.fork("right")
+    right_b = parent_b.fork("right")
+    left_b = parent_b.fork("left")
+    assert [left_a.random() for _ in range(5)] == [left_b.random() for _ in range(5)]
+    assert [right_a.random() for _ in range(5)] == [right_b.random() for _ in range(5)]
+
+
+def test_fork_is_independent_of_parent_draws():
+    parent_a = RandomStream(42)
+    parent_b = RandomStream(42)
+    parent_a.random()  # consume from one parent only
+    child_a = parent_a.fork("x")
+    child_b = parent_b.fork("x")
+    assert child_a.random() == child_b.random()
+
+
+def test_randint_bounds():
+    stream = RandomStream(3)
+    values = [stream.randint(5, 9) for _ in range(200)]
+    assert min(values) >= 5
+    assert max(values) <= 9
+    assert set(values) == {5, 6, 7, 8, 9}
+
+
+def test_zipf_skews_toward_low_indexes():
+    stream = RandomStream(11)
+    draws = [stream.zipf_index(1000, theta=0.99) for _ in range(3000)]
+    assert all(0 <= d < 1000 for d in draws)
+    head = sum(1 for d in draws if d < 100)
+    # Zipf(0.99) over 1000 items puts well over a third of mass in the
+    # first tenth of the keyspace; uniform would put ~10% there.
+    assert head / len(draws) > 0.35
+
+
+def test_randbytes_length_and_determinism():
+    a = RandomStream(5).randbytes(64)
+    b = RandomStream(5).randbytes(64)
+    assert len(a) == 64
+    assert a == b

@@ -1,0 +1,144 @@
+"""Tests for the simulated SSD."""
+
+import pytest
+
+from repro.errors import DeviceFailedError
+from repro.sim.clock import SimClock
+from repro.sim.rand import RandomStream
+from repro.ssd.device import SimulatedSSD
+from repro.ssd.geometry import SSDGeometry
+from repro.units import KIB, MIB
+
+
+def make_ssd(seed=0, **geometry_kwargs):
+    geometry = SSDGeometry(**geometry_kwargs) if geometry_kwargs else SSDGeometry()
+    return SimulatedSSD("ssd0", SimClock(), RandomStream(seed), geometry=geometry)
+
+
+def test_write_read_roundtrip():
+    ssd = make_ssd()
+    payload = bytes(range(256)) * 16
+    ssd.write(8192, payload)
+    result = ssd.read(8192, len(payload))
+    assert result.data == payload
+    assert result.latency > 0
+    assert not result.corrupted
+
+
+def test_latencies_are_positive_and_reads_fast():
+    ssd = make_ssd()
+    write_latency = ssd.write(0, b"x" * 4096)
+    ssd.clock.advance(1.0)  # let the program finish
+    read_latency = ssd.read(0, 4096).latency
+    assert write_latency > 0
+    assert read_latency > 0
+    # A page read is order-100us; a program is order-1ms.
+    assert read_latency < 0.001
+    assert write_latency > read_latency
+
+
+def test_read_during_write_stalls():
+    ssd = make_ssd()
+    ssd.write(0, b"x" * MIB)
+    assert ssd.busy_writing()
+    stalled = ssd.read(4 * MIB, 4096)  # different die, still stalled by device
+    assert stalled.stalled
+    ssd.clock.advance(1.0)
+    assert not ssd.busy_writing()
+    calm = ssd.read(4 * MIB, 4096)
+    assert not calm.stalled
+    assert calm.latency < stalled.latency
+
+
+def test_same_die_operations_serialize():
+    ssd = make_ssd()
+    first = ssd.read(0, 4096)
+    second = ssd.read(4096, 4096)  # same erase block -> same die
+    assert second.latency > first.latency
+
+
+def test_different_die_operations_overlap():
+    ssd = make_ssd()
+    geometry = ssd.geometry
+    first = ssd.read(0, 4096)
+    other_die_offset = geometry.erase_block_size  # next erase block, next die
+    second = ssd.read(other_die_offset, 4096)
+    # Bus transfer serializes but flash time overlaps, so the second
+    # read is far cheaper than two serialized reads.
+    assert second.latency < first.latency * 2
+
+
+def test_failed_device_raises_and_loses_data():
+    ssd = make_ssd()
+    ssd.write(0, b"data")
+    ssd.fail()
+    with pytest.raises(DeviceFailedError):
+        ssd.read(0, 4)
+    with pytest.raises(DeviceFailedError):
+        ssd.write(0, b"new")
+    with pytest.raises(DeviceFailedError):
+        ssd.discard(0, 4096)
+
+
+def test_discard_erases_and_wears():
+    ssd = make_ssd()
+    ssd.write(0, b"y" * 4096)
+    ssd.discard(0, ssd.geometry.erase_block_size)
+    assert ssd.wear.pe_count(0) == 1
+    ssd.clock.advance(1.0)
+    assert ssd.read(0, 4096).data == b"\x00" * 4096
+
+
+def test_counters_track_operations():
+    ssd = make_ssd()
+    ssd.write(0, b"a" * 8192)
+    ssd.read(0, 4096)
+    ssd.read(0, 4096)
+    assert ssd.counters.writes == 1
+    assert ssd.counters.reads == 2
+    assert ssd.counters.bytes_written == 8192
+    assert ssd.counters.bytes_read == 8192
+
+
+def test_out_of_range_rejected():
+    ssd = make_ssd()
+    capacity = ssd.geometry.capacity_bytes
+    with pytest.raises(ValueError):
+        ssd.read(capacity - 1, 2)
+    with pytest.raises(ValueError):
+        ssd.write(capacity, b"z")
+
+
+def test_worn_out_device_returns_corrupted_reads():
+    ssd = make_ssd(seed=9)
+    block = 0
+    for cycle in range(ssd.wear.rated_pe_cycles * 2):
+        ssd.wear.note_erase(block, float(cycle))
+    ssd.write(0, b"q" * 4096)
+    # Age the data by a full rated retention period.
+    ssd.clock.advance(ssd.wear.RATED_RETENTION_SECONDS)
+    corrupted = sum(1 for _ in range(200) if ssd.read(0, 4096).corrupted)
+    assert corrupted > 10  # excess wear 1.0 -> 50% loss probability
+    assert ssd.counters.corrupted_reads == corrupted
+
+
+def test_deep_queue_increases_throughput():
+    """Fig 1 behaviour: parallel dies need queue depth for peak throughput."""
+    geometry = SSDGeometry(capacity_bytes=256 * MIB, erase_block_size=2 * MIB, num_dies=32)
+
+    # Queue depth 1: wait for each read before issuing the next.
+    qd1 = SimulatedSSD("qd1", SimClock(), RandomStream(1), geometry=geometry)
+    for index in range(64):
+        result = qd1.read((index * 2 * MIB) % (256 * MIB - 4 * KIB), 4 * KIB)
+        qd1.clock.advance(result.latency)
+    qd1_elapsed = qd1.clock.now
+
+    # Queue depth 64: issue all reads at once; elapsed = max completion.
+    qd64 = SimulatedSSD("qd64", SimClock(), RandomStream(1), geometry=geometry)
+    latencies = [
+        qd64.read((index * 2 * MIB) % (256 * MIB - 4 * KIB), 4 * KIB).latency
+        for index in range(64)
+    ]
+    qd64_elapsed = max(latencies)
+
+    assert qd64_elapsed < qd1_elapsed / 4

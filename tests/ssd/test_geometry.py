@@ -1,0 +1,56 @@
+"""Tests for SSD geometry."""
+
+import pytest
+
+from repro.ssd.geometry import SSDGeometry
+from repro.units import KIB, MIB
+
+
+def test_default_geometry_is_valid():
+    geometry = SSDGeometry()
+    assert geometry.pages_per_erase_block == geometry.erase_block_size // geometry.page_size
+    assert geometry.num_erase_blocks * geometry.erase_block_size == geometry.capacity_bytes
+
+
+def test_rejects_misaligned_erase_block():
+    with pytest.raises(ValueError):
+        SSDGeometry(page_size=4096, erase_block_size=4096 * 3 + 1)
+
+
+def test_rejects_fractional_capacity():
+    with pytest.raises(ValueError):
+        SSDGeometry(capacity_bytes=2 * MIB + 1, erase_block_size=2 * MIB)
+
+
+def test_die_mapping_round_robins_erase_blocks():
+    geometry = SSDGeometry(capacity_bytes=64 * MIB, erase_block_size=2 * MIB, num_dies=4)
+    assert geometry.die_of(0) == 0
+    assert geometry.die_of(2 * MIB) == 1
+    assert geometry.die_of(8 * MIB) == 0
+    # All offsets within one erase block map to the same die.
+    assert geometry.die_of(2 * MIB + 12345) == 1
+
+
+def test_pages_spanned():
+    geometry = SSDGeometry(page_size=4 * KIB)
+    assert geometry.pages_spanned(0, 0) == 0
+    assert geometry.pages_spanned(0, 1) == 1
+    assert geometry.pages_spanned(0, 4 * KIB) == 1
+    assert geometry.pages_spanned(4 * KIB - 1, 2) == 2
+    assert geometry.pages_spanned(0, 9 * KIB) == 3
+
+
+def test_erase_blocks_spanned():
+    geometry = SSDGeometry(capacity_bytes=64 * MIB, erase_block_size=2 * MIB)
+    assert geometry.erase_blocks_spanned(0, 0) == []
+    assert geometry.erase_blocks_spanned(0, 2 * MIB) == [0]
+    assert geometry.erase_blocks_spanned(MIB, 2 * MIB) == [0, 1]
+
+
+def test_check_range_rejects_overflow():
+    geometry = SSDGeometry(capacity_bytes=4 * MIB, erase_block_size=2 * MIB)
+    geometry.check_range(0, 4 * MIB)
+    with pytest.raises(ValueError):
+        geometry.check_range(1, 4 * MIB)
+    with pytest.raises(ValueError):
+        geometry.check_range(-1, 10)

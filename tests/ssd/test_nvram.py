@@ -1,0 +1,72 @@
+"""Tests for the NVRAM commit device."""
+
+import pytest
+
+from repro.errors import DeviceFailedError, OutOfSpaceError
+from repro.sim.clock import SimClock
+from repro.ssd.nvram import NVRAMDevice
+from repro.units import KIB, MICROSECOND
+
+
+@pytest.fixture
+def nvram():
+    return NVRAMDevice("nv0", SimClock(), capacity_bytes=64 * KIB)
+
+
+def test_append_returns_increasing_ids(nvram):
+    id_a, _ = nvram.append(b"first")
+    id_b, _ = nvram.append(b"second")
+    assert id_b == id_a + 1
+
+
+def test_append_latency_is_bounded_and_small(nvram):
+    _, latency = nvram.append(b"x" * 512)
+    assert 0 < latency < 100 * MICROSECOND
+
+
+def test_scan_returns_records_in_order(nvram):
+    nvram.append(b"a")
+    nvram.append(b"b")
+    records, latency = nvram.scan()
+    assert [payload for _, payload in records] == [b"a", b"b"]
+    assert latency > 0
+
+
+def test_trim_frees_space(nvram):
+    id_a, _ = nvram.append(b"a" * 100)
+    nvram.append(b"b" * 100)
+    assert nvram.bytes_used == 200
+    freed = nvram.trim(id_a)
+    assert freed == 100
+    assert nvram.bytes_used == 100
+    records, _ = nvram.scan()
+    assert [payload for _, payload in records] == [b"b" * 100]
+
+
+def test_capacity_enforced(nvram):
+    nvram.append(b"x" * 60 * KIB)
+    with pytest.raises(OutOfSpaceError):
+        nvram.append(b"y" * 8 * KIB)
+
+
+def test_trim_then_append_reuses_space(nvram):
+    record_id, _ = nvram.append(b"x" * 60 * KIB)
+    nvram.trim(record_id)
+    nvram.append(b"y" * 60 * KIB)  # must not raise
+    assert nvram.record_count == 1
+
+
+def test_failed_nvram_raises(nvram):
+    nvram.append(b"a")
+    nvram.fail()
+    with pytest.raises(DeviceFailedError):
+        nvram.append(b"b")
+    with pytest.raises(DeviceFailedError):
+        nvram.scan()
+
+
+def test_appends_serialize_on_device(nvram):
+    # Two appends at the same instant: second completes after first.
+    _, first = nvram.append(b"a" * KIB)
+    _, second = nvram.append(b"b" * KIB)
+    assert second > first

@@ -1,0 +1,73 @@
+"""Tests for drive shelves."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+from repro.sim.rand import RandomStream
+from repro.ssd.geometry import SSDGeometry
+from repro.ssd.shelf import Shelf
+from repro.units import MIB
+
+
+def make_shelf(num_drives=11):
+    geometry = SSDGeometry(capacity_bytes=32 * MIB, erase_block_size=2 * MIB)
+    return Shelf("shelf0", SimClock(), RandomStream(0), num_drives=num_drives,
+                 geometry=geometry)
+
+
+def test_shelf_has_requested_drives():
+    shelf = make_shelf(num_drives=12)
+    assert len(shelf.drives) == 12
+    assert len({drive.name for drive in shelf.drives}) == 12
+
+
+def test_drive_count_bounds():
+    with pytest.raises(ValueError):
+        make_shelf(num_drives=10)
+    with pytest.raises(ValueError):
+        make_shelf(num_drives=25)
+
+
+def test_alive_drives_excludes_failed():
+    shelf = make_shelf()
+    shelf.drives[0].fail()
+    shelf.drives[5].fail()
+    assert len(shelf.alive_drives) == 9
+
+
+def test_raw_capacity_shrinks_on_failure():
+    shelf = make_shelf()
+    full = shelf.raw_capacity_bytes
+    shelf.drives[0].fail()
+    assert shelf.raw_capacity_bytes == full - 32 * MIB
+
+
+def test_drive_by_name():
+    shelf = make_shelf()
+    drive = shelf.drive_by_name("shelf0/ssd03")
+    assert drive is shelf.drives[3]
+    with pytest.raises(KeyError):
+        shelf.drive_by_name("nope")
+
+
+def test_replace_drive_installs_fresh_device():
+    shelf = make_shelf()
+    shelf.drives[2].fail()
+    replacement = shelf.replace_drive(2, RandomStream(99))
+    assert shelf.drives[2] is replacement
+    assert not replacement.failed
+    assert replacement.wear.total_erases == 0
+
+
+def test_drives_have_independent_random_streams():
+    shelf = make_shelf()
+    latency_a = shelf.drives[0].read(0, 4096).latency
+    latency_b = shelf.drives[1].read(0, 4096).latency
+    assert latency_a != latency_b
+
+
+def test_nvram_present():
+    shelf = make_shelf()
+    record_id, latency = shelf.nvram.append(b"commit")
+    assert record_id == 0
+    assert latency > 0

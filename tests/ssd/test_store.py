@@ -1,0 +1,111 @@
+"""Tests for the sparse byte store, including property-based coverage."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ssd.store import SparseByteStore
+
+
+def test_read_of_hole_is_zeros():
+    store = SparseByteStore()
+    assert store.read(100, 10) == b"\x00" * 10
+
+
+def test_write_then_read_roundtrip():
+    store = SparseByteStore()
+    store.write(50, b"hello")
+    assert store.read(50, 5) == b"hello"
+    assert store.read(48, 9) == b"\x00\x00hello\x00\x00"
+
+
+def test_overwrite_replaces():
+    store = SparseByteStore()
+    store.write(0, b"aaaaaaaa")
+    store.write(2, b"BB")
+    assert store.read(0, 8) == b"aaBBaaaa"
+
+
+def test_adjacent_writes_coalesce():
+    store = SparseByteStore()
+    store.write(0, b"aaaa")
+    store.write(4, b"bbbb")
+    assert store.run_count == 1
+    assert store.read(0, 8) == b"aaaabbbb"
+
+
+def test_write_bridging_two_runs_coalesces():
+    store = SparseByteStore()
+    store.write(0, b"aa")
+    store.write(6, b"bb")
+    assert store.run_count == 2
+    store.write(2, b"cccc")
+    assert store.run_count == 1
+    assert store.read(0, 8) == b"aaccccbb"
+
+
+def test_discard_punches_hole():
+    store = SparseByteStore()
+    store.write(0, b"abcdefgh")
+    store.discard(2, 4)
+    assert store.read(0, 8) == b"ab\x00\x00\x00\x00gh"
+    assert store.run_count == 2
+
+
+def test_discard_entire_run():
+    store = SparseByteStore()
+    store.write(10, b"xyz")
+    store.discard(0, 100)
+    assert store.read(10, 3) == b"\x00\x00\x00"
+    assert store.run_count == 0
+    assert len(store) == 0
+
+
+def test_clear():
+    store = SparseByteStore()
+    store.write(0, b"data")
+    store.clear()
+    assert len(store) == 0
+    assert store.read(0, 4) == b"\x00" * 4
+
+
+def test_extents():
+    store = SparseByteStore()
+    store.write(100, b"aa")
+    store.write(0, b"bbb")
+    assert list(store.extents()) == [(0, 3), (100, 2)]
+
+
+def test_empty_write_is_noop():
+    store = SparseByteStore()
+    store.write(5, b"")
+    assert store.run_count == 0
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["write", "discard"]),
+            st.integers(min_value=0, max_value=256),
+            st.integers(min_value=0, max_value=64),
+        ),
+        max_size=30,
+    )
+)
+def test_matches_flat_reference(ops):
+    """The sparse store behaves exactly like a flat zeroed buffer."""
+    store = SparseByteStore()
+    reference = bytearray(512)
+    for kind, offset, length in ops:
+        if kind == "write":
+            payload = bytes((offset + i) % 251 + 1 for i in range(length))
+            store.write(offset, payload)
+            reference[offset : offset + length] = payload
+        else:
+            store.discard(offset, length)
+            reference[offset : offset + length] = b"\x00" * length
+    assert store.read(0, 512) == bytes(reference)
+    # Runs must be non-overlapping, sorted, and non-adjacent.
+    extents = list(store.extents())
+    for (start_a, len_a), (start_b, _len_b) in zip(extents, extents[1:]):
+        assert start_a + len_a < start_b

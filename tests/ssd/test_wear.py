@@ -1,0 +1,74 @@
+"""Tests for wear tracking and the retention model."""
+
+import pytest
+
+from repro.ssd.geometry import SSDGeometry
+from repro.ssd.wear import WearTracker
+from repro.units import MIB
+
+YEAR = WearTracker.RATED_RETENTION_SECONDS
+
+
+@pytest.fixture
+def tracker():
+    geometry = SSDGeometry(capacity_bytes=16 * MIB, erase_block_size=2 * MIB)
+    return WearTracker(geometry, rated_pe_cycles=100)
+
+
+def test_erase_increments_pe(tracker):
+    assert tracker.pe_count(0) == 0
+    tracker.note_erase(0, now=0.0)
+    tracker.note_erase(0, now=1.0)
+    assert tracker.pe_count(0) == 2
+    assert tracker.total_erases == 2
+    assert tracker.max_pe_count() == 2
+
+
+def test_mean_counts_untouched_blocks(tracker):
+    tracker.note_erase(0, now=0.0)
+    # 8 erase blocks total, one erased once.
+    assert tracker.mean_pe_count() == pytest.approx(1 / 8)
+
+
+def test_no_page_loss_within_rating(tracker):
+    for cycle in range(100):
+        tracker.note_erase(0, now=float(cycle))
+    tracker.note_program(0, now=100.0)
+    assert tracker.page_loss_probability(0, now=100.0 + YEAR) == 0.0
+
+
+def test_worn_block_leaks_with_age(tracker):
+    for cycle in range(150):  # 1.5x rated wear
+        tracker.note_erase(0, now=float(cycle))
+    tracker.note_program(0, now=200.0)
+    fresh = tracker.page_loss_probability(0, now=200.0)
+    aged = tracker.page_loss_probability(0, now=200.0 + YEAR)
+    assert fresh == pytest.approx(0.0, abs=1e-9)
+    assert aged > 0.0
+    assert aged == pytest.approx(0.5 * 1.0, abs=0.01)  # excess=0.5, full retention
+
+
+def test_scrubbing_keeps_worn_block_healthy(tracker):
+    """Rewriting worn flash frequently prevents charge-leak loss (S5.1)."""
+    for cycle in range(200):
+        tracker.note_erase(0, now=float(cycle))
+    tracker.note_program(0, now=1000.0)
+    shortly_after = tracker.page_loss_probability(0, now=1000.0 + YEAR / 1000)
+    long_after = tracker.page_loss_probability(0, now=1000.0 + YEAR)
+    assert shortly_after < long_after
+    assert shortly_after < 0.002
+
+
+def test_erase_clears_program_time(tracker):
+    for cycle in range(150):
+        tracker.note_erase(0, now=float(cycle))
+    tracker.note_program(0, now=200.0)
+    tracker.note_erase(0, now=300.0)
+    # Erased but not yet programmed: nothing to lose.
+    assert tracker.page_loss_probability(0, now=300.0 + YEAR) == 0.0
+
+
+def test_wear_fraction(tracker):
+    for cycle in range(50):
+        tracker.note_erase(3, now=float(cycle))
+    assert tracker.wear_fraction(3) == pytest.approx(0.5)

@@ -1,0 +1,35 @@
+"""Smoke tests: every shipped example must run to completion.
+
+The examples double as end-to-end integration tests — each asserts its
+own correctness conditions internally (byte-exact restores, failover
+budgets, DR verification).
+"""
+
+import importlib
+import sys
+
+import pytest
+
+EXAMPLES = [
+    "quickstart",
+    "database_consolidation",
+    "vdi_fleet",
+    "failover_drill",
+    "kv_consolidation",
+]
+
+
+@pytest.fixture(autouse=True)
+def examples_on_path(monkeypatch):
+    import os
+
+    examples_dir = os.path.join(os.path.dirname(__file__), "..", "examples")
+    monkeypatch.syspath_prepend(os.path.abspath(examples_dir))
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    module = importlib.import_module(name)
+    module.main()
+    output = capsys.readouterr().out
+    assert output  # every example narrates what it did

@@ -1,0 +1,43 @@
+"""Tests for repro.units."""
+
+import pytest
+
+from repro import units
+
+
+def test_constants_are_consistent():
+    assert units.MIB == 1024 * units.KIB
+    assert units.GIB == 1024 * units.MIB
+    assert units.ALLOCATION_UNIT % units.WRITE_UNIT == 0
+    assert units.WRITE_UNIT % units.MAX_CBLOCK == 0
+    assert units.MAX_CBLOCK % units.SECTOR == 0
+
+
+def test_sectors_rounds_up():
+    assert units.sectors(0) == 0
+    assert units.sectors(1) == 1
+    assert units.sectors(512) == 1
+    assert units.sectors(513) == 2
+    assert units.sectors(1024) == 2
+
+
+def test_align_up_and_down():
+    assert units.align_up(0, 8) == 0
+    assert units.align_up(1, 8) == 8
+    assert units.align_up(8, 8) == 8
+    assert units.align_down(7, 8) == 0
+    assert units.align_down(9, 8) == 8
+
+
+def test_align_rejects_nonpositive_alignment():
+    with pytest.raises(ValueError):
+        units.align_up(10, 0)
+    with pytest.raises(ValueError):
+        units.align_down(10, -2)
+
+
+def test_format_bytes():
+    assert units.format_bytes(17) == "17 B"
+    assert units.format_bytes(units.KIB) == "1.00 KiB"
+    assert units.format_bytes(3 * units.MIB) == "3.00 MiB"
+    assert units.format_bytes(5 * units.TIB).endswith("TiB")

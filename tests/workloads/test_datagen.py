@@ -1,0 +1,81 @@
+"""Tests for the synthetic data generator."""
+
+import zlib
+
+import pytest
+
+from repro.sim.rand import RandomStream
+from repro.units import SECTOR
+from repro.workloads.datagen import (
+    PROFILES,
+    DataGenerator,
+    DataProfile,
+    paper_io_size_mix,
+)
+
+
+@pytest.fixture
+def stream():
+    return RandomStream(7)
+
+
+def test_profiles_validate():
+    with pytest.raises(ValueError):
+        DataProfile("bad", 1.5, 0.0)
+    with pytest.raises(ValueError):
+        DataProfile("bad", 0.5, 1.0)
+
+
+def test_block_size_alignment(stream):
+    with pytest.raises(ValueError):
+        DataGenerator("rdbms", stream, block_size=1000)
+
+
+def test_incompressible_profile_resists_zlib(stream):
+    generator = DataGenerator("incompressible", stream)
+    block = generator.block()
+    assert len(zlib.compress(block, 1)) > len(block) * 0.95
+
+
+def test_rdbms_profile_compresses_moderately(stream):
+    generator = DataGenerator("rdbms", stream)
+    block = generator.block()
+    ratio = len(block) / len(zlib.compress(block, 1))
+    assert 1.5 < ratio < 8.0
+
+
+def test_vdi_profile_produces_many_duplicates(stream):
+    generator = DataGenerator("vdi", stream)
+    blocks = [generator.block() for _ in range(300)]
+    unique = len(set(blocks))
+    assert unique < len(blocks) * 0.5
+
+
+def test_incompressible_profile_produces_no_duplicates(stream):
+    generator = DataGenerator("incompressible", stream)
+    blocks = [generator.block() for _ in range(100)]
+    assert len(set(blocks)) == 100
+
+
+def test_buffer_size_validation(stream):
+    generator = DataGenerator("rdbms", stream, block_size=4096)
+    with pytest.raises(ValueError):
+        generator.buffer(5000)
+    assert len(generator.buffer(8192)) == 8192
+
+
+def test_profile_ordering_matches_paper(stream):
+    """Redundancy ordering: vdi > virtualization > docstore > rdbms."""
+    assert (
+        PROFILES["vdi"].dup_fraction
+        > PROFILES["virtualization"].dup_fraction
+        > PROFILES["docstore"].dup_fraction
+        > PROFILES["rdbms"].dup_fraction
+    )
+
+
+def test_io_size_mix_mean_near_55kib(stream):
+    sizes = [paper_io_size_mix(stream) for _ in range(5000)]
+    mean = sum(sizes) / len(sizes)
+    assert 40 * 1024 < mean < 70 * 1024
+    assert all(size % SECTOR == 0 for size in sizes)

@@ -1,0 +1,102 @@
+"""Tests for the open-loop Poisson driver."""
+
+import pytest
+
+from repro.core.array import PurityArray
+from repro.core.config import ArrayConfig
+from repro.sim.distributions import percentile
+from repro.sim.rand import RandomStream
+from repro.units import KIB, MIB
+from repro.workloads.base import IOOperation, IOTrace, OpKind
+from repro.workloads.driver import OpenLoopDriver
+
+
+@pytest.fixture
+def array():
+    return PurityArray.create(
+        ArrayConfig.small(num_drives=11, drive_capacity=32 * MIB,
+                          cblock_cache_entries=4)
+    )
+
+
+def read_trace(count, slots, stream, volume="v"):
+    trace = IOTrace()
+    for _ in range(count):
+        trace.append(IOOperation(
+            kind=OpKind.READ, volume=volume,
+            offset=stream.randint(0, slots - 1) * 16 * KIB,
+            length=16 * KIB,
+        ))
+    return trace
+
+
+def load_volume(array, stream, slots=64):
+    array.create_volume("v", slots * 16 * KIB)
+    for slot in range(slots):
+        array.write("v", slot * 16 * KIB, stream.randbytes(16 * KIB))
+    array.drain()
+    array.clock.advance(1.0)
+    array.datapath.drop_caches()
+    return slots
+
+
+def test_driver_executes_all_operations(array):
+    stream = RandomStream(5)
+    slots = load_volume(array, stream)
+    driver = OpenLoopDriver(array, arrival_rate=500, stream=stream.fork("arr"))
+    result = driver.run(read_trace(100, slots, stream))
+    assert result.operations == 100
+    assert len(result.read_latencies) == 100
+    assert result.elapsed > 0
+    assert result.offered_rate == pytest.approx(500, rel=0.5)
+
+
+def test_clock_advances_past_all_arrivals(array):
+    stream = RandomStream(6)
+    slots = load_volume(array, stream)
+    before = array.clock.now
+    driver = OpenLoopDriver(array, arrival_rate=1000, stream=stream.fork("a"))
+    driver.run(read_trace(50, slots, stream))
+    assert array.clock.now > before
+
+
+def test_higher_load_means_worse_tail(array):
+    stream = RandomStream(7)
+    slots = load_volume(array, stream)
+
+    def tail_at(rate, seed):
+        driver = OpenLoopDriver(array, arrival_rate=rate,
+                                stream=RandomStream(seed))
+        result = driver.run(read_trace(300, slots, RandomStream(seed + 1)))
+        array.clock.advance(0.5)  # quiesce between runs
+        return percentile(result.read_latencies, 0.99)
+
+    gentle = tail_at(200, seed=10)
+    brutal = tail_at(100_000, seed=20)
+    assert brutal > gentle
+
+
+def test_mixed_trace(array):
+    stream = RandomStream(8)
+    slots = load_volume(array, stream)
+    trace = IOTrace()
+    for index in range(40):
+        if index % 4 == 0:
+            trace.append(IOOperation(
+                kind=OpKind.WRITE, volume="v", offset=(index % slots) * 16 * KIB,
+                data=stream.randbytes(16 * KIB),
+            ))
+        else:
+            trace.append(IOOperation(
+                kind=OpKind.READ, volume="v", offset=(index % slots) * 16 * KIB,
+                length=16 * KIB,
+            ))
+    driver = OpenLoopDriver(array, arrival_rate=300, stream=stream.fork("m"))
+    result = driver.run(trace)
+    assert len(result.write_latencies) == 10
+    assert len(result.read_latencies) == 30
+
+
+def test_invalid_rate():
+    with pytest.raises(ValueError):
+        OpenLoopDriver(None, arrival_rate=0, stream=RandomStream(1))

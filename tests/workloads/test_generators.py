@@ -1,0 +1,163 @@
+"""Tests for the workload generators (YCSB, OLTP, docstore, VDI)."""
+
+import pytest
+
+from repro.sim.rand import RandomStream
+from repro.units import KIB, SECTOR
+from repro.workloads.base import IOOperation, OpKind
+from repro.workloads.docstore import DocStoreConfig, DocStoreWorkload
+from repro.workloads.oltp import OLTPConfig, OLTPWorkload
+from repro.workloads.vdi import VDIConfig, VDIWorkload
+from repro.workloads.ycsb import YCSBConfig, YCSBWorkload, YCSB_MIXES
+
+
+@pytest.fixture
+def stream():
+    return RandomStream(11)
+
+
+def assert_trace_valid(trace, volume_size=None):
+    for op in trace:
+        if op.kind is OpKind.WRITE:
+            assert op.offset % SECTOR == 0
+            assert len(op.data) % SECTOR == 0
+            if volume_size:
+                assert op.offset + len(op.data) <= volume_size
+        else:
+            assert op.length > 0
+
+
+def test_io_operation_validation():
+    with pytest.raises(ValueError):
+        IOOperation(kind=OpKind.WRITE, volume="v", offset=0)
+    with pytest.raises(ValueError):
+        IOOperation(kind=OpKind.READ, volume="v", offset=0, length=0)
+
+
+def test_ycsb_mix_fractions(stream):
+    config = YCSBConfig(mix="B", record_count=64, record_size=4 * KIB)
+    workload = YCSBWorkload(config, stream)
+    workload.load_trace()
+    trace = workload.run_trace(1000)
+    reads = sum(1 for op in trace if op.kind is OpKind.READ)
+    assert reads / len(trace) == pytest.approx(0.95, abs=0.03)
+    assert_trace_valid(trace, workload.volume_size)
+
+
+def test_ycsb_c_is_read_only(stream):
+    config = YCSBConfig(mix="C", record_count=32, record_size=4 * KIB)
+    workload = YCSBWorkload(config, stream)
+    workload.load_trace()
+    trace = workload.run_trace(200)
+    assert all(op.kind is OpKind.READ for op in trace)
+
+
+def test_ycsb_zipf_skew(stream):
+    config = YCSBConfig(mix="C", record_count=200, record_size=4 * KIB)
+    workload = YCSBWorkload(config, stream)
+    workload.load_trace()
+    trace = workload.run_trace(2000)
+    offsets = [op.offset for op in trace]
+    head = sum(1 for offset in offsets if offset < 20 * config.record_size)
+    assert head / len(offsets) > 0.3  # top 10% of keys get >30% of reads
+
+
+def test_ycsb_unknown_mix_rejected():
+    with pytest.raises(ValueError):
+        YCSBConfig(mix="Z")
+
+
+def test_ycsb_inserts_extend_population(stream):
+    config = YCSBConfig(mix="D", record_count=32, record_size=4 * KIB)
+    workload = YCSBWorkload(config, stream)
+    workload.load_trace()
+    workload.run_trace(500)
+    assert workload._inserted > 32
+
+
+def test_oltp_trace_shape(stream):
+    config = OLTPConfig(page_count=64)
+    workload = OLTPWorkload(config, stream)
+    load = workload.load_trace()
+    assert len(load) == 64
+    trace = workload.run_trace(500)
+    assert_trace_valid(trace, workload.volume_size)
+    reads = [op for op in trace if op.kind is OpKind.READ]
+    assert len(reads) / len(trace) == pytest.approx(
+        config.read_fraction, abs=0.06
+    )
+
+
+def test_oltp_log_writes_are_sequential(stream):
+    config = OLTPConfig(page_count=16, read_fraction=0.0, log_write_fraction=1.0)
+    workload = OLTPWorkload(config, stream)
+    trace = workload.run_trace(10)
+    offsets = [op.offset for op in trace]
+    deltas = {b - a for a, b in zip(offsets, offsets[1:])}
+    assert deltas == {config.log_write_size}
+
+
+def test_oltp_prefetch_produces_multi_page_reads(stream):
+    config = OLTPConfig(page_count=64, prefetch_probability=1.0)
+    workload = OLTPWorkload(config, stream)
+    trace = workload.run_trace(200)
+    reads = [op for op in trace if op.kind is OpKind.READ]
+    assert any(op.length > config.page_size for op in reads)
+
+
+def test_docstore_traces(stream):
+    config = DocStoreConfig(batch_count=8)
+    workload = DocStoreWorkload(config, stream)
+    load = workload.load_trace()
+    assert len(load) == 8
+    assert_trace_valid(load, workload.volume_size)
+    trace = workload.run_trace(50)
+    assert_trace_valid(trace, workload.volume_size)
+
+
+def test_docstore_templates_create_duplicates(stream):
+    config = DocStoreConfig(batch_count=8, template_fraction=0.9)
+    workload = DocStoreWorkload(config, stream)
+    load = workload.load_trace()
+    payloads = b"".join(op.data for op in load)
+    # Split into documents and count distinct ones.
+    size = config.document_size
+    docs = [payloads[i : i + size] for i in range(0, len(payloads), size)]
+    assert len(set(docs)) < len(docs) * 0.5
+
+
+def test_vdi_provisioning_is_mostly_duplicate(stream):
+    config = VDIConfig(desktop_count=6)
+    workload = VDIWorkload(config, stream)
+    trace = workload.provision_trace()
+    blocks = [op.data for op in trace]
+    unique = len(set(blocks))
+    # 6 nearly-identical images: unique blocks ~ one image + deltas.
+    assert unique < len(blocks) / 3
+
+
+def test_vdi_update_identical_across_fleet(stream):
+    config = VDIConfig(desktop_count=4)
+    workload = VDIWorkload(config, stream)
+    update = workload.update_trace()
+    by_volume = {}
+    for op in update:
+        by_volume.setdefault(op.volume, []).append((op.offset, op.data))
+    images = list(by_volume.values())
+    assert all(image == images[0] for image in images)
+
+
+def test_vdi_boot_storm(stream):
+    workload = VDIWorkload(VDIConfig(desktop_count=3), stream)
+    storm = workload.boot_storm_trace()
+    assert len(storm) == 3
+    assert all(op.kind is OpKind.READ for op in storm)
+
+
+def test_trace_statistics(stream):
+    config = OLTPConfig(page_count=32)
+    workload = OLTPWorkload(config, stream)
+    trace = workload.load_trace()
+    assert trace.bytes_written == 32 * config.page_size
+    assert trace.bytes_read == 0
+    assert trace.mean_io_size == config.page_size
