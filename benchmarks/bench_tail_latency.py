@@ -14,6 +14,7 @@ from benchmarks.conftest import emit
 from repro.analysis.reporting import format_table
 from repro.core.array import PurityArray
 from repro.core.config import ArrayConfig
+from repro.core.telemetry import format_perf_report, reset_perf_counters
 from repro.sim.distributions import percentile
 from repro.sim.rand import RandomStream
 from repro.units import KIB, MIB
@@ -58,6 +59,7 @@ def run_workload(read_around_writes, seed=17):
 
 def test_read_around_writes_flattens_tail(once):
     def run():
+        reset_perf_counters()
         with_scheduler, array_on = run_workload(True)
         without_scheduler, array_off = run_workload(False)
         return with_scheduler, array_on, without_scheduler, array_off
@@ -89,6 +91,8 @@ def test_read_around_writes_flattens_tail(once):
         rows,
         title="Tail latency: read around busy-writing drives "
               "(30%% writes, %d ops)" % OPERATIONS))
+    # Per-stage wall-time breakdown of the two workloads just driven.
+    emit("tail_latency_perf_stages", format_perf_report())
 
     # Shape: the scheduler flattens the tail ...
     assert percentile(on_latencies, 0.999) < percentile(off_latencies, 0.999)

@@ -18,11 +18,13 @@ from repro.units import MAX_CBLOCK, SECTOR
 def split_write(offset, data, max_cblock=MAX_CBLOCK):
     """Break one application write into cblock-sized extents.
 
-    Yields (offset, chunk) pairs. Writes must be sector-aligned with
-    sector-multiple lengths (the 512 B minimum block size existing
-    storage protocols dictate). Chunks match the write size up to
-    ``max_cblock``, so a 55 KiB write becomes a 32 KiB and a 23 KiB
-    cblock rather than many fixed-size pages.
+    Yields (offset, chunk) pairs; chunks are zero-copy memoryviews of
+    ``data``, so splitting never duplicates the incoming write. Writes
+    must be sector-aligned with sector-multiple lengths (the 512 B
+    minimum block size existing storage protocols dictate). Chunks
+    match the write size up to ``max_cblock``, so a 55 KiB write
+    becomes a 32 KiB and a 23 KiB cblock rather than many fixed-size
+    pages.
     """
     if offset % SECTOR:
         raise ValueError("write offset %d is not sector-aligned" % offset)
@@ -30,9 +32,10 @@ def split_write(offset, data, max_cblock=MAX_CBLOCK):
         raise ValueError("write length %d is not a sector multiple" % len(data))
     if max_cblock % SECTOR or max_cblock <= 0:
         raise ValueError("max_cblock must be a positive sector multiple")
+    view = memoryview(data)
     cursor = 0
-    while cursor < len(data):
-        chunk = data[cursor : cursor + max_cblock]
+    while cursor < len(view):
+        chunk = view[cursor : cursor + max_cblock]
         yield offset + cursor, chunk
         cursor += len(chunk)
 

@@ -52,7 +52,9 @@ class ZlibCompressor(Compressor):
         self.level = level
 
     def compress(self, data):
-        return zlib.compress(bytes(data), self.level)
+        # zlib accepts any buffer, so memoryview chunks compress without
+        # an intermediate bytes copy.
+        return zlib.compress(data, self.level)
 
     def decompress(self, payload):
         return zlib.decompress(bytes(payload))

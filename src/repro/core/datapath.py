@@ -19,16 +19,98 @@ from collections import OrderedDict
 from repro.compression.cblock import build_cblock, parse_cblock, split_write
 from repro.compression.engine import CompressionStats, ZlibCompressor
 from repro.core import tables as T
-from repro.dedup.hashing import sector_hashes
+from repro.dedup.hashing import sampled_sector_hashes
 from repro.dedup.index import DedupIndex, DedupLocation
 from repro.dedup.inline import InlineDeduper
 from repro.errors import SnapshotError, VolumeError
 from repro.layout.segment import SegmentDescriptor
 from repro.mediums.medium import MEDIUM_NONE
+from repro.perf import PERF
 from repro.units import MAX_CBLOCK, SECTOR
 
 #: Depth guard for medium recursion (GC keeps real chains <= 3).
 MAX_PAINT_DEPTH = 64
+
+
+class CBlockCache:
+    """LRU cache of decompressed cblocks, indexed by segment.
+
+    Keys are (segment_id, payload_offset). A per-segment key index
+    makes :meth:`invalidate_segment` proportional to the entries cached
+    *for that segment* instead of a scan of the whole cache, and every
+    lookup/eviction/invalidation feeds both local counters (unit
+    tests) and the global perf counters (``perf_report()``).
+    """
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self._entries = OrderedDict()
+        self._segment_keys = {}  # segment_id -> set of cached keys
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __contains__(self, key):
+        return key in self._entries
+
+    def get(self, key):
+        value = self._entries.get(key)
+        if value is None:
+            self.misses += 1
+            PERF.incr("cblock-cache-miss")
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        PERF.incr("cblock-cache-hit")
+        return value
+
+    def _drop_key_index(self, key):
+        keys = self._segment_keys.get(key[0])
+        if keys is not None:
+            keys.discard(key)
+            if not keys:
+                del self._segment_keys[key[0]]
+
+    def put(self, key, value):
+        entries = self._entries
+        if key in entries:
+            entries.move_to_end(key)
+        else:
+            self._segment_keys.setdefault(key[0], set()).add(key)
+        entries[key] = value
+        while len(entries) > self.capacity:
+            evicted_key, _value = entries.popitem(last=False)
+            self._drop_key_index(evicted_key)
+            self.evictions += 1
+            PERF.incr("cblock-cache-eviction")
+
+    def invalidate_segment(self, segment_id):
+        """Drop every entry of one segment; returns how many went."""
+        keys = self._segment_keys.pop(segment_id, None)
+        if not keys:
+            return 0
+        for key in keys:
+            del self._entries[key]
+        self.invalidations += len(keys)
+        PERF.incr("cblock-cache-invalidation", len(keys))
+        return len(keys)
+
+    def clear(self):
+        self._entries.clear()
+        self._segment_keys.clear()
+
+    def counters(self):
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "entries": len(self._entries),
+        }
 
 
 class DataPath:
@@ -51,9 +133,9 @@ class DataPath:
             self.dedup_index,
             self._fetch_sector,
             min_run_sectors=config.dedup_min_run_sectors,
+            fetch_run=self._fetch_run,
         )
-        self._cblock_cache = OrderedDict()  # (segment, offset) -> logical bytes
-        self._cblock_cache_entries = config.cblock_cache_entries
+        self._cblock_cache = CBlockCache(config.cblock_cache_entries)
         self._descriptor_cache = {}
         self.logical_bytes_written = 0
         self.dedup_bytes_saved = 0
@@ -82,15 +164,13 @@ class DataPath:
     def invalidate_segment(self, segment_id):
         """Drop caches after GC frees or rewrites a segment."""
         self._descriptor_cache.pop(segment_id, None)
-        for key in [key for key in self._cblock_cache if key[0] == segment_id]:
-            del self._cblock_cache[key]
+        self._cblock_cache.invalidate_segment(segment_id)
 
     def _read_cblock(self, segment_id, payload_offset, stored_length):
         """Fetch + decompress one cblock; returns (logical bytes, latency)."""
         cache_key = (segment_id, payload_offset)
         cached = self._cblock_cache.get(cache_key)
         if cached is not None:
-            self._cblock_cache.move_to_end(cache_key)
             return cached, 0.0
         # Data still sitting in the open segio is served from RAM; the
         # commit already lives in NVRAM, so this is safe and fast.
@@ -104,9 +184,7 @@ class DataPath:
                 descriptor, payload_offset, stored_length
             )
         data = parse_cblock(blob)
-        self._cblock_cache[cache_key] = data
-        while len(self._cblock_cache) > self._cblock_cache_entries:
-            self._cblock_cache.popitem(last=False)
+        self._cblock_cache.put(cache_key, data)
         return data, latency
 
     def _fetch_sector(self, location):
@@ -124,6 +202,25 @@ class DataPath:
             return None
         return data[start : start + SECTOR]
 
+    def _fetch_run(self, location, sector_count):
+        """Bulk dedup-extension callback: up to ``sector_count`` whole
+        sectors starting at ``location``, as a zero-copy memoryview, or
+        None when the start sector is unreadable."""
+        if location.sector_index < 0 or sector_count <= 0:
+            return None
+        try:
+            data, _latency = self._read_cblock(
+                location.segment_id, location.payload_offset, location.stored_length
+            )
+        except Exception:
+            return None  # stale index entry: treat as a miss, never an error
+        start = location.sector_index * SECTOR
+        if start + SECTOR > len(data):
+            return None
+        whole = (len(data) // SECTOR) * SECTOR
+        end = min(whole, start + sector_count * SECTOR)
+        return memoryview(data)[start:end]
+
     # ------------------------------------------------------------------
     # Write path
 
@@ -133,7 +230,8 @@ class DataPath:
             raise VolumeError("zero-length write")
         if offset % SECTOR or len(data) % SECTOR:
             raise VolumeError("writes must be 512 B aligned")
-        _fact, latency = self.pipeline.commit_raw_write(medium_id, offset, data)
+        with PERF.timer("nvram-commit"):
+            _fact, latency = self.pipeline.commit_raw_write(medium_id, offset, data)
         self.process_write(medium_id, offset, data)
         self.pipeline.after_raw_write_processed()
         return latency
@@ -166,8 +264,10 @@ class DataPath:
             from repro.compression.engine import NullCompressor
 
             compressor = NullCompressor()
-        blob, codec_id = build_cblock(data, compressor)
-        descriptor, payload_offset, _latency = self.segwriter.append_data(blob)
+        with PERF.timer("compress"):
+            blob, codec_id = build_cblock(data, compressor)
+        with PERF.timer("segio-append"):
+            descriptor, payload_offset, _latency = self.segwriter.append_data(blob)
         self.compression_stats.note(len(data), len(blob), codec_id)
         self.pipeline.insert_derived(
             T.ADDRESS_MAP,
@@ -177,21 +277,23 @@ class DataPath:
         )
         # Warm the cblock cache: freshly written data is the most likely
         # to be read (and to anchor dedup verifies) next.
-        cache_key = (descriptor.segment_id, payload_offset)
-        self._cblock_cache[cache_key] = data
-        while len(self._cblock_cache) > self._cblock_cache_entries:
-            self._cblock_cache.popitem(last=False)
+        self._cblock_cache.put((descriptor.segment_id, payload_offset), data)
         self._record_hashes(descriptor.segment_id, payload_offset, len(blob), data)
 
     def _record_hashes(self, segment_id, payload_offset, stored_length, data):
-        """Record every Nth sector hash for future dedup (Section 4.7)."""
-        hashes = sector_hashes(data)
-        for sector, value in enumerate(hashes):
-            if sector % self.config.dedup_sample_every == 0:
-                self.dedup_index.record(
-                    value,
-                    DedupLocation(segment_id, payload_offset, stored_length, sector),
-                )
+        """Record every Nth sector hash for future dedup (Section 4.7).
+
+        Only the sampled sectors are digested — the other 7/8 (at the
+        default rate) were never going to be recorded, so hashing them
+        here would be pure waste.
+        """
+        with PERF.timer("hash"):
+            sampled = sampled_sector_hashes(data, self.config.dedup_sample_every)
+        for sector, value in sampled:
+            self.dedup_index.record(
+                value,
+                DedupLocation(segment_id, payload_offset, stored_length, sector),
+            )
 
     def _record_dedup_extent(self, medium_id, offset, match):
         location = match.location

@@ -9,6 +9,16 @@ availability accounting.
 from collections import defaultdict
 from dataclasses import dataclass
 
+# The hot-path perf-counter layer lives in :mod:`repro.perf` (below
+# every subsystem, so erasure/dedup/layout can feed it without import
+# cycles); this is its public face alongside the rest of telemetry.
+from repro.perf import (  # noqa: F401  (re-exported)
+    PERF,
+    PerfCounters,
+    format_perf_report,
+    perf_report,
+    reset_perf_counters,
+)
 from repro.sim.distributions import percentile
 
 

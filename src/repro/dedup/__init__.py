@@ -9,13 +9,18 @@ in both directions, detecting most duplicate sequences of at least
 8 blocks (4 KiB) regardless of alignment.
 """
 
-from repro.dedup.hashing import HASH_BITS, SAMPLE_EVERY, sector_hash, sector_hashes
+from repro.dedup.hashing import (
+    HASH_BITS,
+    sampled_sector_hashes,
+    sector_hash,
+    sector_hashes,
+)
 from repro.dedup.index import DedupIndex, DedupLocation
 from repro.dedup.inline import DedupMatch, InlineDeduper
 
 __all__ = [
     "HASH_BITS",
-    "SAMPLE_EVERY",
+    "sampled_sector_hashes",
     "sector_hash",
     "sector_hashes",
     "DedupIndex",

@@ -4,6 +4,11 @@ Hashes are 64 bits (the paper uses "hashes no larger than 64 bits") —
 small enough to keep the index compact, collision-prone enough
 (~10^-6 or worse at scale) that every hit must be confirmed by a
 byte-level comparison before a duplicate mapping is recorded.
+
+Both entry points slice through a :class:`memoryview`, so hashing never
+copies sector bytes out of the incoming write. The sampling rate (which
+sectors get *recorded*, not which get looked up) lives in
+``ArrayConfig.dedup_sample_every``; callers pass it explicitly.
 """
 
 import hashlib
@@ -13,21 +18,52 @@ from repro.units import SECTOR
 #: Bits kept from each sector digest.
 HASH_BITS = 64
 
-#: Only every Nth sector's hash is *recorded* (all are looked up).
-SAMPLE_EVERY = 8
-
 
 def sector_hash(sector_bytes):
-    """64-bit hash of one 512 B sector."""
+    """64-bit hash of one 512 B sector (accepts any bytes-like)."""
     digest = hashlib.blake2b(sector_bytes, digest_size=8).digest()
     return int.from_bytes(digest, "big")
 
 
 def sector_hashes(data):
-    """Hashes of each 512 B sector of ``data`` (length must divide evenly)."""
-    if len(data) % SECTOR:
-        raise ValueError("data length %d is not a sector multiple" % len(data))
+    """Hashes of each 512 B sector of ``data`` (length must divide evenly).
+
+    ``data`` may be bytes, bytearray, or memoryview; sectors are hashed
+    through zero-copy memoryview slices.
+    """
+    view = memoryview(data)
+    if len(view) % SECTOR:
+        raise ValueError("data length %d is not a sector multiple" % len(view))
+    blake2b = hashlib.blake2b
+    from_bytes = int.from_bytes
     return [
-        sector_hash(data[offset : offset + SECTOR])
-        for offset in range(0, len(data), SECTOR)
+        from_bytes(blake2b(view[offset : offset + SECTOR], digest_size=8).digest(), "big")
+        for offset in range(0, len(view), SECTOR)
+    ]
+
+
+def sampled_sector_hashes(data, sample_every):
+    """(sector_index, hash) pairs for every ``sample_every``-th sector.
+
+    This is the recording-side counterpart of :func:`sector_hashes`:
+    only the sampled sectors are digested at all, so recording costs
+    1/``sample_every`` of a full hash pass.
+    """
+    if sample_every < 1:
+        raise ValueError("sample_every must be positive")
+    view = memoryview(data)
+    if len(view) % SECTOR:
+        raise ValueError("data length %d is not a sector multiple" % len(view))
+    blake2b = hashlib.blake2b
+    from_bytes = int.from_bytes
+    step = SECTOR * sample_every
+    return [
+        (
+            offset // SECTOR,
+            from_bytes(
+                blake2b(view[offset : offset + SECTOR], digest_size=8).digest(),
+                "big",
+            ),
+        )
+        for offset in range(0, len(view), step)
     ]

@@ -3,8 +3,16 @@
 The paper cites Plank et al.'s SIMD Galois-field work [45] for its
 "screaming fast" software Reed–Solomon. The Python equivalent of that
 optimization is table-driven arithmetic vectorized with numpy: scalar
-ops use exp/log tables; array ops translate a whole shard per table
-lookup. The field uses the common AES-unrelated polynomial 0x11d.
+ops use exp/log tables, and array ops gather through a precomputed
+256x256 full product table — ``MUL_TABLE[scalar]`` is the complete
+multiplication row for that scalar, so multiplying a whole shard is a
+single table lookup with no masking and no temporaries. The field uses
+the common AES-unrelated polynomial 0x11d.
+
+The older masked exp/log array kernels are kept as
+``mul_array_reference`` / ``addmul_array_reference``: they are the
+oracle the property tests (and the hot-path benchmark's seed mode)
+check the table kernels against bit-for-bit.
 """
 
 import numpy as np
@@ -28,10 +36,23 @@ def _build_tables():
     return exp, log
 
 
+def _build_mul_table(exp, log):
+    """The full 256x256 product table: table[a][b] = a * b in GF(256).
+
+    Row 0 is all zeros and row 1 is the identity, so the array kernels
+    need no scalar special-casing.
+    """
+    table = np.zeros((256, 256), dtype=np.uint8)
+    logs = log[1:].astype(np.int64)
+    table[1:, 1:] = exp[logs[:, None] + logs[None, :]]
+    return table
+
+
 class GF256:
     """GF(2^8) arithmetic: scalar helpers plus vectorized shard ops."""
 
     EXP, LOG = _build_tables()
+    MUL_TABLE = _build_mul_table(EXP, LOG)
 
     @classmethod
     def add(cls, a, b):
@@ -72,7 +93,41 @@ class GF256:
 
     @classmethod
     def mul_array(cls, array, scalar):
-        """Multiply a uint8 numpy array elementwise by a scalar."""
+        """Multiply a uint8 numpy array elementwise by a scalar.
+
+        One gather through the scalar's product-table row; rows 0 and 1
+        make the zero/identity cases fall out naturally.
+        """
+        return cls.MUL_TABLE[scalar][array]
+
+    @classmethod
+    def addmul_array(cls, accumulator, array, scalar, scratch=None):
+        """accumulator ^= array * scalar, in place (the RS inner loop).
+
+        With a caller-owned ``scratch`` (uint8, same shape as ``array``)
+        the fused gather-XOR allocates nothing: the product lands in
+        ``scratch`` and is XORed into ``accumulator`` in place.
+        """
+        if scalar == 0:
+            return accumulator
+        if scalar == 1:
+            np.bitwise_xor(accumulator, array, out=accumulator)
+            return accumulator
+        row = cls.MUL_TABLE[scalar]
+        if scratch is not None and scratch.shape == array.shape:
+            np.take(row, array, out=scratch)
+            np.bitwise_xor(accumulator, scratch, out=accumulator)
+        else:
+            np.bitwise_xor(accumulator, row[array], out=accumulator)
+        return accumulator
+
+    # ------------------------------------------------------------------
+    # Reference kernels: the seed exp/log implementation, kept in-tree
+    # as the bit-exactness oracle for the table kernels above.
+
+    @classmethod
+    def mul_array_reference(cls, array, scalar):
+        """Masked exp/log array multiply (seed implementation, oracle)."""
         if scalar == 0:
             return np.zeros_like(array)
         if scalar == 1:
@@ -84,11 +139,11 @@ class GF256:
         return result
 
     @classmethod
-    def addmul_array(cls, accumulator, array, scalar):
-        """accumulator ^= array * scalar, in place (the RS inner loop)."""
+    def addmul_array_reference(cls, accumulator, array, scalar):
+        """Seed addmul: allocates a product temporary per call (oracle)."""
         if scalar == 0:
             return accumulator
-        accumulator ^= cls.mul_array(array, scalar)
+        accumulator ^= cls.mul_array_reference(array, scalar)
         return accumulator
 
     @classmethod

@@ -10,12 +10,21 @@ top k x k block to the identity (so encoding is systematic — data
 shards pass through unchanged), and keep the bottom m rows as the
 parity-generating matrix. Reconstruction inverts the square submatrix
 of surviving rows.
+
+Allocation discipline: encode gathers through the GF(256) full product
+table into per-stripe scratch buffers owned by the codec, so
+steady-state encoding allocates nothing. ``encode_stripes`` is the
+batched entry point the segio flush path uses — it takes a (k, L)
+uint8 matrix view of the payload and returns an (m, L) parity view
+without ever materializing per-shard byte strings. ``encode_reference``
+preserves the seed per-row implementation as the correctness oracle.
 """
 
 import numpy as np
 
 from repro.erasure.gf256 import GF256
 from repro.errors import UncorrectableError
+from repro.perf import PERF
 
 
 def _vandermonde(rows, cols):
@@ -43,6 +52,31 @@ class ReedSolomon:
         matrix = _systematic_matrix(data_shards, parity_shards)
         self._matrix = matrix
         self._parity_rows = matrix[data_shards:]
+        # Per-stripe scratch, lazily sized to the shard length and then
+        # reused: one gather buffer plus the parity accumulators.
+        self._scratch = np.empty(0, dtype=np.uint8)
+        self._parity_buffer = np.empty((parity_shards, 0), dtype=np.uint8)
+
+    def _buffers(self, length):
+        if self._scratch.shape[0] != length:
+            self._scratch = np.empty(length, dtype=np.uint8)
+            self._parity_buffer = np.empty(
+                (self.parity_shards, length), dtype=np.uint8
+            )
+        return self._scratch, self._parity_buffer
+
+    def _encode_arrays(self, arrays, length):
+        """Parity for k uint8 arrays; returns the codec-owned (m, L) buffer."""
+        scratch, parity = self._buffers(length)
+        table = GF256.MUL_TABLE
+        for index, row in enumerate(self._parity_rows):
+            out = parity[index]
+            # Rows 0/1 of the product table are zero/identity, so the
+            # first term is always a plain gather straight into ``out``.
+            np.take(table[row[0]], arrays[0], out=out)
+            for coefficient, array in zip(row[1:], arrays[1:]):
+                GF256.addmul_array(out, array, coefficient, scratch=scratch)
+        return parity
 
     def encode(self, shards):
         """Compute parity for ``k`` equal-length data shards.
@@ -51,12 +85,38 @@ class ReedSolomon:
         """
         self._check_data_shards(shards)
         length = len(shards[0])
+        with PERF.timer("rs-encode"):
+            arrays = [np.frombuffer(shard, dtype=np.uint8) for shard in shards]
+            parity = self._encode_arrays(arrays, length)
+            return [row.tobytes() for row in parity]
+
+    def encode_stripes(self, data_matrix):
+        """Batched encode: (k, L) uint8 matrix in, (m, L) parity out.
+
+        The input rows are the data shards (a zero-copy reshape of a
+        segio payload works directly). The returned array is the
+        codec's reusable parity buffer — consume it (copy/``tobytes``)
+        before the next encode call.
+        """
+        matrix = np.asarray(data_matrix, dtype=np.uint8)
+        if matrix.ndim != 2 or matrix.shape[0] != self.data_shards:
+            raise ValueError(
+                "expected a (%d, L) data matrix, got shape %r"
+                % (self.data_shards, getattr(matrix, "shape", None))
+            )
+        with PERF.timer("rs-encode"):
+            return self._encode_arrays(list(matrix), matrix.shape[1])
+
+    def encode_reference(self, shards):
+        """Seed implementation (allocating exp/log kernels): the oracle."""
+        self._check_data_shards(shards)
+        length = len(shards[0])
         arrays = [np.frombuffer(shard, dtype=np.uint8) for shard in shards]
         parity = []
         for row in self._parity_rows:
             accumulator = np.zeros(length, dtype=np.uint8)
             for coefficient, array in zip(row, arrays):
-                GF256.addmul_array(accumulator, array, coefficient)
+                GF256.addmul_array_reference(accumulator, array, coefficient)
             parity.append(accumulator.tobytes())
         return parity
 
@@ -99,28 +159,34 @@ class ReedSolomon:
             raise UncorrectableError(
                 "only %d shards survive, need %d" % (len(chosen), self.data_shards)
             )
-        submatrix = [self._matrix[index] for index in chosen]
-        inverse = GF256.matinv(submatrix)
-        survivor_arrays = [
-            np.frombuffer(shards[index], dtype=np.uint8) for index in chosen
-        ]
-        data_arrays = []
-        for row in inverse:
-            accumulator = np.zeros(length, dtype=np.uint8)
-            for coefficient, array in zip(row, survivor_arrays):
-                GF256.addmul_array(accumulator, array, coefficient)
-            data_arrays.append(accumulator)
-        result = list(shards)
-        for index in range(self.data_shards):
-            result[index] = data_arrays[index].tobytes()
-        for index in missing:
-            if index < self.data_shards:
-                continue
-            row = self._matrix[index]
-            accumulator = np.zeros(length, dtype=np.uint8)
-            for coefficient, array in zip(row, data_arrays):
-                GF256.addmul_array(accumulator, array, coefficient)
-            result[index] = accumulator.tobytes()
+        with PERF.timer("rs-decode"):
+            submatrix = [self._matrix[index] for index in chosen]
+            inverse = GF256.matinv(submatrix)
+            survivor_arrays = [
+                np.frombuffer(shards[index], dtype=np.uint8) for index in chosen
+            ]
+            scratch, _parity = self._buffers(length)
+            data_arrays = []
+            for row in inverse:
+                accumulator = np.zeros(length, dtype=np.uint8)
+                for coefficient, array in zip(row, survivor_arrays):
+                    GF256.addmul_array(
+                        accumulator, array, coefficient, scratch=scratch
+                    )
+                data_arrays.append(accumulator)
+            result = list(shards)
+            for index in range(self.data_shards):
+                result[index] = data_arrays[index].tobytes()
+            for index in missing:
+                if index < self.data_shards:
+                    continue
+                row = self._matrix[index]
+                accumulator = np.zeros(length, dtype=np.uint8)
+                for coefficient, array in zip(row, data_arrays):
+                    GF256.addmul_array(
+                        accumulator, array, coefficient, scratch=scratch
+                    )
+                result[index] = accumulator.tobytes()
         return [bytes(shard) for shard in result]
 
     def verify(self, shards):

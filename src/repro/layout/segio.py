@@ -7,7 +7,8 @@ the payload is split into data shards, parity is computed, and each
 shard is prefixed with the replicated header.
 """
 
-from repro.erasure.striping import stripe_payload
+import numpy as np
+
 from repro.layout.segment import SegioHeader
 
 
@@ -117,14 +118,18 @@ class OpenSegio:
         """
         self._check_open()
         self.finalized = True
-        shards, _length = stripe_payload(
-            bytes(self._payload), self.geometry.data_shards
-        )
-        # stripe_payload pads to equal lengths; payload is already an
-        # exact multiple of shard_body so lengths match the geometry.
-        parity = codec.encode(shards)
+        # The payload is an exact multiple of shard_body, so the k data
+        # shards are a zero-copy 2-D view of the accumulation buffer;
+        # parity comes back as the codec's (m, L) scratch in one batched
+        # numpy pass — no per-shard byte strings until the write units
+        # themselves are assembled.
+        data_shards = self.geometry.data_shards
+        payload_view = np.frombuffer(self._payload, dtype=np.uint8)
+        matrix = payload_view.reshape(data_shards, payload_view.size // data_shards)
+        parity = codec.encode_stripes(matrix)
         write_units = []
-        all_shards = list(shards) + list(parity)
+        all_shards = [matrix[index] for index in range(data_shards)]
+        all_shards.extend(parity[index] for index in range(len(parity)))
         for shard_index, body in enumerate(all_shards):
             header = SegioHeader(
                 segment_id=self.descriptor.segment_id,
@@ -137,5 +142,5 @@ class OpenSegio:
                 seq_max=self._seq_max if self._seq_max is not None else -1,
                 max_record_id=self._max_record_id,
             ).encode(self.geometry.wu_header_size)
-            write_units.append(header + body)
+            write_units.append(header + body.tobytes())
         return write_units

@@ -18,6 +18,7 @@ import itertools
 from repro.errors import AllocationError, OutOfSpaceError
 from repro.layout.segio import OpenSegio
 from repro.layout.segment import SegmentDescriptor
+from repro.perf import PERF
 
 
 class SegmentWriter:
@@ -182,7 +183,8 @@ class SegmentWriter:
         if self._segio is None or self._segio.finalized or self._segio.is_empty:
             return 0.0
         segio = self._segio
-        write_units = segio.finalize(self.codec)
+        with PERF.timer("segio-flush"):
+            write_units = segio.finalize(self.codec)
         descriptor = segio.descriptor
         pending = []
         for shard_index, unit in enumerate(write_units):

@@ -13,6 +13,8 @@ from repro.units import KIB, MIB
 
 from tests.core.conftest import unique_bytes
 
+pytestmark = pytest.mark.slow
+
 
 def build_deep_lineage_with_data(array, stream, generations=6):
     """Every generation writes something, so every medium holds extents

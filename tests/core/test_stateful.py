@@ -10,6 +10,7 @@ ordering of maintenance and failure events may ever lose or corrupt an
 acknowledged write.
 """
 
+import pytest
 from hypothesis import settings
 from hypothesis import strategies as st
 from hypothesis.stateful import (
@@ -25,6 +26,8 @@ from repro.core.config import ArrayConfig
 from repro.core.recovery import recover_array
 from repro.sim.rand import RandomStream
 from repro.units import KIB, SECTOR
+
+pytestmark = pytest.mark.slow
 
 VOLUME_SIZE = 512 * KIB
 MAX_IO = 8 * KIB

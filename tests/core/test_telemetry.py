@@ -1,8 +1,16 @@
-"""Tests for telemetry primitives: latency traces and reduction math."""
+"""Tests for telemetry primitives: latency traces, reduction math, and
+the hot-path perf-counter layer (stage timers + cblock cache counters)."""
 
 import pytest
 
-from repro.core.telemetry import LatencyRecorder, ReductionReport
+from repro.core.telemetry import (
+    LatencyRecorder,
+    PerfCounters,
+    ReductionReport,
+    format_perf_report,
+    perf_report,
+    reset_perf_counters,
+)
 
 
 def test_latency_recorder_basics():
@@ -67,3 +75,84 @@ def test_empty_report_degenerates_to_unity():
 def test_provisioned_with_no_data_is_infinite_thin():
     report = make_report(logical=0, unique=0, physical=0, provisioned=100)
     assert report.thin_provisioning == float("inf")
+
+
+def test_perf_counters_timers_and_counts():
+    perf = PerfCounters()
+    with perf.timer("rs-encode"):
+        pass
+    with perf.timer("rs-encode"):
+        pass
+    perf.incr("cblock-cache-hit", 3)
+    perf.incr("cblock-cache-miss")
+    report = perf.report()
+    assert report["stages"]["rs-encode"]["calls"] == 2
+    assert report["stages"]["rs-encode"]["total_ms"] >= 0.0
+    assert report["counters"]["cblock-cache-hit"] == 3
+    assert report["derived"]["cblock-cache-hit-rate"] == pytest.approx(0.75)
+    perf.reset()
+    assert perf.report() == {"stages": {}, "counters": {}, "derived": {}}
+
+
+def test_perf_report_exposes_pipeline_stages_and_cache_counters():
+    """Driving a real array populates per-stage timings and cache stats."""
+    from repro.core.array import PurityArray
+    from repro.core.config import ArrayConfig
+    from repro.sim.rand import RandomStream
+    from repro.units import KIB, MIB
+
+    reset_perf_counters()
+    config = ArrayConfig.small(num_drives=11, cblock_cache_entries=4, seed=3)
+    array = PurityArray.create(config)
+    array.create_volume("v", 2 * MIB)
+    stream = RandomStream(3)
+    for index in range(24):
+        array.write("v", index * 16 * KIB, stream.randbytes(16 * KIB))
+    array.drain()
+    array.datapath.drop_caches()
+    for index in range(8):
+        array.read("v", index * 16 * KIB, 16 * KIB)
+    report = perf_report()
+    for stage in ("nvram-commit", "hash", "compress", "segio-append",
+                  "rs-encode", "segio-flush"):
+        assert report["stages"][stage]["calls"] > 0, stage
+        assert report["stages"][stage]["total_ms"] >= 0.0
+    counters = report["counters"]
+    assert counters["cblock-cache-miss"] > 0
+    assert counters["cblock-cache-eviction"] > 0
+    assert 0.0 <= report["derived"].get("cblock-cache-hit-rate", 0.0) <= 1.0
+    # The datapath's own cache counters agree with the report's mechanism.
+    cache = array.datapath._cblock_cache
+    assert cache.counters()["entries"] <= config.cblock_cache_entries
+    assert cache.misses > 0 and cache.evictions > 0
+    text = format_perf_report(report)
+    assert "rs-encode" in text and "cblock-cache-miss" in text
+
+
+def test_cblock_cache_counters_and_segment_invalidation():
+    from repro.core.datapath import CBlockCache
+
+    reset_perf_counters()
+    cache = CBlockCache(capacity=2)
+    assert cache.get((1, 0)) is None  # miss
+    cache.put((1, 0), b"a")
+    cache.put((1, 64), b"b")
+    assert cache.get((1, 0)) == b"a"  # hit
+    cache.put((2, 0), b"c")  # evicts LRU (1, 64)
+    assert cache.evictions == 1
+    assert (1, 64) not in cache
+    assert cache.invalidate_segment(1) == 1
+    assert (1, 0) not in cache and (2, 0) in cache
+    assert cache.counters() == {
+        "hits": 1,
+        "misses": 1,
+        "evictions": 1,
+        "invalidations": 1,
+        "entries": 1,
+    }
+    assert cache.invalidate_segment(99) == 0
+    counters = perf_report()["counters"]
+    assert counters["cblock-cache-hit"] == 1
+    assert counters["cblock-cache-miss"] == 1
+    assert counters["cblock-cache-eviction"] == 1
+    assert counters["cblock-cache-invalidation"] == 1

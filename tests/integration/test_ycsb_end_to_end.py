@@ -9,6 +9,8 @@ from repro.units import KIB, MIB
 from repro.workloads.base import OpKind, run_trace
 from repro.workloads.ycsb import YCSBConfig, YCSBWorkload
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture
 def array():

@@ -10,6 +10,8 @@ import sys
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 EXAMPLES = [
     "quickstart",
     "database_consolidation",
