@@ -1,0 +1,85 @@
+"""Chaos-harness benchmark: availability under seeded fault schedules.
+
+Quantifies what the chaos tests assert: per-seed fault mix, recovery
+downtimes versus the 30-second client timeout, repair work done, and
+the throughput cost of running a workload under faults compared to the
+same workload fault-free.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis.reporting import format_table
+from repro.core.ha import CLIENT_TIMEOUT_SECONDS
+from repro.faults.chaos import ChaosHarness
+from repro.faults.plan import FaultPlan
+
+SEEDS = (0, 3, 7, 9, 11)
+TOTAL_OPS = 200
+
+
+def run_chaos(seed, plan=None):
+    harness = ChaosHarness(seed=seed, plan=plan, total_ops=TOTAL_OPS)
+    start = harness.array.clock.now
+    report = harness.run()
+    elapsed = harness.array.clock.now - start
+    return report, elapsed
+
+
+def test_chaos_schedule_survival(once):
+    def run():
+        return [(seed,) + run_chaos(seed) for seed in SEEDS]
+
+    results = once(run)
+    rows = []
+    for seed, report, _elapsed in results:
+        rows.append([
+            seed,
+            report.faults_fired,
+            ",".join(k.split("-")[0] for k in report.kinds_used),
+            report.crashes,
+            round(report.max_downtime, 3),
+            report.drives_replaced,
+            report.segments_rebuilt,
+            report.scrub_passes,
+            len(report.violations),
+        ])
+    emit("chaos_schedules", format_table(
+        ["Seed", "Faults", "Kinds", "Crashes", "Max downtime (s)",
+         "Drives replaced", "Segments rebuilt", "Scrubs", "Violations"],
+        rows,
+        title="Seeded chaos schedules (%d ops each; client timeout %.0f s)"
+              % (TOTAL_OPS, CLIENT_TIMEOUT_SECONDS)))
+    for seed, report, _elapsed in results:
+        assert report.violations == [], seed
+        assert report.data_loss is None, seed
+        assert report.max_downtime < CLIENT_TIMEOUT_SECONDS
+
+
+def test_chaos_throughput_cost(once):
+    """The workload still makes progress under faults: simulated ops/s
+    with the injector firing versus the identical fault-free workload."""
+
+    def run():
+        quiet_report, quiet_elapsed = run_chaos(21, plan=FaultPlan())
+        chaos_report, chaos_elapsed = run_chaos(21)
+        return quiet_report, quiet_elapsed, chaos_report, chaos_elapsed
+
+    quiet_report, quiet_elapsed, chaos_report, chaos_elapsed = once(run)
+    quiet_rate = quiet_report.ops / quiet_elapsed
+    chaos_rate = chaos_report.ops / chaos_elapsed
+    rows = [
+        ["fault-free", quiet_report.ops, round(quiet_elapsed, 3),
+         round(quiet_rate, 1), 0, 0.0],
+        ["under chaos", chaos_report.ops, round(chaos_elapsed, 3),
+         round(chaos_rate, 1), chaos_report.faults_fired,
+         round(chaos_report.max_downtime, 3)],
+    ]
+    emit("chaos_throughput_cost", format_table(
+        ["Schedule", "Ops", "Sim time (s)", "Ops/s (sim)", "Faults",
+         "Max downtime (s)"],
+        rows, title="Workload progress with and without fault injection"))
+    assert quiet_report.violations == []
+    assert chaos_report.violations == []
+    # Faults cost time (recovery, retries, reconstruction) but the
+    # array keeps serving: the chaos run completes every operation.
+    assert chaos_report.ops == quiet_report.ops == TOTAL_OPS
+    assert chaos_rate > 0

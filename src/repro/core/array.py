@@ -14,6 +14,7 @@ from repro.core.commit import CommitPipeline
 from repro.core.config import ArrayConfig
 from repro.core.datapath import DataPath
 from repro.core.gc import GarbageCollector
+from repro.core.health import DriveHealthMonitor
 from repro.core.scrubber import Scrubber
 from repro.core.tables import TableSet
 from repro.core.telemetry import LatencyRecorder, ReductionReport
@@ -65,8 +66,15 @@ class PurityArray:
             on_segment_opened=self._on_segment_opened,
             max_concurrent_writes=self.config.max_concurrent_writes,
         )
+        self.health = DriveHealthMonitor(
+            self.clock, on_auto_fail=self._auto_fail_drive
+        )
         self.segreader = SegmentReader(
-            geometry, self.codec, self.drives, avoid_policy=self._avoid_policy
+            geometry,
+            self.codec,
+            self.drives,
+            avoid_policy=self._avoid_policy,
+            health=self.health,
         )
         self.tables = TableSet(fanout=self.config.pyramid_fanout)
         self.pipeline = CommitPipeline(
@@ -101,6 +109,7 @@ class PurityArray:
         self.scrubber = Scrubber(self)
         self.latencies = LatencyRecorder()
         self.crashed = False
+        self._rebuild_pending = False
 
     # ------------------------------------------------------------------
     # Construction
@@ -215,6 +224,31 @@ class PurityArray:
         drive.fail()
         self.allocator.drop_drive(drive_name)
         self.frontier.drop_drive(drive_name)
+        self.health.note_failed(drive_name)
+
+    def _auto_fail_drive(self, drive_name):
+        """Health-monitor callback: a chronically suspect drive is
+        proactively failed; the next :meth:`service_health` rebuilds."""
+        drive = self.drives.get(drive_name)
+        if drive is None or drive.failed:
+            return
+        drive.fail()
+        self.allocator.drop_drive(drive_name)
+        self.frontier.drop_drive(drive_name)
+        self._rebuild_pending = True
+
+    def service_health(self):
+        """Run the rebuild owed to auto-failed drives; returns segments
+        re-protected (0 when no drive was auto-failed since last call).
+
+        Deferred from the auto-fail itself because rebuild reads through
+        the same segment reader that reported the bad drive — running it
+        inline would recurse into the read path that triggered it.
+        """
+        if not getattr(self, "_rebuild_pending", False):
+            return 0
+        self._rebuild_pending = False
+        return self.rebuild()
 
     def replace_drive(self, drive_name):
         """Install a fresh drive in a failed slot (service call)."""
@@ -225,6 +259,7 @@ class PurityArray:
         del self.drives[drive_name]
         self.drives[replacement.name] = replacement
         self.allocator.add_drive(replacement.name)
+        self.health.reset(drive_name)
         return replacement
 
     def rebuild(self):

@@ -137,6 +137,8 @@ class DataPath:
         )
         self._cblock_cache = CBlockCache(config.cblock_cache_entries)
         self._descriptor_cache = {}
+        #: Fault-injection crashpoint router (see :mod:`repro.faults`).
+        self.crashpoints = None
         self.logical_bytes_written = 0
         self.dedup_bytes_saved = 0
 
@@ -230,9 +232,18 @@ class DataPath:
             raise VolumeError("zero-length write")
         if offset % SECTOR or len(data) % SECTOR:
             raise VolumeError("writes must be 512 B aligned")
+        cp = self.crashpoints
+        if cp is not None:
+            cp.hit("datapath.write-start", medium_id=medium_id, offset=offset)
         with PERF.timer("nvram-commit"):
             _fact, latency = self.pipeline.commit_raw_write(medium_id, offset, data)
+        # Past this point the write is durable in NVRAM: a crash below
+        # loses the acknowledgement, never the data (recovery replays).
+        if cp is not None:
+            cp.hit("datapath.post-commit", medium_id=medium_id, offset=offset)
         self.process_write(medium_id, offset, data)
+        if cp is not None:
+            cp.hit("datapath.post-process", medium_id=medium_id, offset=offset)
         self.pipeline.after_raw_write_processed()
         return latency
 

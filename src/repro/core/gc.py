@@ -41,6 +41,8 @@ class GarbageCollector:
 
     def __init__(self, array):
         self.array = array
+        #: Fault-injection crashpoint router (see :mod:`repro.faults`).
+        self.crashpoints = None
         self.total_segments_collected = 0
         self.total_bytes_rewritten = 0
 
@@ -102,6 +104,9 @@ class GarbageCollector:
             descriptor = datapath.descriptor_for(segment_id)
         except Exception:
             return False
+        cp = self.crashpoints
+        if cp is not None:
+            cp.hit("gc.pre-collect", segment_id=segment_id)
         if segment_id == self._open_segment_id():
             # Evacuating the open segment: retire it first so rewrites
             # (and re-homed patches) land in a fresh segment.
@@ -118,6 +123,15 @@ class GarbageCollector:
         relocations = self._rewrite_live_cblocks(
             descriptor, referencing, report
         )
+        # Durability barrier: the rewritten cblocks must be on media
+        # *before* the repointed facts commit to the WAL. Repoint facts
+        # survive a crash via NVRAM, so if they could reference data
+        # still sitting in the open segio's RAM, recovery would rebuild
+        # an address map pointing at never-flushed locations.
+        if relocations:
+            array.segwriter.flush()
+        if cp is not None:
+            cp.hit("gc.post-rewrite", segment_id=segment_id)
         self._repoint_extents(referencing, relocations)
         datapath.dedup_index.rewrite_segment(
             segment_id,
@@ -129,6 +143,10 @@ class GarbageCollector:
         # and double-free AUs another segment now owns.
         array.pipeline.drain()
         array.pipeline.elide_key_range(T.SEGMENTS, segment_id, segment_id)
+        if cp is not None:
+            # A crash here leaks the old AUs until the next full sweep
+            # but must never lose data: the facts above are durable.
+            cp.hit("gc.pre-release", segment_id=segment_id)
         self._release_segment(descriptor, report)
         datapath.invalidate_segment(segment_id)
         self.total_segments_collected += 1

@@ -22,7 +22,7 @@ re-inserting anything already present is harmless.
 from dataclasses import dataclass, field
 
 from repro.core import tables as T
-from repro.errors import AllocationError
+from repro.errors import AllocationError, DataLossError, UncorrectableError
 from repro.layout.segment import SegmentDescriptor
 from repro.pyramid.patch import Patch
 from repro.pyramid.wal import decode_commit_record
@@ -96,16 +96,24 @@ def recover_array(cls, config, shelf, boot_region, clock,
     array.medium_table.set_next_medium_id(checkpoint["next_medium_id"])
     array.pipeline.set_medium_id_hint(checkpoint["next_medium_id"])
 
-    # 2. Patch pointers: bulk-load persisted index state.
+    # 2. Patch pointers: bulk-load persisted index state. These records
+    # were checkpointed *after* a successful drain, so an unreadable one
+    # is genuine loss — detected and reported, never silently skipped.
     for relation_name, pointer in checkpoint["patch_pointers"]:
         facts = []
         for flat_placements, offset, length in pointer:
             descriptor = SegmentDescriptor(
                 segment_id=-1, placements=_unflatten_placements(flat_placements)
             )
-            blob, latency = array.segreader.read_log_record(
-                descriptor, (offset, length)
-            )
+            try:
+                blob, latency = array.segreader.read_log_record(
+                    descriptor, (offset, length)
+                )
+            except UncorrectableError as exc:
+                raise DataLossError(
+                    "recovery cannot read a checkpointed %s patch: %s"
+                    % (relation_name, exc)
+                ) from exc
             report.patch_load_latency += latency * (1.0 - warm_cache_fraction)
             _name, chunk, _end = decode_commit_record(blob)
             facts.extend(chunk)
@@ -126,6 +134,7 @@ def recover_array(cls, config, shelf, boot_region, clock,
             if tuple(unit) not in seen:
                 scan_units.append(tuple(unit))
     report.aus_scanned = len(scan_units)
+    torn_log_records = 0
     headers, scan_latency = array.segreader.scan_headers(scan_units)
     report.scan_latency = scan_latency
     report.headers_found = len(headers)
@@ -145,13 +154,24 @@ def recover_array(cls, config, shelf, boot_region, clock,
                 T.SEGMENTS, (header.segment_id,), (placements,)
             )
         for locator in header.log_locators:
-            blob, latency = array.segreader.read_log_record(descriptor, locator)
+            try:
+                blob, latency = array.segreader.read_log_record(
+                    descriptor, locator
+                )
+            except UncorrectableError:
+                # A torn segio: the crash interrupted its flush. NVRAM
+                # is only ever trimmed *after* a flush completes, so the
+                # facts in this record are still in NVRAM (step 4) —
+                # skipping the torn copy loses nothing.
+                torn_log_records += 1
+                continue
             report.scan_latency += latency
             relation_name, facts, _end = decode_commit_record(blob)
             for fact in facts:
                 array.tables[relation_name].insert_fact(fact)
                 report.facts_recovered += 1
     array.segwriter.set_next_segment_id(max_segment_id + 1)
+    report.extra["torn_log_records"] = torn_log_records
 
     # 4. NVRAM: union metadata facts, queue raw writes for replay.
     batches, nvram_latency = array.pipeline.wal.recovery_scan()

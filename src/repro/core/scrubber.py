@@ -14,12 +14,17 @@ scrub repairs as it refreshes.
 
 from dataclasses import dataclass, field
 
+from repro.errors import VolumeError
+
 
 @dataclass
 class ScrubReport:
     """What one scrub pass found and fixed."""
 
     segments_scanned: int = 0
+    #: Segments whose descriptor vanished between the table scan and the
+    #: shard reads (GC freed them mid-pass) — skipped, not an error.
+    segments_skipped: int = 0
     shards_read: int = 0
     corrupt_shards: int = 0
     parity_mismatches: int = 0
@@ -56,7 +61,11 @@ class Scrubber:
         array = self.array
         try:
             descriptor = array.datapath.descriptor_for(segment_id)
-        except Exception:
+        except VolumeError:
+            # Only the missing-descriptor race (GC freed the segment
+            # after the table scan) is skippable; any other failure in
+            # a scrub is a real bug and must propagate.
+            report.segments_skipped += 1
             return False
         report.segments_scanned += 1
         corrupt = False

@@ -19,7 +19,41 @@ from repro.perf import (  # noqa: F401  (re-exported)
     perf_report,
     reset_perf_counters,
 )
+# Degraded-mode telemetry: per-drive retry accounting lives on the
+# segment reader, health grades on the monitor; both re-exported here
+# as the public faces of the fault/retry counters.
+from repro.core.health import (  # noqa: F401  (re-exported)
+    FAILED,
+    HEALTHY,
+    SUSPECT,
+    DriveHealthMonitor,
+)
+from repro.layout.segreader import DriveRetryStats  # noqa: F401  (re-exported)
 from repro.sim.distributions import percentile
+
+
+def degraded_mode_report(array):
+    """Fault/retry/health counters for one array, as plain dicts.
+
+    Combines the segment reader's per-drive retry accounting, the
+    health monitor's drive grades, and the device-level corruption and
+    stall counters — the numbers a support engineer would pull first
+    when a chaos run (or a real array) misbehaves.
+    """
+    return {
+        "retries": array.segreader.retry_report(),
+        "health": array.health.report(),
+        "devices": {
+            name: {
+                "corrupted_reads": drive.counters.corrupted_reads,
+                "stalled_reads": drive.counters.stalled_reads,
+                "failed": drive.failed,
+            }
+            for name, drive in sorted(array.drives.items())
+        },
+        "reconstructed_reads": array.segreader.reconstructed_reads,
+        "direct_reads": array.segreader.direct_reads,
+    }
 
 
 class LatencyRecorder:

@@ -21,6 +21,28 @@ class UncorrectableError(DeviceError):
     """Data was lost beyond what the erasure code can reconstruct."""
 
 
+class DataLossError(PurityError):
+    """Acknowledged data is provably unrecoverable.
+
+    Raised when the system *detects* loss (e.g. recovery cannot read a
+    checkpointed patch, or too many shards of one stripe are gone) —
+    the contract is that loss is reported, never silently returned as
+    wrong bytes.
+    """
+
+
+class InjectedCrashError(PurityError):
+    """A fault-injection plan crashed the controller at a crashpoint.
+
+    Only ever raised by :mod:`repro.faults`; harnesses catch it, run
+    recovery, and verify the crash-consistency invariants.
+    """
+
+    def __init__(self, crashpoint, message=None):
+        super().__init__(message or "injected crash at %s" % crashpoint)
+        self.crashpoint = crashpoint
+
+
 class AllocationError(PurityError):
     """The space allocator could not satisfy a request."""
 

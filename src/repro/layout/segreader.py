@@ -15,22 +15,49 @@ records, and sequence bounds are rediscovered.
 
 from repro.errors import DeviceFailedError, UncorrectableError
 from repro.layout.segment import SegioHeader
+from repro.perf import PERF
+from repro.units import MICROSECOND
+
+
+class DriveRetryStats:
+    """Per-drive retry accounting (re-exported via core.telemetry)."""
+
+    __slots__ = ("attempts", "exhausted")
+
+    def __init__(self):
+        #: Device-level re-reads issued after a corrupted result.
+        self.attempts = 0
+        #: Reads still corrupted after every retry: the reader fell
+        #: through to Reed-Solomon reconstruction for that shard.
+        self.exhausted = 0
+
+    def counters(self):
+        return {"attempts": self.attempts, "exhausted": self.exhausted}
 
 
 class SegmentReader:
     """Read path over striped segments."""
 
-    def __init__(self, geometry, codec, drives, avoid_policy=None):
+    def __init__(self, geometry, codec, drives, avoid_policy=None, health=None):
         self.geometry = geometry
         self.codec = codec
         self.drives = drives  # name -> SimulatedSSD
         self.avoid_policy = avoid_policy
+        #: Optional :class:`repro.core.health.DriveHealthMonitor`; fed
+        #: every corrupted/stalled/exhausted read outcome.
+        self.health = health
         self.direct_reads = 0
         self.reconstructed_reads = 0
+        self.retry_stats = {}  # drive name -> DriveRetryStats
 
     #: Re-read attempts on a corrupted page before giving up on a shard
     #: (device-level ECC retries; each attempt re-samples the media).
     CORRUPTION_RETRIES = 2
+    #: Suspect drives get one fail-fast retry: reconstruction from the
+    #: healthy shards beats waiting on a rotting drive.
+    SUSPECT_RETRIES = 1
+    #: Base host-side backoff before a retry; doubles per attempt.
+    RETRY_BACKOFF = 250 * MICROSECOND
 
     def _drive_for(self, descriptor, shard):
         drive_name, _au = descriptor.placements[shard]
@@ -39,13 +66,63 @@ class SegmentReader:
             return None
         return drive
 
+    def stats_for(self, drive_name):
+        stats = self.retry_stats.get(drive_name)
+        if stats is None:
+            stats = DriveRetryStats()
+            self.retry_stats[drive_name] = stats
+        return stats
+
+    def retry_report(self):
+        """drive name -> retry counters, for telemetry."""
+        return {
+            name: stats.counters()
+            for name, stats in sorted(self.retry_stats.items())
+        }
+
     def _read_with_retry(self, drive, offset, length):
-        """Read, retrying corrupted results; returns the final result."""
+        """Read with escalating retry/backoff; returns the final result.
+
+        Each retry charges an exponentially-growing host-side backoff
+        on top of the device read, and the returned latency is the
+        *sum* over attempts (the caller waited through all of them).
+        Suspect drives get a shorter retry budget — fail fast and let
+        reconstruction serve the read. Every outcome feeds the health
+        monitor, which may auto-fail the drive mid-sequence; the loop
+        then stops retrying and reports the read as exhausted.
+        """
+        health = self.health
+        #: One health "region" per write unit: repeated reads of the
+        #: same damaged unit are one piece of evidence, not many.
+        region = offset // self.geometry.write_unit
         result = drive.read(offset, length)
+        total_latency = result.latency
+        if health is not None and result.stalled:
+            health.note_stalled(drive.name)
+        budget = self.CORRUPTION_RETRIES
+        if health is not None and health.is_suspect(drive.name):
+            budget = self.SUSPECT_RETRIES
         attempts = 0
-        while result.corrupted and attempts < self.CORRUPTION_RETRIES:
+        while result.corrupted and attempts < budget:
+            if health is not None:
+                health.note_corrupted(drive.name, region=region)
+            if drive.failed:
+                break  # the health monitor auto-failed it under us
+            self.stats_for(drive.name).attempts += 1
+            PERF.incr("segread-retry")
+            backoff = self.RETRY_BACKOFF * (2 ** attempts)
             attempts += 1
             result = drive.read(offset, length)
+            total_latency += backoff + result.latency
+            if health is not None and result.stalled:
+                health.note_stalled(drive.name)
+        if result.corrupted:
+            self.stats_for(drive.name).exhausted += 1
+            PERF.incr("segread-retry-exhausted")
+            if health is not None:
+                health.note_corrupted(drive.name, region=region)
+                health.note_exhausted(drive.name, region=region)
+        result.latency = total_latency
         return result
 
     def _body_offset(self, descriptor, shard, segio, within_body):
@@ -88,7 +165,7 @@ class SegmentReader:
         try:
             return self._reconstruct_chunk(descriptor, segio, shard, within, length)
         except UncorrectableError:
-            if not avoided:
+            if not avoided or drive.failed:
                 raise
             # Avoidance is an optimization, never a correctness rule:
             # when too few calm shards survive, read the busy drive.

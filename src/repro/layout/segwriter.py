@@ -48,6 +48,11 @@ class SegmentWriter:
         #: group at once, so reads can always reconstruct around busy
         #: drives. None = program every shard in parallel.
         self.max_concurrent_writes = max_concurrent_writes
+        #: Fault-injection hooks (see :mod:`repro.faults`): crashpoint
+        #: router, and a flush interceptor that may drop shard programs
+        #: (torn flushes).
+        self.crashpoints = None
+        self.flush_interceptor = None
         self._segment_ids = itertools.count(1)
         self._descriptor = None
         self._segio = None
@@ -183,6 +188,9 @@ class SegmentWriter:
         if self._segio is None or self._segio.finalized or self._segio.is_empty:
             return 0.0
         segio = self._segio
+        cp = self.crashpoints
+        if cp is not None:
+            cp.hit("segwriter.pre-flush", descriptor=segio.descriptor)
         with PERF.timer("segio-flush"):
             write_units = segio.finalize(self.codec)
         descriptor = segio.descriptor
@@ -196,10 +204,27 @@ class SegmentWriter:
                 au_index * self.geometry.au_size, segio.segio_index, 0
             )
             pending.append((drive, device_offset, unit))
+        if self.flush_interceptor is not None:
+            # Fault injection: a torn flush persists only a subset of
+            # the shard programs (the dropped units read back torn).
+            pending = self.flush_interceptor(
+                descriptor, segio.segio_index, pending
+            )
         wave_size = self.max_concurrent_writes or len(pending) or 1
         now = self.clock.now
         elapsed = 0.0
         for wave_start in range(0, len(pending), wave_size):
+            if cp is not None and wave_start:
+                # A crash here leaves earlier waves on media and later
+                # ones unwritten — the torn-stripe recovery scenario.
+                # The remaining fan-out travels with the hit so the
+                # injector can mark those units torn (modelling the
+                # checksums that make a half-written stripe detectable).
+                cp.hit(
+                    "segwriter.mid-flush",
+                    descriptor=descriptor,
+                    remaining=pending[wave_start:],
+                )
             wave = pending[wave_start : wave_start + wave_size]
             wave_latency = 0.0
             for drive, device_offset, unit in wave:
@@ -210,6 +235,8 @@ class SegmentWriter:
                 wave_latency = max(wave_latency, latency - elapsed)
                 self.flush_bytes_written += len(unit)
             elapsed += wave_latency
+        if cp is not None:
+            cp.hit("segwriter.post-flush", descriptor=descriptor)
         self.segios_flushed += 1
         if self.on_segio_flushed is not None:
             self.on_segio_flushed(descriptor, segio)

@@ -42,6 +42,8 @@ class MonotonicWAL:
         self.nvram = nvram
         self._pending = []  # (record_id, relation_name, facts) not yet in a segment
         self._persisted_through = -1
+        #: Fault-injection crashpoint router (see :mod:`repro.faults`).
+        self.crashpoints = None
         self.commits = 0
         self.commit_bytes = 0
 
@@ -57,7 +59,14 @@ class MonotonicWAL:
         the point at which Purity acknowledges an application write.
         """
         payload = encode_commit_record(relation_name, facts)
+        cp = self.crashpoints
+        if cp is not None:
+            cp.hit("nvram.pre-append", nvram=self.nvram)
         record_id, latency = self.nvram.append(payload)
+        if cp is not None:
+            # An armed NVRAM-torn fault fires here: the appended record
+            # is dropped (never acknowledged) and the controller dies.
+            cp.hit("nvram.post-append", nvram=self.nvram, record_id=record_id)
         self._pending.append((record_id, relation_name, list(facts)))
         self.commits += 1
         self.commit_bytes += len(payload)

@@ -96,6 +96,10 @@ class SimulatedSSD:
         self.wear = WearTracker(self.geometry, rated_pe_cycles)
         self.counters = DeviceCounters()
         self.failed = False
+        #: Optional fault-injection hook (see :mod:`repro.faults`):
+        #: consulted inside read/write/discard so injected faults land
+        #: in the device timeline, not around it.
+        self.fault_model = None
         self._read_latency = self.timing.read_latency_distribution()
         self._die_busy_until = {}  # per-die: programs/erases (FIFO)
         self._die_reads_until = {}  # per-die: priority reads (FIFO)
@@ -201,6 +205,14 @@ class SimulatedSSD:
         done = self._charge_bus(flash_done, nbytes)
         latency = done - now
         corrupted = self._sample_corruption(offset, nbytes, now)
+        if self.fault_model is not None:
+            forced_corrupt, extra_stall = self.fault_model.on_read(
+                self, offset, nbytes, now
+            )
+            corrupted = corrupted or forced_corrupt
+            if extra_stall > 0.0:
+                latency += extra_stall
+                stalled = True
         data = self.store.read(offset, nbytes)
         self.counters.reads += 1
         self.counters.bytes_read += nbytes
@@ -238,6 +250,8 @@ class SimulatedSSD:
         self._note_writing_window(begin, done)
         for erase_block in self.geometry.erase_blocks_spanned(offset, nbytes):
             self.wear.note_program(erase_block, now)
+        if self.fault_model is not None:
+            self.fault_model.on_write(self, offset, nbytes)
         self.store.write(offset, data)
         self.counters.writes += 1
         self.counters.bytes_written += nbytes
@@ -258,6 +272,8 @@ class SimulatedSSD:
         self._note_writing_window(begin, done)
         for erase_block in blocks:
             self.wear.note_erase(erase_block, now)
+        if self.fault_model is not None:
+            self.fault_model.on_discard(self, offset, nbytes)
         self.ftl.note_discard(offset, nbytes)
         self.store.discard(offset, nbytes)
         self.counters.discards += 1

@@ -99,6 +99,24 @@ class NVRAMDevice:
         latency = self.timing.read_base + total / self.timing.append_bandwidth
         return list(self._records), latency
 
+    def drop_tail(self, from_record_id):
+        """Discard records with id >= ``from_record_id`` (fault injection).
+
+        Models a torn commit: a crash while the tail records were being
+        appended loses them before they were ever acknowledged. Returns
+        the number of records dropped.
+        """
+        kept = []
+        dropped = 0
+        for record_id, payload in self._records:
+            if record_id >= from_record_id:
+                self._bytes_used -= len(payload)
+                dropped += 1
+            else:
+                kept.append((record_id, payload))
+        self._records = kept
+        return dropped
+
     def trim(self, upto_record_id):
         """Drop records with id <= ``upto_record_id`` (segment writer done)."""
         self._check_alive()

@@ -93,6 +93,43 @@ def test_double_secondary_failure_rejected(appliance):
         appliance.fail_secondary()
 
 
+def test_fail_secondary_after_primary_failover_rejected(appliance, stream):
+    """After a failover the survivor runs alone: there is no secondary
+    left to fail, and the next primary loss is a full outage."""
+    appliance.write("v", 0, unique_bytes(4 * KIB, stream))
+    appliance.fail_primary()
+    assert not appliance.secondary_alive
+    with pytest.raises(ControllerError):
+        appliance.fail_secondary()
+    with pytest.raises(ControllerError):
+        appliance.fail_primary()
+    # The survivor still serves I/O through all of that.
+    data, _ = appliance.read("v", 0, 4 * KIB)
+    assert len(data) == 4 * KIB
+
+
+def test_replace_controller_with_both_slots_filled_rejected(appliance):
+    with pytest.raises(ControllerError):
+        appliance.replace_failed_controller()
+
+
+def test_repeated_failover_replace_cycles_preserve_data(appliance, stream):
+    """The 4-hour-SLA service loop: fail, recover, replace, repeat."""
+    history = {}
+    for cycle in range(3):
+        payload = unique_bytes(4 * KIB, stream)
+        history[cycle] = payload
+        appliance.write("v", cycle * 8 * KIB, payload)
+        result = appliance.fail_primary()
+        assert result.within_client_timeout
+        appliance.replace_failed_controller()
+        assert appliance.secondary_alive
+        for past, expected in history.items():
+            data, _ = appliance.read("v", past * 8 * KIB, 4 * KIB)
+            assert data == expected
+    assert appliance.failovers == 3
+
+
 def test_snapshots_survive_failover(appliance, stream):
     original = unique_bytes(4 * KIB, stream)
     appliance.write("v", 0, original)

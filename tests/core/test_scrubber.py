@@ -71,3 +71,32 @@ def test_scrub_respects_max_segments(array, volume, stream):
     array.drain()
     report = array.scrub(max_segments=1)
     assert report.segments_scanned <= 1
+
+
+def test_scrub_skips_segments_freed_mid_pass(array, volume, stream):
+    """GC can free a segment between the table scan and the shard
+    reads; the scrubber counts the race and moves on."""
+    array.write(volume, 0, unique_bytes(16 * KIB, stream))
+    array.drain()
+    geometry = array.config.segment_geometry
+    from repro.core.scrubber import ScrubReport
+
+    report = ScrubReport()
+    needs_rewrite = array.scrubber._scrub_segment(999999, geometry, report)
+    assert not needs_rewrite
+    assert report.segments_skipped == 1
+    assert report.segments_scanned == 0
+
+
+def test_scrub_propagates_unexpected_errors(array, volume, stream):
+    """Only the missing-descriptor race is skippable; anything else in
+    a scrub is a real bug and must not be swallowed."""
+    array.write(volume, 0, unique_bytes(16 * KIB, stream))
+    array.drain()
+
+    def explode(_segment_id):
+        raise RuntimeError("boom")
+
+    array.datapath.descriptor_for = explode
+    with pytest.raises(RuntimeError):
+        array.scrub()

@@ -156,3 +156,41 @@ def test_cblock_cache_counters_and_segment_invalidation():
     assert counters["cblock-cache-miss"] == 1
     assert counters["cblock-cache-eviction"] == 1
     assert counters["cblock-cache-invalidation"] == 1
+
+
+def test_degraded_mode_report_surfaces_retry_and_health_counters():
+    """Satellite of the chaos work: the numbers a support engineer
+    pulls first — per-drive retries, health grades, device counters —
+    flow through one report."""
+    from repro.core.array import PurityArray
+    from repro.core.config import ArrayConfig
+    from repro.core.telemetry import degraded_mode_report
+    from repro.faults.injector import FaultInjector
+    from repro.faults.plan import CORRUPT_BURST, FaultPlan, FaultSpec
+    from repro.sim.rand import RandomStream
+    from repro.units import KIB, MIB
+
+    array = PurityArray.create(ArrayConfig.small(seed=5))
+    array.create_volume("v", 2 * MIB)
+    stream = RandomStream(5)
+    for index in range(8):
+        array.write("v", index * 16 * KIB, stream.randbytes(16 * KIB))
+    array.drain()
+    array.datapath.drop_caches()
+    target = next(iter(array.tables.segments.scan())).value[0][0][0]
+    plan = FaultPlan().add(FaultSpec(0, CORRUPT_BURST, target, (6,)))
+    FaultInjector(plan).attach(array).advance_to_op(0)
+    for index in range(8):
+        array.read("v", index * 16 * KIB, 16 * KIB)
+    report = degraded_mode_report(array)
+    assert report["retries"][target]["attempts"] > 0
+    assert report["retries"][target]["exhausted"] > 0
+    assert report["health"][target]["corrupted_reads"] > 0
+    assert report["devices"][target]["corrupted_reads"] > 0
+    assert not report["devices"][target]["failed"]
+    assert report["reconstructed_reads"] > 0
+    assert report["direct_reads"] > 0
+    # The same outcomes landed on the global perf counters.
+    counters = perf_report()["counters"]
+    assert counters["segread-retry"] > 0
+    assert counters["health-corrupted-read"] > 0

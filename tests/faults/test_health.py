@@ -1,0 +1,126 @@
+"""The drive-health state machine: healthy → suspect → failed."""
+
+from repro.core.health import (
+    FAILED,
+    HEALTHY,
+    SUSPECT,
+    DriveHealthMonitor,
+)
+from repro.sim.clock import SimClock
+
+
+def monitor(**kwargs):
+    failed = []
+    mon = DriveHealthMonitor(
+        SimClock(), on_auto_fail=failed.append, **kwargs
+    )
+    return mon, failed
+
+
+def test_fresh_drive_is_healthy():
+    mon, _failed = monitor()
+    assert mon.state_of("d0") == HEALTHY
+    assert not mon.is_suspect("d0")
+
+
+def test_corruption_across_regions_escalates_to_suspect():
+    mon, failed = monitor()
+    for region in range(mon.suspect_threshold):
+        mon.note_corrupted("d0", region=region)
+    assert mon.state_of("d0") == SUSPECT
+    assert mon.suspects() == ["d0"]
+    assert not failed
+
+
+def test_chronic_corruption_auto_fails_the_drive():
+    mon, failed = monitor()
+    for region in range(mon.fail_threshold):
+        mon.note_corrupted("d0", region=region)
+    assert mon.state_of("d0") == FAILED
+    assert failed == ["d0"]
+    assert mon.auto_failed == ["d0"]
+
+
+def test_rereading_one_damaged_region_scores_once():
+    """A single torn unit is data damage, not a dying drive."""
+    mon, failed = monitor()
+    for _ in range(100):
+        mon.note_corrupted("d0", region=7)
+    assert mon.state_of("d0") == HEALTHY
+    assert not failed
+    # Counters still record every observation for telemetry.
+    assert mon.health_of("d0").corrupted_reads == 100
+
+
+def test_exhausted_retries_weigh_double():
+    mon, _failed = monitor()
+    mon.note_exhausted("d0", region=0)
+    mon.note_exhausted("d0", region=1)
+    assert mon.state_of("d0") == SUSPECT  # 2 events x weight 2 = 4
+
+
+def test_stall_storms_suspect_but_never_fail():
+    mon, failed = monitor()
+    for _ in range(10 * mon.stall_suspect_threshold):
+        mon.note_stalled("d0")
+    assert mon.state_of("d0") == SUSPECT
+    assert not failed
+
+
+def test_occasional_stalls_stay_healthy():
+    """Flush interference stalls a few reads on a perfectly good drive."""
+    mon, _failed = monitor()
+    for _ in range(mon.stall_suspect_threshold - 1):
+        mon.note_stalled("d0")
+    assert mon.state_of("d0") == HEALTHY
+
+
+def test_events_age_out_of_the_window():
+    mon, _failed = monitor()
+    clock = mon.clock
+    for region in range(3):
+        mon.note_corrupted("d0", region=region)
+    clock.advance(mon.window_seconds + 1)
+    # The old events fell off the horizon: three fresh regions are not
+    # enough to reach the threshold when combined with nothing.
+    for region in range(10, 13):
+        mon.note_corrupted("d0", region=region)
+    assert mon.state_of("d0") == HEALTHY
+
+
+def test_note_failed_is_terminal_for_scoring():
+    mon, failed = monitor()
+    mon.note_failed("d0")
+    assert mon.state_of("d0") == FAILED
+    for region in range(50):
+        mon.note_corrupted("d0", region=region)
+    assert failed == []  # already failed: no auto-fail callback
+
+
+def test_replacement_drive_starts_clean():
+    mon, _failed = monitor()
+    for region in range(mon.fail_threshold):
+        mon.note_corrupted("d0", region=region)
+    assert mon.state_of("d0") == FAILED
+    mon.reset("d0")
+    assert mon.state_of("d0") == HEALTHY
+    assert mon.health_of("d0").corrupted_reads == 0
+
+
+def test_report_exposes_per_drive_counters():
+    mon, _failed = monitor()
+    mon.note_corrupted("d0", region=0)
+    mon.note_stalled("d1")
+    report = mon.report()
+    assert report["d0"]["corrupted_reads"] == 1
+    assert report["d0"]["state"] == HEALTHY
+    assert report["d1"]["stalled_reads"] == 1
+
+
+def test_unregioned_events_always_score():
+    """Callers without region context keep the old accumulate-all path."""
+    mon, failed = monitor()
+    for _ in range(mon.fail_threshold):
+        mon.note_corrupted("d0")
+    assert mon.state_of("d0") == FAILED
+    assert failed == ["d0"]

@@ -1,0 +1,201 @@
+"""The fault injector against a live array, one mechanism at a time."""
+
+import pytest
+
+from repro.core.array import PurityArray
+from repro.errors import InjectedCrashError
+from repro.faults import plan as P
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.units import KIB
+
+RECORD = 16 * KIB
+
+
+def load(array, volume, stream, records=8):
+    """Write some records and force them onto the drives."""
+    payloads = {}
+    for index in range(records):
+        payloads[index] = stream.randbytes(RECORD)
+        array.write(volume, index * RECORD, payloads[index])
+    array.drain()
+    array.datapath.drop_caches()  # reads must hit the drives
+    return payloads
+
+
+def stored_drive(array):
+    """A drive name holding shards of the first sealed segment."""
+    fact = next(iter(array.tables.segments.scan()))
+    return fact.value[0][0][0]
+
+
+def attach(array, *specs):
+    plan = FaultPlan()
+    for spec in specs:
+        plan.add(spec)
+    return FaultInjector(plan).attach(array)
+
+
+def read_all(array, volume, payloads):
+    for index, expected in payloads.items():
+        data, _latency = array.read(volume, index * RECORD, RECORD)
+        assert data == expected, "record %d corrupted" % index
+
+
+def test_corrupt_burst_forces_reconstruction_not_wrong_bytes(
+    array, volume, stream
+):
+    payloads = load(array, volume, stream)
+    target = stored_drive(array)
+    injector = attach(array, FaultSpec(0, P.CORRUPT_BURST, target, (6,)))
+    injector.advance_to_op(0)
+    read_all(array, volume, payloads)
+    # The burst surfaced as corrupted device reads on the target...
+    assert array.drives[target].counters.corrupted_reads > 0
+    # ...which the read path retried and then reconstructed around.
+    assert array.segreader.stats_for(target).attempts > 0
+    assert array.segreader.reconstructed_reads > 0
+    assert [e.kind for e in injector.trace] == [P.CORRUPT_BURST]
+
+
+def test_stall_storm_slows_reads_without_corrupting(array, volume, stream):
+    payloads = load(array, volume, stream)
+    target = stored_drive(array)
+    injector = attach(array, FaultSpec(0, P.STALL_STORM, target, (5.0,)))
+    injector.advance_to_op(0)
+    read_all(array, volume, payloads)
+    assert array.drives[target].counters.stalled_reads > 0
+    assert array.drives[target].counters.corrupted_reads == 0
+    assert [e.kind for e in injector.trace] == [P.STALL_STORM]
+
+
+def test_drive_fail_fires_immediately_and_data_survives(
+    array, volume, stream
+):
+    payloads = load(array, volume, stream)
+    target = stored_drive(array)
+    injector = attach(array, FaultSpec(3, P.DRIVE_FAIL, target))
+    injector.advance_to_op(2)
+    assert not array.drives[target].failed  # not due yet
+    injector.advance_to_op(3)
+    assert array.drives[target].failed
+    read_all(array, volume, payloads)
+    assert array.segreader.reconstructed_reads > 0
+
+
+def test_torn_flush_marks_units_torn_and_scrub_repairs(
+    array, volume, stream
+):
+    injector = attach(array, FaultSpec(0, P.TORN_FLUSH, None, (2,)))
+    injector.advance_to_op(0)
+    assert injector.has_armed_tear
+    payloads = load(array, volume, stream)  # the drain fires the tear
+    assert not injector.has_armed_tear
+    torn_events = [e for e in injector.trace if e.target != "armed"]
+    assert len(torn_events) == 1
+    assert len(torn_events[0].detail) == 2  # two drives lost a unit
+    assert injector._torn_ranges
+    # Torn shards read back corrupted, never as valid bytes.
+    read_all(array, volume, payloads)
+    # The scrubber sees the damage and evacuates the stripe...
+    report = array.scrub()
+    assert report.corrupt_shards > 0
+    assert report.segments_rewritten >= 1
+    # ...after which the array is clean and the data still exact.
+    clean = array.scrub()
+    assert clean.corrupt_shards == 0
+    read_all(array, volume, payloads)
+
+
+def test_torn_flush_respects_remaining_parity_budget(array, volume, stream):
+    """On an already two-degraded stripe a tear must not fire."""
+    payloads = load(array, volume, stream)
+    fact = next(iter(array.tables.segments.scan()))
+    for drive_name, _au in fact.value[0][:2]:
+        array.fail_drive(drive_name)
+    injector = attach(array, FaultSpec(0, P.TORN_FLUSH, None, (2,)))
+    injector.advance_to_op(0)
+    # More writes land in the same segment, now flushing 7 of 9 shards:
+    # the parity budget is spent, so the tear stays armed rather than
+    # pushing the stripe past recovery.
+    more = {
+        index: stream.randbytes(RECORD) for index in range(8, 12)
+    }
+    for index, payload in more.items():
+        array.write(volume, index * RECORD, payload)
+    array.drain()
+    assert injector.has_armed_tear
+    assert not injector._torn_ranges
+    payloads.update(more)
+    read_all(array, volume, payloads)
+
+
+def test_crashpoint_interrupts_write_and_recovery_preserves_acks(
+    config, array, volume, stream
+):
+    payloads = load(array, volume, stream)
+    injector = attach(array, FaultSpec(0, P.CRASH, "datapath.write-start"))
+    injector.advance_to_op(0)
+    with pytest.raises(InjectedCrashError):
+        array.write(volume, 0, stream.randbytes(RECORD))
+    assert injector.crashes_fired == 1
+    shelf, boot_region, clock = array.crash()
+    recovered, _report = PurityArray.recover(config, shelf, boot_region, clock)
+    injector.attach(recovered)
+    # The crash landed before the NVRAM commit: the old bytes survive.
+    read_all(recovered, volume, payloads)
+
+
+def test_nvram_torn_commit_loses_only_the_unacknowledged_write(
+    config, array, volume, stream
+):
+    payloads = load(array, volume, stream)
+    injector = attach(array, FaultSpec(0, P.NVRAM_TORN))
+    injector.advance_to_op(0)
+    with pytest.raises(InjectedCrashError):
+        array.write(volume, 0, stream.randbytes(RECORD))
+    shelf, boot_region, clock = array.crash()
+    recovered, _report = PurityArray.recover(config, shelf, boot_region, clock)
+    # The torn record was dropped from the commit log; every
+    # acknowledged write is intact, the interrupted one never happened.
+    read_all(recovered, volume, payloads)
+
+
+def test_same_plan_replay_produces_identical_trace():
+    from repro.core.config import ArrayConfig
+    from repro.sim.rand import RandomStream
+
+    def run(seed):
+        config = ArrayConfig.small(seed=seed)
+        array = PurityArray.create(config)
+        array.create_volume("v", 1024 * KIB)
+        plan = FaultPlan.generate(seed, 40, sorted(array.drives))
+        injector = FaultInjector(plan).attach(array)
+        workload = RandomStream(seed).fork("w")
+        for op in range(40):
+            injector.advance_to_op(op)
+            try:
+                array.write(
+                    "v", (op % 8) * RECORD, workload.randbytes(RECORD)
+                )
+            except InjectedCrashError:
+                shelf, boot, clock = array.crash()
+                array, _ = PurityArray.recover(config, shelf, boot, clock)
+                injector.attach(array)
+        return injector.trace_keys()
+
+    first, second = run(11), run(11)
+    assert first == second
+    assert first  # the schedule actually fired something
+
+
+def test_detach_unhooks_every_component(array, volume, stream):
+    injector = attach(array, FaultSpec(0, P.CORRUPT_BURST, "drive-00", (4,)))
+    injector.detach()
+    assert array.segwriter.crashpoints is None
+    assert array.segwriter.flush_interceptor is None
+    assert array.datapath.crashpoints is None
+    assert array.gc.crashpoints is None
+    assert all(d.fault_model is None for d in array.drives.values())
+    payloads = load(array, volume, stream)
+    read_all(array, volume, payloads)

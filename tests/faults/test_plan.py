@@ -1,0 +1,109 @@
+"""Fault-plan generation: determinism and survivability constraints."""
+
+import pytest
+
+from repro.faults import plan as P
+from repro.faults.plan import FaultPlan, FaultSpec
+
+DRIVES = ["drive-%02d" % i for i in range(11)]
+
+
+def generate(seed, **kwargs):
+    kwargs.setdefault("total_ops", 200)
+    kwargs.setdefault("maintenance_every", 40)
+    kwargs.setdefault("parity_shards", 2)
+    return FaultPlan.generate(seed, drive_names=DRIVES, **kwargs)
+
+
+def test_same_seed_generates_identical_plan():
+    assert generate(7).specs == generate(7).specs
+
+
+def test_different_seeds_generate_different_plans():
+    plans = {tuple(generate(seed).specs) for seed in range(8)}
+    assert len(plans) > 1
+
+
+def test_specs_are_sorted_by_op_index():
+    for seed in range(10):
+        ops = [spec.at_op for spec in generate(seed)]
+        assert ops == sorted(ops)
+
+
+def test_at_most_one_destructive_fault_per_maintenance_slot():
+    """A scrub/rebuild pass must separate any two shard-losing faults."""
+    for seed in range(20):
+        slots = {}
+        for spec in generate(seed):
+            if spec.kind in P.DESTRUCTIVE_KINDS:
+                slot = spec.at_op // 40
+                slots[slot] = slots.get(slot, 0) + 1
+        assert all(count == 1 for count in slots.values()), (seed, slots)
+
+
+def test_drive_kills_stay_within_parity_budget():
+    for seed in range(20):
+        kills = sum(
+            1 for spec in generate(seed) if spec.kind == P.DRIVE_FAIL
+        )
+        assert kills <= 2, seed
+
+
+def test_torn_flush_never_exceeds_parity_shards():
+    for seed in range(20):
+        for spec in generate(seed):
+            if spec.kind == P.TORN_FLUSH:
+                assert 1 <= spec.params[0] <= 2
+
+
+def test_crash_targets_are_known_crashpoints():
+    for seed in range(20):
+        for spec in generate(seed):
+            if spec.kind == P.CRASH:
+                assert spec.target in P.CRASHPOINT_CHOICES
+
+
+def test_drive_faults_target_planned_drives():
+    for seed in range(10):
+        for spec in generate(seed):
+            if spec.kind in (P.DRIVE_FAIL, P.CORRUPT_BURST, P.STALL_STORM):
+                assert spec.target in DRIVES
+
+
+def test_unknown_fault_kind_rejected():
+    with pytest.raises(ValueError):
+        FaultSpec(0, "meteor-strike")
+
+
+def test_add_keeps_specs_sorted():
+    plan = FaultPlan()
+    plan.add(FaultSpec(50, P.DRIVE_FAIL, "drive-00"))
+    plan.add(FaultSpec(10, P.CORRUPT_BURST, "drive-01", (4,)))
+    plan.add(FaultSpec(30, P.NVRAM_TORN))
+    assert [spec.at_op for spec in plan] == [10, 30, 50]
+    assert len(plan) == 3
+
+
+def test_due_returns_exact_op_matches():
+    plan = FaultPlan()
+    plan.add(FaultSpec(10, P.CORRUPT_BURST, "drive-01", (4,)))
+    plan.add(FaultSpec(10, P.NVRAM_TORN))
+    plan.add(FaultSpec(11, P.DRIVE_FAIL, "drive-00"))
+    assert len(plan.due(10)) == 2
+    assert plan.due(12) == []
+
+
+def test_kinds_used_is_sorted_and_unique():
+    plan = FaultPlan()
+    plan.add(FaultSpec(1, P.STALL_STORM, "drive-02", (0.1,)))
+    plan.add(FaultSpec(2, P.STALL_STORM, "drive-03", (0.1,)))
+    plan.add(FaultSpec(3, P.CRASH, "segwriter.pre-flush"))
+    assert plan.kinds_used() == [P.CRASH, P.STALL_STORM]
+
+
+def test_most_seeds_mix_at_least_four_fault_kinds():
+    """The chaos acceptance bar needs plenty of 4-kind schedules."""
+    rich = sum(
+        1 for seed in range(40) if len(generate(seed).kinds_used()) >= 4
+    )
+    assert rich >= 30

@@ -1,0 +1,133 @@
+"""Chaos verification: seeded fault schedules against the full array.
+
+The acceptance contract (see DESIGN.md "Fault model"):
+
+* any schedule inside the parity budget completes with **zero invariant
+  violations** — byte-exact reads, crash recovery inside the client
+  timeout, scrubber-repaired damage, full protection restored;
+* the same seed replays an **identical fault trace**;
+* schedules beyond the budget are **detected** as data loss, never
+  returned as wrong bytes.
+"""
+
+import pytest
+
+from repro.core.ha import CLIENT_TIMEOUT_SECONDS
+from repro.errors import DataLossError, UncorrectableError
+from repro.faults.chaos import ChaosHarness
+from repro.faults.plan import DRIVE_FAIL, FaultPlan, FaultSpec
+from repro.perf import perf_report, reset_perf_counters
+
+DRIVE_NAMES = ["shelf0/ssd%02d" % index for index in range(11)]
+
+
+def run_seed(seed, **kwargs):
+    return ChaosHarness(seed=seed, **kwargs).run()
+
+
+def assert_clean(report):
+    assert report.violations == []
+    assert report.data_loss is None
+    assert report.max_downtime < CLIENT_TIMEOUT_SECONDS
+    assert report.ops == report.reads + report.writes + report.rmws
+
+
+@pytest.mark.parametrize("seed", [0, 3, 9])
+def test_survivable_schedule_completes_clean(seed):
+    report = run_seed(seed)
+    assert_clean(report)
+    assert report.faults_fired > 0
+    assert report.scrub_passes > 0
+
+
+def test_same_seed_replays_identical_fault_trace():
+    first = run_seed(7)
+    second = run_seed(7)
+    assert_clean(first)
+    assert first.trace == second.trace
+    assert first.trace  # the schedule fired faults to compare
+    assert first.downtimes == second.downtimes
+
+
+def test_crash_heavy_schedule_recovers_within_client_timeout():
+    """Every injected controller crash must recover inside 30 s."""
+    for seed in range(12):
+        plan = FaultPlan.generate(seed, 200, DRIVE_NAMES, crash_budget=3)
+        if plan.kinds_used().count("crash") or "nvram-torn" in plan.kinds_used():
+            report = run_seed(seed, plan=plan)
+            assert_clean(report)
+            if report.crashes:
+                assert report.recoveries == report.crashes
+                return
+    pytest.fail("no generated schedule fired a crash")
+
+
+def test_beyond_budget_loss_is_detected_never_wrong_bytes():
+    """Three concurrent shard losses: reads raise, they never lie."""
+    harness = ChaosHarness(seed=2024, plan=FaultPlan(), total_ops=0)
+    array = harness.array
+    expected = {}
+    for slot in range(harness.record_slots):
+        payload = harness._payload(slot, slot)
+        expected[slot] = payload
+        array.write(harness.volume, slot * harness.record_size, payload)
+    array.drain()
+    array.datapath.drop_caches()
+    # Five dead drives guarantee every 9-wide stripe loses >= 3 shards.
+    for name in DRIVE_NAMES[:5]:
+        array.fail_drive(name)
+    losses = 0
+    for slot, payload in expected.items():
+        try:
+            data, _latency = array.read(
+                harness.volume, slot * harness.record_size,
+                harness.record_size,
+            )
+        except (DataLossError, UncorrectableError):
+            losses += 1
+        else:
+            assert data == payload, "wrong bytes returned for slot %d" % slot
+    assert losses == len(expected)
+
+
+def test_beyond_budget_schedule_reports_data_loss():
+    """A harness-driven over-budget run ends with detected loss."""
+    plan = FaultPlan()
+    for name in DRIVE_NAMES[:5]:
+        plan.add(FaultSpec(30, DRIVE_FAIL, name))
+    report = run_seed(
+        77, plan=plan, total_ops=60, record_size=16384, record_slots=8,
+        maintenance_every=1000, expect_data_loss=True,
+    )
+    assert report.data_loss is not None
+    assert "shards readable" in report.data_loss
+    assert report.violations == []  # loss was detected, nothing lied
+
+
+def test_chaos_counters_flow_into_perf_report():
+    reset_perf_counters()
+    report = run_seed(3, total_ops=80)
+    assert_clean(report)
+    counters = perf_report()["counters"]
+    assert counters["chaos-op"] == report.ops
+    assert counters.get("fault-fired", 0) == report.faults_fired
+    assert counters.get("chaos-data-loss-detected", 0) == 0
+
+
+@pytest.mark.slow
+def test_ten_plus_seeded_schedules_mixing_four_fault_kinds():
+    """The headline acceptance run: >= 10 distinct schedules, each
+    mixing >= 4 fault kinds, all finishing with zero violations."""
+    qualifying = [
+        seed for seed in range(40)
+        if len(FaultPlan.generate(seed, 200, DRIVE_NAMES).kinds_used()) >= 4
+    ][:12]
+    assert len(qualifying) >= 10
+    traces = set()
+    for seed in qualifying:
+        report = run_seed(seed)
+        assert_clean(report)
+        assert len(report.kinds_used) >= 4, seed
+        traces.add(tuple(report.trace))
+    # Distinct seeds produced genuinely distinct schedules.
+    assert len(traces) == len(qualifying)
