@@ -6,11 +6,13 @@ the throughput cost of running a workload under faults compared to the
 same workload fault-free.
 """
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import RESULTS_DIR, emit
 from repro.analysis.reporting import format_table
 from repro.core.ha import CLIENT_TIMEOUT_SECONDS
 from repro.faults.chaos import ChaosHarness
 from repro.faults.plan import FaultPlan
+from repro.obs.export import load_jsonl
+from repro.obs.report import fault_correlation, per_stage_table
 
 SEEDS = (0, 3, 7, 9, 11)
 TOTAL_OPS = 200
@@ -83,3 +85,27 @@ def test_chaos_throughput_cost(once):
     # array keeps serving: the chaos run completes every operation.
     assert chaos_report.ops == quiet_report.ops == TOTAL_OPS
     assert chaos_rate > 0
+
+
+def test_chaos_fault_correlation(once):
+    """One traced schedule: export the observability JSONL artifacts
+    and render the fault-correlation view joining injector events onto
+    the surrounding client-I/O latencies."""
+
+    def run():
+        harness = ChaosHarness(seed=9, total_ops=TOTAL_OPS, tracing=True)
+        harness.run()
+        return harness
+
+    harness = once(run)
+    assert harness.report.violations == []
+    assert harness.report.faults_fired > 0
+    trace_path, metrics_path = harness.export_obs(
+        RESULTS_DIR, prefix="chaos_obs")
+    trace = load_jsonl(trace_path)
+    emit("chaos_obs_stages", per_stage_table(trace))
+    emit("chaos_fault_correlation", fault_correlation(trace))
+    # Every fired fault appears as an event in the exported trace.
+    events = [r for r in trace
+              if r["type"] == "event" and r["name"] == "fault"]
+    assert len(events) == harness.report.faults_fired

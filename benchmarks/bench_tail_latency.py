@@ -10,11 +10,15 @@ runs with the scheduler on and off; the on-case must flatten the tail
 (p99/p99.9) while increasing reconstruction reads by a bounded factor.
 """
 
+import json
+
 from benchmarks.conftest import emit
 from repro.analysis.reporting import format_table
 from repro.core.array import PurityArray
 from repro.core.config import ArrayConfig
 from repro.core.telemetry import format_perf_report, reset_perf_counters
+from repro.obs.export import metrics_lines
+from repro.obs.report import per_stage_table, series_table
 from repro.sim.distributions import percentile
 from repro.sim.rand import RandomStream
 from repro.units import KIB, MIB
@@ -24,6 +28,8 @@ WRITE_FRACTION = 0.3
 #: Paced arrivals: think time between ops keeps backend load sustainable
 #: at the miniature write-unit scale.
 THINK_TIME = 0.002
+#: Sample the queue-depth / cache-hit gauges every this many ops.
+SAMPLE_EVERY = 100
 
 
 def run_workload(read_around_writes, seed=17):
@@ -35,6 +41,7 @@ def run_workload(read_around_writes, seed=17):
         seed=seed,
     )
     array = PurityArray.create(config)
+    array.obs.enable_tracing()
     stream = RandomStream(seed)
     volume_bytes = 8 * MIB
     array.create_volume("v", volume_bytes)
@@ -46,7 +53,7 @@ def run_workload(read_around_writes, seed=17):
     array.clock.advance(1.0)
 
     read_latencies = []
-    for _ in range(OPERATIONS):
+    for op in range(OPERATIONS):
         offset = stream.randint(0, slots - 1) * 16 * KIB
         if stream.random() < WRITE_FRACTION:
             array.write("v", offset, stream.randbytes(16 * KIB))
@@ -54,6 +61,8 @@ def run_workload(read_around_writes, seed=17):
             _data, latency = array.read("v", offset, 16 * KIB)
             read_latencies.append(latency)
         array.clock.advance(THINK_TIME)
+        if (op + 1) % SAMPLE_EVERY == 0:
+            array.observe_sample()
     return read_latencies, array
 
 
@@ -93,6 +102,11 @@ def test_read_around_writes_flattens_tail(once):
               "(30%% writes, %d ops)" % OPERATIONS))
     # Per-stage wall-time breakdown of the two workloads just driven.
     emit("tail_latency_perf_stages", format_perf_report())
+    # Per-stage *simulated* latency from the trace of the scheduler-on
+    # run, plus the sampled queue-depth / cache-hit series.
+    emit("tail_latency_obs_stages", per_stage_table(array_on.obs.records))
+    metrics_records = [json.loads(line) for line in metrics_lines(array_on.obs)]
+    emit("tail_latency_obs_series", series_table(metrics_records))
 
     # Shape: the scheduler flattens the tail ...
     assert percentile(on_latencies, 0.999) < percentile(off_latencies, 0.999)

@@ -26,6 +26,7 @@ from repro.layout.frontier import FrontierManager
 from repro.layout.segreader import SegmentReader
 from repro.layout.segwriter import SegmentWriter
 from repro.mediums.medium import MediumTable
+from repro.obs.trace import Observability
 from repro.sim.clock import SimClock
 from repro.sim.rand import RandomStream
 from repro.ssd.shelf import Shelf
@@ -34,9 +35,13 @@ from repro.ssd.shelf import Shelf
 class PurityArray:
     """A single-controller Purity array over simulated hardware."""
 
-    def __init__(self, config=None, clock=None, shelf=None, boot_region=None):
+    def __init__(self, config=None, clock=None, shelf=None, boot_region=None,
+                 obs=None):
         self.config = config or ArrayConfig()
         self.clock = clock or SimClock()
+        #: Unified observability (trace + metrics). Passing an existing
+        #: instance (controller failover) keeps one trace across crashes.
+        self.obs = obs if obs is not None else Observability(self.clock)
         self.stream = RandomStream(self.config.seed)
         if shelf is None:
             shelf = Shelf(
@@ -107,7 +112,19 @@ class PurityArray:
         self.volumes = VolumeManager(self.pipeline, self.medium_table, self.datapath)
         self.gc = GarbageCollector(self)
         self.scrubber = Scrubber(self)
-        self.latencies = LatencyRecorder()
+        # Thread the observability handle through every layer that
+        # opens spans or bumps registry metrics (same idiom as the
+        # fault-injection crashpoints: a plain slot, None-safe).
+        self.datapath.obs = self.obs
+        self.segwriter.obs = self.obs
+        self.segreader.obs = self.obs
+        for drive in self.drives.values():
+            drive.obs = self.obs
+        #: DEPRECATED view over ``obs.metrics`` (io.<op>.latency); new
+        #: code reads the registry directly.
+        self.latencies = LatencyRecorder(self.obs.metrics)
+        self._write_latency = self.obs.metrics.histogram("io.write.latency")
+        self._read_latency = self.obs.metrics.histogram("io.read.latency")
         self.crashed = False
         self._rebuild_pending = False
 
@@ -147,8 +164,20 @@ class PurityArray:
     def write(self, volume, offset, data, advance_clock=True):
         """Write to a volume; returns the acknowledged commit latency."""
         self._check_alive()
-        latency = self.volumes.write(volume, offset, data)
-        self.latencies.record("write", latency)
+        obs = self.obs
+        span = None
+        if obs.tracing:
+            span = obs.begin("io.write", volume=volume, offset=offset,
+                             nbytes=len(data))
+        try:
+            latency = self.volumes.write(volume, offset, data)
+        except BaseException:
+            if span is not None:
+                obs.end(span, crashed=True)
+            raise
+        if span is not None:
+            obs.end(span, lat=latency)
+        self._write_latency.record(latency)
         if advance_clock:
             self.clock.advance(latency)
         return latency
@@ -156,8 +185,20 @@ class PurityArray:
     def read(self, volume, offset, length, advance_clock=True):
         """Read from a volume; returns (bytes, latency)."""
         self._check_alive()
-        data, latency = self.volumes.read(volume, offset, length)
-        self.latencies.record("read", latency)
+        obs = self.obs
+        span = None
+        if obs.tracing:
+            span = obs.begin("io.read", volume=volume, offset=offset,
+                             nbytes=length)
+        try:
+            data, latency = self.volumes.read(volume, offset, length)
+        except BaseException:
+            if span is not None:
+                obs.end(span, crashed=True)
+            raise
+        if span is not None:
+            obs.end(span, lat=latency)
+        self._read_latency.record(latency)
         if advance_clock:
             self.clock.advance(latency)
         return data, latency
@@ -258,8 +299,11 @@ class PurityArray:
         )
         del self.drives[drive_name]
         self.drives[replacement.name] = replacement
+        replacement.obs = self.obs
         self.allocator.add_drive(replacement.name)
         self.health.reset(drive_name)
+        if self.obs.tracing:
+            self.obs.event("drive.replace", drive=drive_name)
         return replacement
 
     def rebuild(self):
@@ -270,16 +314,25 @@ class PurityArray:
         Returns the number of segments re-protected.
         """
         self._check_alive()
+        obs = self.obs
+        span = obs.begin("rebuild") if obs.tracing else None
         rebuilt = 0
-        for fact in list(self.tables.segments.scan()):
-            segment_id = fact.key[0]
-            placements = fact.value[0]
-            degraded = any(
-                drive_name not in self.drives or self.drives[drive_name].failed
-                for drive_name, _au in placements
-            )
-            if degraded and self.gc.collect_segment(segment_id):
-                rebuilt += 1
+        try:
+            for fact in list(self.tables.segments.scan()):
+                segment_id = fact.key[0]
+                placements = fact.value[0]
+                degraded = any(
+                    drive_name not in self.drives
+                    or self.drives[drive_name].failed
+                    for drive_name, _au in placements
+                )
+                if degraded and self.gc.collect_segment(segment_id):
+                    rebuilt += 1
+        finally:
+            if span is not None:
+                obs.end(span, segments=rebuilt)
+        if rebuilt:
+            obs.metrics.counter("rebuild.segments").inc(rebuilt)
         return rebuilt
 
     def crash(self):
@@ -292,11 +345,15 @@ class PurityArray:
         return self.shelf, self.boot_region, self.clock
 
     @classmethod
-    def recover(cls, config, shelf, boot_region, clock):
-        """Bring up a controller over an existing substrate."""
+    def recover(cls, config, shelf, boot_region, clock, obs=None):
+        """Bring up a controller over an existing substrate.
+
+        Pass the crashed controller's ``obs`` to keep one trace and one
+        metrics registry across the failover.
+        """
         from repro.core.recovery import recover_array
 
-        return recover_array(cls, config, shelf, boot_region, clock)
+        return recover_array(cls, config, shelf, boot_region, clock, obs=obs)
 
     # ------------------------------------------------------------------
     # Telemetry
@@ -327,6 +384,36 @@ class PurityArray:
             physical_stored_bytes=physical,
             physical_with_parity_bytes=int(physical * parity_factor),
             provisioned_bytes=self.volumes.provisioned_bytes(),
+        )
+
+    def observe_sample(self):
+        """Record one point of every periodic gauge series.
+
+        Harnesses and benchmarks call this every few operations; the
+        report renders the resulting ``device.queue_depth`` /
+        ``cache.cblock_hit_rate`` / ``dedup.ratio`` series over sim time.
+        """
+        registry = self.obs.metrics
+        now = self.clock.now
+        depth = sum(
+            drive.queue_depth(now)
+            for drive in self.drives.values()
+            if not drive.failed
+        )
+        registry.series("device.queue_depth").sample(now, depth)
+        cache = self.datapath._cblock_cache
+        looked = cache.hits + cache.misses
+        if looked:
+            registry.series("cache.cblock_hit_rate").sample(
+                now, cache.hits / looked
+            )
+        written = self.datapath.logical_bytes_written
+        if written:
+            registry.series("dedup.savings_fraction").sample(
+                now, self.datapath.dedup_bytes_saved / written
+            )
+        registry.gauge("drives.alive").set(
+            sum(1 for drive in self.drives.values() if not drive.failed)
         )
 
     def capacity_report(self):

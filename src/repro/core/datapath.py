@@ -139,6 +139,9 @@ class DataPath:
         self._descriptor_cache = {}
         #: Fault-injection crashpoint router (see :mod:`repro.faults`).
         self.crashpoints = None
+        #: Observability handle (see :mod:`repro.obs`); the array wires
+        #: its own in. None-safe: standalone datapaths trace nothing.
+        self.obs = None
         self.logical_bytes_written = 0
         self.dedup_bytes_saved = 0
 
@@ -174,18 +177,32 @@ class DataPath:
         cached = self._cblock_cache.get(cache_key)
         if cached is not None:
             return cached, 0.0
-        # Data still sitting in the open segio is served from RAM; the
-        # commit already lives in NVRAM, so this is safe and fast.
-        blob = self.segwriter.read_unflushed(
-            segment_id, payload_offset, stored_length
-        )
-        latency = 0.0
-        if blob is None:
-            descriptor = self.descriptor_for(segment_id)
-            blob, latency = self.segreader.read_payload(
-                descriptor, payload_offset, stored_length
+        obs = self.obs
+        span = None
+        if obs is not None and obs.tracing:
+            span = obs.begin("cblock-read", segment=segment_id,
+                             offset=payload_offset)
+        try:
+            # Data still sitting in the open segio is served from RAM;
+            # the commit already lives in NVRAM, so this is safe and fast.
+            blob = self.segwriter.read_unflushed(
+                segment_id, payload_offset, stored_length
             )
-        data = parse_cblock(blob)
+            latency = 0.0
+            source = "segio-ram"
+            if blob is None:
+                descriptor = self.descriptor_for(segment_id)
+                blob, latency = self.segreader.read_payload(
+                    descriptor, payload_offset, stored_length
+                )
+                source = "media"
+            data = parse_cblock(blob)
+        except BaseException:
+            if span is not None:
+                obs.end(span, failed=True)
+            raise
+        if span is not None:
+            obs.end(span, lat=latency, source=source)
         self._cblock_cache.put(cache_key, data)
         return data, latency
 
@@ -235,8 +252,21 @@ class DataPath:
         cp = self.crashpoints
         if cp is not None:
             cp.hit("datapath.write-start", medium_id=medium_id, offset=offset)
-        with PERF.timer("nvram-commit"):
-            _fact, latency = self.pipeline.commit_raw_write(medium_id, offset, data)
+        obs = self.obs
+        span = None
+        if obs is not None and obs.tracing:
+            span = obs.begin("nvram-commit", nbytes=len(data))
+        try:
+            with PERF.timer("nvram-commit"):
+                _fact, latency = self.pipeline.commit_raw_write(
+                    medium_id, offset, data
+                )
+        except BaseException:
+            if span is not None:
+                obs.end(span, crashed=True)
+            raise
+        if span is not None:
+            obs.end(span, lat=latency)
         # Past this point the write is durable in NVRAM: a crash below
         # loses the acknowledgement, never the data (recovery replays).
         if cp is not None:
@@ -254,9 +284,21 @@ class DataPath:
             self._process_cblock(medium_id, cblock_offset, chunk)
 
     def _process_cblock(self, medium_id, offset, chunk):
-        matches = (
-            self.deduper.find_matches(chunk) if self.config.inline_dedup else []
-        )
+        obs = self.obs
+        if self.config.inline_dedup:
+            span = None
+            if obs is not None and obs.tracing:
+                span = obs.begin("dedup", nbytes=len(chunk))
+            try:
+                matches = self.deduper.find_matches(chunk)
+            except BaseException:
+                if span is not None:
+                    obs.end(span, crashed=True)
+                raise
+            if span is not None:
+                obs.end(span, matches=len(matches))
+        else:
+            matches = []
         cursor = 0
         for match in matches:
             if match.byte_start > cursor:
@@ -275,10 +317,25 @@ class DataPath:
             from repro.compression.engine import NullCompressor
 
             compressor = NullCompressor()
+        obs = self.obs
+        tracing = obs is not None and obs.tracing
+        span = obs.begin("compress", nbytes=len(data)) if tracing else None
         with PERF.timer("compress"):
             blob, codec_id = build_cblock(data, compressor)
-        with PERF.timer("segio-append"):
-            descriptor, payload_offset, _latency = self.segwriter.append_data(blob)
+        if span is not None:
+            obs.end(span, stored=len(blob))
+        span = obs.begin("segio-append", nbytes=len(blob)) if tracing else None
+        try:
+            with PERF.timer("segio-append"):
+                descriptor, payload_offset, flush_latency = (
+                    self.segwriter.append_data(blob)
+                )
+        except BaseException:
+            if span is not None:
+                obs.end(span, crashed=True)
+            raise
+        if span is not None:
+            obs.end(span, lat=flush_latency, segment=descriptor.segment_id)
         self.compression_stats.note(len(data), len(blob), codec_id)
         self.pipeline.insert_derived(
             T.ADDRESS_MAP,

@@ -80,19 +80,39 @@ class GarbageCollector:
 
     def run(self, max_segments=4):
         """Collect up to ``max_segments`` of the emptiest segments."""
+        obs = self.array.obs
+        span = None
+        if obs is not None and obs.tracing:
+            span = obs.begin("gc.run", max_segments=max_segments)
         report = GCReport()
-        liveness = self.segment_liveness()
-        report.segments_examined = len(liveness)
-        candidates = sorted(
-            (row for row in liveness if row[1] / row[2] < self.LIVE_RATIO_THRESHOLD),
-            key=lambda row: row[1] / row[2],
-        )
-        for segment_id, _live, _capacity in candidates[:max_segments]:
-            if self.collect_segment(segment_id, report):
-                report.segments_collected += 1
-        self.sweep_mediums(report)
-        self.shorten_chains(report)
-        self.array.pipeline.compact()
+        try:
+            liveness = self.segment_liveness()
+            report.segments_examined = len(liveness)
+            candidates = sorted(
+                (row for row in liveness if row[1] / row[2] < self.LIVE_RATIO_THRESHOLD),
+                key=lambda row: row[1] / row[2],
+            )
+            for segment_id, _live, _capacity in candidates[:max_segments]:
+                if self.collect_segment(segment_id, report):
+                    report.segments_collected += 1
+            self.sweep_mediums(report)
+            self.shorten_chains(report)
+            self.array.pipeline.compact()
+        except BaseException:
+            if span is not None:
+                obs.end(span, crashed=True)
+            raise
+        if span is not None:
+            obs.end(
+                span,
+                collected=report.segments_collected,
+                rewritten=report.bytes_rewritten,
+            )
+        if obs is not None:
+            obs.metrics.counter("gc.segments_collected").inc(
+                report.segments_collected
+            )
+            obs.metrics.counter("gc.bytes_rewritten").inc(report.bytes_rewritten)
         return report
 
     def collect_segment(self, segment_id, report=None):
@@ -105,6 +125,23 @@ class GarbageCollector:
         except Exception:
             return False
         cp = self.crashpoints
+        obs = array.obs
+        span = None
+        if obs is not None and obs.tracing:
+            span = obs.begin("gc.collect", segment=segment_id)
+        try:
+            return self._collect_segment_traced(
+                segment_id, descriptor, report, cp, obs, span
+            )
+        except BaseException:
+            if span is not None:
+                obs.end(span, crashed=True)
+            raise
+
+    def _collect_segment_traced(self, segment_id, descriptor, report, cp, obs,
+                                span):
+        array = self.array
+        datapath = array.datapath
         if cp is not None:
             cp.hit("gc.pre-collect", segment_id=segment_id)
         if segment_id == self._open_segment_id():
@@ -115,6 +152,8 @@ class GarbageCollector:
             first = descriptor.placements[0]
             array.pipeline.unpin_segment((first[0], first[1]))
             if self._is_pinned(descriptor):
+                if span is not None:
+                    obs.end(span, skipped="pinned")
                 return False
         referencing = [
             fact for fact in datapath.visible_extents()
@@ -150,6 +189,12 @@ class GarbageCollector:
         self._release_segment(descriptor, report)
         datapath.invalidate_segment(segment_id)
         self.total_segments_collected += 1
+        if span is not None:
+            obs.end(
+                span,
+                rewritten=report.cblocks_rewritten,
+                released=report.aus_released,
+            )
         return True
 
     def _rewrite_live_cblocks(self, descriptor, referencing, report):

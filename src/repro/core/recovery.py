@@ -61,16 +61,49 @@ def _unflatten_placements(flat):
 
 
 def recover_array(cls, config, shelf, boot_region, clock,
-                  full_scan=False, warm_cache_fraction=0.0):
+                  full_scan=False, warm_cache_fraction=0.0, obs=None):
     """Bring up a fresh controller over a surviving substrate.
 
     ``full_scan=True`` is the pre-frontier baseline: scan every
     allocated AU's headers instead of just the frontier set.
     ``warm_cache_fraction`` models the secondary controller's
     asynchronously warmed cache (Section 4.3), discounting patch-load
-    read time. Returns (array, RecoveryReport).
+    read time. ``obs`` threads one :class:`repro.obs.Observability`
+    through failovers so a chaos run keeps a single trace. Returns
+    (array, RecoveryReport).
     """
-    array = cls(config=config, clock=clock, shelf=shelf, boot_region=boot_region)
+    array = cls(
+        config=config, clock=clock, shelf=shelf, boot_region=boot_region,
+        obs=obs,
+    )
+    span = None
+    if obs is not None and obs.tracing:
+        span = obs.begin("recovery", full_scan=full_scan)
+    try:
+        report = _recover_body(array, boot_region, clock, full_scan,
+                               warm_cache_fraction)
+    except BaseException:
+        if span is not None:
+            obs.end(span, crashed=True)
+        raise
+    if span is not None:
+        obs.end(
+            span,
+            lat=report.total_latency,
+            boot=report.boot_latency,
+            scan=report.scan_latency,
+            nvram=report.nvram_latency,
+            replay=report.replay_latency,
+            facts=report.facts_recovered,
+            raw_writes=report.raw_writes_replayed,
+        )
+    if obs is not None:
+        obs.metrics.histogram("recovery.downtime").record(report.total_latency)
+        obs.metrics.counter("recovery.count").inc()
+    return array, report
+
+
+def _recover_body(array, boot_region, clock, full_scan, warm_cache_fraction):
     report = RecoveryReport()
 
     # 1. Boot region.
@@ -206,7 +239,7 @@ def recover_array(cls, config, shelf, boot_region, clock,
     report.replay_latency = clock.now - replay_start
 
     clock.advance(report.total_latency)
-    return array, report
+    return report
 
 
 def _restore_medium_counter(array):

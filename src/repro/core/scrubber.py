@@ -46,15 +46,38 @@ class Scrubber:
         """Scrub sealed segments; returns a :class:`ScrubReport`."""
         report = ScrubReport()
         array = self.array
-        geometry = array.config.segment_geometry
-        segment_ids = [fact.key[0] for fact in array.tables.segments.scan()]
-        if max_segments is not None:
-            segment_ids = segment_ids[:max_segments]
-        for segment_id in segment_ids:
-            needs_rewrite = self._scrub_segment(segment_id, geometry, report)
-            if needs_rewrite and array.gc.collect_segment(segment_id):
-                report.segments_rewritten += 1
+        obs = array.obs
+        span = None
+        if obs is not None and obs.tracing:
+            span = obs.begin("scrub.run")
+        try:
+            geometry = array.config.segment_geometry
+            segment_ids = [fact.key[0] for fact in array.tables.segments.scan()]
+            if max_segments is not None:
+                segment_ids = segment_ids[:max_segments]
+            for segment_id in segment_ids:
+                needs_rewrite = self._scrub_segment(segment_id, geometry, report)
+                if needs_rewrite and array.gc.collect_segment(segment_id):
+                    report.segments_rewritten += 1
+        except BaseException:
+            if span is not None:
+                obs.end(span, crashed=True)
+            raise
         self.passes += 1
+        if span is not None:
+            obs.end(
+                span,
+                scanned=report.segments_scanned,
+                corrupt_shards=report.corrupt_shards,
+                rewritten=report.segments_rewritten,
+            )
+        if obs is not None:
+            obs.metrics.counter("scrub.segments_scanned").inc(
+                report.segments_scanned
+            )
+            obs.metrics.counter("scrub.corrupt_shards").inc(
+                report.corrupt_shards
+            )
         return report
 
     def _scrub_segment(self, segment_id, geometry, report):

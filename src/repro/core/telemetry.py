@@ -6,7 +6,6 @@ benchmarks — latency percentiles, data-reduction ratios, and
 availability accounting.
 """
 
-from collections import defaultdict
 from dataclasses import dataclass
 
 # The hot-path perf-counter layer lives in :mod:`repro.perf` (below
@@ -57,37 +56,59 @@ def degraded_mode_report(array):
 
 
 class LatencyRecorder:
-    """Per-operation latency traces with percentile queries."""
+    """DEPRECATED shim over the unified metrics registry.
 
-    def __init__(self):
-        self._samples = defaultdict(list)
+    Kept so the old ``array.latencies`` surface keeps working; the data
+    now lives in :class:`repro.obs.metrics.MetricsRegistry` histograms
+    named ``io.<operation>.latency``. New code should use the registry
+    (``array.obs.metrics``) directly.
+    """
+
+    _PREFIX = "io."
+    _SUFFIX = ".latency"
+
+    def __init__(self, registry=None):
+        from repro.obs.metrics import MetricsRegistry
+
+        self.registry = registry if registry is not None else MetricsRegistry()
+
+    def _histogram(self, operation):
+        return self.registry.histogram(
+            "%s%s%s" % (self._PREFIX, operation, self._SUFFIX)
+        )
 
     def record(self, operation, latency):
         """Add one sample (seconds) for an operation class."""
-        self._samples[operation].append(latency)
+        self._histogram(operation).record(latency)
 
     def count(self, operation):
-        return len(self._samples[operation])
+        return self._histogram(operation).count
 
     def samples(self, operation):
-        """The raw sample list (owned by the recorder; do not mutate)."""
-        return self._samples[operation]
+        """The raw sample list (owned by the histogram; do not mutate)."""
+        return self._histogram(operation).samples
 
     def mean(self, operation):
-        samples = self._samples[operation]
-        if not samples:
+        histogram = self._histogram(operation)
+        if not histogram.count:
             raise ValueError("no samples for %r" % operation)
-        return sum(samples) / len(samples)
+        return histogram.mean
 
     def percentile(self, operation, fraction):
         """E.g. ``percentile("read", 0.999)`` for the 99.9th percentile."""
-        return percentile(self._samples[operation], fraction)
+        return percentile(self._histogram(operation).samples, fraction)
 
     def operations(self):
-        return list(self._samples)
+        return [
+            name[len(self._PREFIX):-len(self._SUFFIX)]
+            for name in self.registry.histogram_names()
+            if name.startswith(self._PREFIX) and name.endswith(self._SUFFIX)
+            and self.registry.histogram(name).count
+        ]
 
     def clear(self):
-        self._samples.clear()
+        for operation in self.operations():
+            self._histogram(operation).reset()
 
 
 @dataclass

@@ -82,10 +82,14 @@ class ChaosReport:
 class ChaosHarness:
     """One seeded chaos run: workload + fault plan + invariant checks."""
 
+    #: Sample the observability series (queue depth, cache hit rate)
+    #: every this many client ops when tracing is enabled.
+    SAMPLE_EVERY = 5
+
     def __init__(self, seed, config=None, plan=None, total_ops=200,
                  record_size=4096, record_slots=16, read_fraction=0.3,
                  rmw_fraction=0.15, maintenance_every=40,
-                 expect_data_loss=False):
+                 expect_data_loss=False, tracing=False):
         self.seed = seed
         self.config = config or ArrayConfig.small(seed=seed)
         self.total_ops = total_ops
@@ -99,6 +103,12 @@ class ChaosHarness:
         #: harness only asserts the never-wrong-bytes half.
         self.expect_data_loss = expect_data_loss
         self.array = PurityArray.create(self.config)
+        #: The run-wide observability handle: survives controller
+        #: failovers (threaded through recovery), so one chaos run is
+        #: one trace. Deterministic: same seed → byte-identical JSONL.
+        self.obs = self.array.obs
+        if tracing:
+            self.obs.enable_tracing()
         self.volume = "chaos0"
         self.array.create_volume(self.volume, record_slots * record_size)
         if plan is None:
@@ -157,7 +167,7 @@ class ChaosHarness:
         before = clock.now
         with PERF.timer("chaos-recovery"):
             array, _report = PurityArray.recover(
-                self.config, shelf, boot_region, clock
+                self.config, shelf, boot_region, clock, obs=self.obs
             )
         downtime = clock.now - before
         self.report.recoveries += 1
@@ -329,6 +339,8 @@ class ChaosHarness:
                     self._recover()
                 self.report.ops += 1
                 PERF.incr("chaos-op")
+                if self.obs.tracing and (op + 1) % self.SAMPLE_EVERY == 0:
+                    self.array.observe_sample()
                 if (op + 1) % self.maintenance_every == 0:
                     self._maintenance()
             for _attempt in range(3):
@@ -356,3 +368,13 @@ class ChaosHarness:
         self.report.kinds_used = self.plan.kinds_used()
         self.report.trace = self.injector.trace_keys()
         return self.report
+
+    def export_obs(self, directory, prefix="chaos"):
+        """Write the run's trace + metrics JSONL under ``directory``.
+
+        Returns (trace_path, metrics_path). Same seed → byte-identical
+        trace file, which is the artifact CI uploads from chaos lanes.
+        """
+        from repro.obs.export import dump_run
+
+        return dump_run(self.obs, directory, prefix=prefix)

@@ -65,6 +65,9 @@ class FaultInjector:
         self.plan = fault_plan if fault_plan is not None else P.FaultPlan()
         self.clock = clock
         self.array = None
+        #: Observability handle; adopted from the array at attach() so
+        #: fired faults also land in the trace as ``fault`` events.
+        self.obs = None
         self.trace = []
         self.op_index = 0
         self._next_spec = 0
@@ -90,6 +93,7 @@ class FaultInjector:
         self.array = array
         if self.clock is None:
             self.clock = array.clock
+        self.obs = getattr(array, "obs", None)
         router = CrashpointRouter(self)
         array.datapath.crashpoints = router
         array.segwriter.crashpoints = router
@@ -194,6 +198,17 @@ class FaultInjector:
                        tuple(detail))
         )
         PERF.incr("fault-fired")
+        obs = self.obs
+        if obs is not None and obs.tracing:
+            obs.event(
+                "fault",
+                op=self.op_index,
+                kind=kind,
+                target=target,
+                detail=list(detail),
+            )
+        if obs is not None:
+            obs.metrics.counter("faults.fired").inc()
 
     def trace_keys(self):
         """The comparable replay trace (same seed → identical list)."""

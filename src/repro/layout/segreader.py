@@ -46,6 +46,9 @@ class SegmentReader:
         #: Optional :class:`repro.core.health.DriveHealthMonitor`; fed
         #: every corrupted/stalled/exhausted read outcome.
         self.health = health
+        #: Observability handle (see :mod:`repro.obs`); wired by the
+        #: array, None-safe for standalone readers.
+        self.obs = None
         self.direct_reads = 0
         self.reconstructed_reads = 0
         self.retry_stats = {}  # drive name -> DriveRetryStats
@@ -183,6 +186,15 @@ class SegmentReader:
         Prefers shards on drives the avoidance policy likes; avoided
         drives are read only when nothing else can complete the stripe.
         """
+        obs = self.obs
+        span = None
+        if obs is not None and obs.tracing:
+            span = obs.begin(
+                "segread.reconstruct",
+                segment=descriptor.segment_id,
+                segio=segio,
+                shard=target_shard,
+            )
         shards = [None] * self.geometry.total_shards
         latencies = [0.0]
         available = 0
@@ -211,6 +223,8 @@ class SegmentReader:
             latencies.append(result.latency)
             available += 1
         if available < self.geometry.data_shards:
+            if span is not None:
+                obs.end(span, failed=True, available=available)
             raise UncorrectableError(
                 "segment %d segio %d: only %d of %d shards readable"
                 % (
@@ -222,7 +236,12 @@ class SegmentReader:
             )
         complete = self.codec.reconstruct(shards)
         self.reconstructed_reads += 1
-        return complete[target_shard], max(latencies)
+        latency = max(latencies)
+        if span is not None:
+            obs.end(span, lat=latency)
+        if obs is not None:
+            obs.metrics.counter("segread.reconstructed").inc()
+        return complete[target_shard], latency
 
     def read_header(self, drive, au_index, segio_index):
         """Read one write-unit header; returns (SegioHeader or None, latency)."""

@@ -53,6 +53,9 @@ class SegmentWriter:
         #: (torn flushes).
         self.crashpoints = None
         self.flush_interceptor = None
+        #: Observability handle (see :mod:`repro.obs`); wired by the
+        #: array, None-safe for standalone writers.
+        self.obs = None
         self._segment_ids = itertools.count(1)
         self._descriptor = None
         self._segio = None
@@ -189,54 +192,80 @@ class SegmentWriter:
             return 0.0
         segio = self._segio
         cp = self.crashpoints
-        if cp is not None:
-            cp.hit("segwriter.pre-flush", descriptor=segio.descriptor)
-        with PERF.timer("segio-flush"):
-            write_units = segio.finalize(self.codec)
+        obs = self.obs
+        tracing = obs is not None and obs.tracing
+        flush_span = None
+        if tracing:
+            flush_span = obs.begin(
+                "segio.flush",
+                segment=segio.descriptor.segment_id,
+                segio=segio.segio_index,
+            )
+        try:
+            if cp is not None:
+                cp.hit("segwriter.pre-flush", descriptor=segio.descriptor)
+            encode_span = obs.begin("rs-encode") if tracing else None
+            with PERF.timer("segio-flush"):
+                write_units = segio.finalize(self.codec)
+            if encode_span is not None:
+                obs.end(encode_span, shards=len(write_units))
+        except BaseException:
+            if flush_span is not None:
+                obs.end(flush_span, crashed=True)
+            raise
         descriptor = segio.descriptor
-        pending = []
-        for shard_index, unit in enumerate(write_units):
-            drive_name, au_index = descriptor.placements[shard_index]
-            drive = self.drives.get(drive_name)
-            if drive is None or drive.failed:
-                continue  # degraded write: parity still protects the data
-            device_offset = self.geometry.device_offset(
-                au_index * self.geometry.au_size, segio.segio_index, 0
-            )
-            pending.append((drive, device_offset, unit))
-        if self.flush_interceptor is not None:
-            # Fault injection: a torn flush persists only a subset of
-            # the shard programs (the dropped units read back torn).
-            pending = self.flush_interceptor(
-                descriptor, segio.segio_index, pending
-            )
-        wave_size = self.max_concurrent_writes or len(pending) or 1
-        now = self.clock.now
-        elapsed = 0.0
-        for wave_start in range(0, len(pending), wave_size):
-            if cp is not None and wave_start:
-                # A crash here leaves earlier waves on media and later
-                # ones unwritten — the torn-stripe recovery scenario.
-                # The remaining fan-out travels with the hit so the
-                # injector can mark those units torn (modelling the
-                # checksums that make a half-written stripe detectable).
-                cp.hit(
-                    "segwriter.mid-flush",
-                    descriptor=descriptor,
-                    remaining=pending[wave_start:],
+        try:
+            pending = []
+            for shard_index, unit in enumerate(write_units):
+                drive_name, au_index = descriptor.placements[shard_index]
+                drive = self.drives.get(drive_name)
+                if drive is None or drive.failed:
+                    continue  # degraded write: parity still protects the data
+                device_offset = self.geometry.device_offset(
+                    au_index * self.geometry.au_size, segio.segio_index, 0
                 )
-            wave = pending[wave_start : wave_start + wave_size]
-            wave_latency = 0.0
-            for drive, device_offset, unit in wave:
-                # Later waves start after earlier ones complete, so no
-                # more than ``wave_size`` drives are programming at once
-                # (Section 4.4) and reads can reconstruct around them.
-                latency = drive.write(device_offset, unit, start_at=now + elapsed)
-                wave_latency = max(wave_latency, latency - elapsed)
-                self.flush_bytes_written += len(unit)
-            elapsed += wave_latency
-        if cp is not None:
-            cp.hit("segwriter.post-flush", descriptor=descriptor)
+                pending.append((drive, device_offset, unit))
+            if self.flush_interceptor is not None:
+                # Fault injection: a torn flush persists only a subset of
+                # the shard programs (the dropped units read back torn).
+                pending = self.flush_interceptor(
+                    descriptor, segio.segio_index, pending
+                )
+            wave_size = self.max_concurrent_writes or len(pending) or 1
+            now = self.clock.now
+            elapsed = 0.0
+            for wave_start in range(0, len(pending), wave_size):
+                if cp is not None and wave_start:
+                    # A crash here leaves earlier waves on media and later
+                    # ones unwritten — the torn-stripe recovery scenario.
+                    # The remaining fan-out travels with the hit so the
+                    # injector can mark those units torn (modelling the
+                    # checksums that make a half-written stripe detectable).
+                    cp.hit(
+                        "segwriter.mid-flush",
+                        descriptor=descriptor,
+                        remaining=pending[wave_start:],
+                    )
+                wave = pending[wave_start : wave_start + wave_size]
+                wave_latency = 0.0
+                for drive, device_offset, unit in wave:
+                    # Later waves start after earlier ones complete, so no
+                    # more than ``wave_size`` drives are programming at once
+                    # (Section 4.4) and reads can reconstruct around them.
+                    latency = drive.write(device_offset, unit, start_at=now + elapsed)
+                    wave_latency = max(wave_latency, latency - elapsed)
+                    self.flush_bytes_written += len(unit)
+                elapsed += wave_latency
+            if cp is not None:
+                cp.hit("segwriter.post-flush", descriptor=descriptor)
+        except BaseException:
+            if flush_span is not None:
+                obs.end(flush_span, crashed=True)
+            raise
+        if flush_span is not None:
+            obs.end(flush_span, lat=elapsed, shards=len(pending))
+        if obs is not None:
+            obs.metrics.histogram("segio.flush.latency").record(elapsed)
         self.segios_flushed += 1
         if self.on_segio_flushed is not None:
             self.on_segio_flushed(descriptor, segio)

@@ -1,0 +1,39 @@
+"""Unified observability: per-I/O tracing, sim-clock metrics, reports.
+
+The paper's evaluation (Section 6) is only defensible if every number
+can be decomposed: which stage spent the time, what the cache was doing
+when the tail spiked, which injected fault caused which latency cliff.
+``repro.obs`` is that single lens:
+
+* :mod:`repro.obs.trace` — spans per client I/O with child spans per
+  pipeline stage, timestamped on the **simulated** clock, so the same
+  seed replays to a byte-identical trace;
+* :mod:`repro.obs.metrics` — one registry of counters, gauges,
+  log-bucket latency histograms, and time series, absorbing the old
+  ``core.telemetry.LatencyRecorder`` and unifying with the
+  :mod:`repro.perf` hot-path counters under one namespace;
+* :mod:`repro.obs.export` — deterministic JSONL snapshots of traces and
+  metrics;
+* :mod:`repro.obs.report` — ``python -m repro.obs.report`` renders
+  per-stage latency tables, gauge series, and the fault-correlation
+  view that joins :class:`~repro.faults.injector.FaultInjector` events
+  onto latency spikes.
+
+Tracing is off by default and costs a single flag check per
+instrumented site (no allocation); enable it with
+:meth:`Observability.enable_tracing`.
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, Series
+from repro.obs.trace import NULL_OBS, Observability, Span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_OBS",
+    "Observability",
+    "Series",
+    "Span",
+]

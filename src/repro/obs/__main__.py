@@ -1,0 +1,5 @@
+"""``python -m repro.obs`` == ``python -m repro.obs.report``."""
+
+from repro.obs.report import main
+
+raise SystemExit(main())

@@ -9,11 +9,27 @@ keeping results stable when unrelated components add or remove draws.
 import hashlib
 import random
 
+#: When True (the test suite turns it on via the root conftest), a
+#: :class:`RandomStream` constructed without an explicit seed raises —
+#: catching code that silently leans on the default seed and code paths
+#: that would otherwise hide an unseeded draw behind "seed 0 worked".
+STRICT_SEEDING = False
+
+_DEFAULT = object()
+
 
 class RandomStream:
     """A seeded random source with named, independent substreams."""
 
-    def __init__(self, seed=0):
+    def __init__(self, seed=_DEFAULT):
+        if seed is _DEFAULT:
+            if STRICT_SEEDING:
+                raise ValueError(
+                    "RandomStream() without an explicit seed while "
+                    "repro.sim.rand.STRICT_SEEDING is on: pass a seed so "
+                    "the run is reproducible"
+                )
+            seed = 0
         self.seed = seed
         self._rng = random.Random(seed)
 

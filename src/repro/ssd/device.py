@@ -100,6 +100,9 @@ class SimulatedSSD:
         #: consulted inside read/write/discard so injected faults land
         #: in the device timeline, not around it.
         self.fault_model = None
+        #: Observability handle (see :mod:`repro.obs`); wired by the
+        #: array so harnesses can sample queue depth into a series.
+        self.obs = None
         self._read_latency = self.timing.read_latency_distribution()
         self._die_busy_until = {}  # per-die: programs/erases (FIFO)
         self._die_reads_until = {}  # per-die: priority reads (FIFO)
@@ -133,6 +136,24 @@ class SimulatedSSD:
             (start, end) for start, end in self._writing_windows if end > now
         ]
         return any(start <= now < end for start, end in self._writing_windows)
+
+    def queue_depth(self, now=None):
+        """Number of dies with work scheduled past ``now``.
+
+        A cheap instantaneous depth proxy for the observability series:
+        each die whose program/erase queue or read queue extends into
+        the future counts as one outstanding unit of work.
+        """
+        if now is None:
+            now = self.clock.now
+        depth = 0
+        for until in self._die_busy_until.values():
+            if until > now:
+                depth += 1
+        for until in self._die_reads_until.values():
+            if until > now:
+                depth += 1
+        return depth
 
     def _note_writing_window(self, start, end):
         self._writing_windows.append((start, end))

@@ -1,0 +1,18 @@
+"""Suite-wide fixtures and determinism guards.
+
+Every test drawing randomness must do so from an explicitly seeded
+source. Turning on ``repro.sim.rand.STRICT_SEEDING`` here makes any
+``RandomStream()`` constructed without a seed raise for the whole
+suite — the runtime half of the determinism audit (the static half is
+``tests/test_determinism_audit.py``).
+"""
+
+from repro.sim import rand as _rand
+
+
+def pytest_configure(config):
+    _rand.STRICT_SEEDING = True
+
+
+def pytest_unconfigure(config):
+    _rand.STRICT_SEEDING = False

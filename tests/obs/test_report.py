@@ -1,0 +1,83 @@
+"""Tests for the ``python -m repro.obs.report`` renderer.
+
+Exercises the real pipeline: a faulted chaos run with tracing on is
+exported to JSONL, loaded back, and rendered — the per-stage latency
+table and the fault-correlation view must both materialize.
+"""
+
+import pytest
+
+from repro.faults.chaos import ChaosHarness
+from repro.obs import report as R
+from repro.obs.export import load_jsonl
+from repro.perf import reset_perf_counters
+
+
+@pytest.fixture(autouse=True)
+def _clean_perf():
+    reset_perf_counters()
+    yield
+    reset_perf_counters()
+
+
+@pytest.fixture(scope="module")
+def faulted_run(tmp_path_factory):
+    harness = ChaosHarness(seed=5, total_ops=60, maintenance_every=20,
+                           tracing=True)
+    harness.run()
+    directory = tmp_path_factory.mktemp("obs")
+    trace_path, metrics_path = harness.export_obs(str(directory))
+    return harness, trace_path, metrics_path
+
+
+def test_per_stage_table_renders(faulted_run):
+    _harness, trace_path, _metrics = faulted_run
+    records = load_jsonl(trace_path)
+    table = R.per_stage_table(records)
+    assert "io.write" in table
+    assert "nvram-commit" in table
+    assert "p99 (us)" in table
+
+
+def test_fault_correlation_joins_faults_onto_io(faulted_run):
+    harness, trace_path, _metrics = faulted_run
+    records = load_jsonl(trace_path)
+    assert harness.injector.faults_fired > 0
+    view = R.fault_correlation(records)
+    # Every fired fault kind shows up as a row in the view.
+    for kind in harness.plan.kinds_used():
+        assert kind in view
+    assert "Mean before (us)" in view
+
+
+def test_series_and_histogram_tables(faulted_run):
+    _harness, _trace, metrics_path = faulted_run
+    records = load_jsonl(metrics_path)
+    series = R.series_table(records)
+    assert "device.queue_depth" in series
+    histograms = R.histogram_table(records)
+    assert "io.write.latency" in histograms
+
+
+def test_render_report_composes_all_sections(faulted_run):
+    _harness, trace_path, metrics_path = faulted_run
+    text = R.render_report(load_jsonl(trace_path), load_jsonl(metrics_path))
+    assert "Per-stage simulated latency" in text
+    assert "Fault correlation" in text
+    assert "Sampled series" in text
+
+
+def test_cli_main(faulted_run, capsys):
+    _harness, trace_path, metrics_path = faulted_run
+    assert R.main([trace_path, metrics_path]) == 0
+    out = capsys.readouterr().out
+    assert "Per-stage simulated latency" in out
+    assert "Fault correlation" in out
+
+
+def test_sparkline_shapes():
+    assert R._sparkline([]) == ""
+    flat = R._sparkline([1.0, 1.0, 1.0])
+    assert len(flat) == 3 and len(set(flat)) == 1
+    ramp = R._sparkline(list(range(10)))
+    assert ramp[0] == R._SPARK[0] and ramp[-1] == R._SPARK[-1]
