@@ -68,7 +68,7 @@ def test_compression_ratios(once):
         ["Table", "Rows", "Dict page (B)", "Naive 8B/field (B)",
          "Log wire format (B)", "vs naive", "bits/row"],
         rows, title="Dictionary page compression"))
-    for name, _count, packed, naive, wire, _bits in results:
+    for _name, _count, packed, naive, wire, _bits in results:
         assert packed < naive / 3
         assert packed < wire
 

@@ -16,7 +16,7 @@ from repro.baselines.kvcluster import KVCluster, KVNode
 from repro.sim.distributions import percentile
 from repro.sim.rand import RandomStream
 from repro.units import KIB, MIB
-from repro.workloads.base import OpKind, run_trace
+from repro.workloads.base import run_trace
 from repro.workloads.ycsb import YCSBConfig, YCSBWorkload
 
 

@@ -261,8 +261,9 @@ class GarbageCollector:
             try:
                 self.array.allocator.release([(drive_name, au_index)])
                 report.aus_released += 1
+            # lint: allow[no-bare-except] drive dropped from the allocator after failure; nothing to release
             except AllocationError:
-                pass  # drive dropped from the allocator after failure
+                pass
 
     # ------------------------------------------------------------------
     # Background deduplication (Section 4.7)

@@ -179,8 +179,9 @@ def _recover_body(array, boot_region, clock, full_scan, warm_cache_fraction):
             array.frontier.remove_unit(drive_name, au_index)
             try:
                 array.allocator.take_specific(drive_name, au_index)
+            # lint: allow[no-bare-except] already marked used (pre-checkpoint segment)
             except AllocationError:
-                pass  # already marked used (pre-checkpoint segment)
+                pass
         if array.tables.segments.get((header.segment_id,)) is None:
             placements = tuple(tuple(pair) for pair in descriptor.placements)
             array.pipeline.insert_derived(

@@ -100,7 +100,7 @@ class Scrubber:
             if written == "corrupt":
                 corrupt = True
             bodies = []
-            for shard, (drive_name, au_index) in enumerate(descriptor.placements):
+            for _shard, (drive_name, au_index) in enumerate(descriptor.placements):
                 drive = array.drives.get(drive_name)
                 if drive is None or drive.failed:
                     corrupt = True

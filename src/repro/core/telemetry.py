@@ -30,6 +30,25 @@ from repro.core.health import (  # noqa: F401  (re-exported)
 from repro.layout.segreader import DriveRetryStats  # noqa: F401  (re-exported)
 from repro.sim.distributions import percentile
 
+__all__ = [
+    # re-exports: the perf-counter layer's public face
+    "PERF",
+    "PerfCounters",
+    "format_perf_report",
+    "perf_report",
+    "reset_perf_counters",
+    # re-exports: degraded-mode telemetry
+    "FAILED",
+    "HEALTHY",
+    "SUSPECT",
+    "DriveHealthMonitor",
+    "DriveRetryStats",
+    # this module's own public surface
+    "degraded_mode_report",
+    "LatencyRecorder",
+    "ReductionReport",
+]
+
 
 def degraded_mode_report(array):
     """Fault/retry/health counters for one array, as plain dicts.

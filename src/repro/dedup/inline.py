@@ -118,6 +118,7 @@ class InlineDeduper:
         total = len(view) // SECTOR
         hashes = [None] * total
         hash_ns = 0
+        # lint: allow[wall-clock-purity] host-side perf accounting (charged to PERF); never enters sim state
         monotonic_ns = time.monotonic_ns
         matches = []
         claimed_until = 0  # first sector not covered by an emitted match

@@ -58,6 +58,17 @@ CRASHPOINT_CHOICES = (
     "gc.pre-release",
 )
 
+#: Every crashpoint name instrumented anywhere in the tree — the full
+#: registry the ``name-registry-sync`` lint rule checks ``cp.hit("...")``
+#: call sites against. :data:`CRASHPOINT_CHOICES` is the subset a
+#: generated plan may schedule a ``crash`` at; the NVRAM pair is hit by
+#: the ``nvram-torn`` mechanism instead (see
+#: :meth:`repro.faults.injector.FaultInjector.on_crashpoint`).
+CRASHPOINTS = CRASHPOINT_CHOICES + (
+    "nvram.pre-append",
+    "nvram.post-append",
+)
+
 #: Drive-affecting kinds: at most one may land per maintenance slot so a
 #: scrub/rebuild pass always separates two shard-destroying events.
 DESTRUCTIVE_KINDS = (DRIVE_FAIL, CORRUPT_BURST, STALL_STORM, TORN_FLUSH)

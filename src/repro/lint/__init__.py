@@ -1,0 +1,38 @@
+"""puritylint: AST-based invariant linting for the sim-deterministic path.
+
+The reproduction's credibility rests on invariants no unit test can
+exhaustively police: the data path must never read wall-clock time or
+unseeded randomness (same seed must mean byte-identical traces),
+exports must be order-stable, and span/metric/crashpoint names must
+stay in sync with their registries. ``repro.lint`` enforces them
+mechanically:
+
+* a :class:`~repro.lint.rule.Rule` registry of repo-specific AST checks
+  (``python -m repro.lint --list-rules``);
+* per-line suppression pragmas — ``# lint: allow[rule-id] reason`` —
+  that require a human-readable reason string;
+* a committed JSON baseline for grandfathered findings (kept empty;
+  see ``lint-baseline.json`` at the repo root);
+* deterministic human and ``--format json`` reports (the same tree
+  always produces byte-identical output).
+
+Run it as ``python -m repro.lint src tests`` (exit 0 means clean), or
+drive it from tests via :func:`run_lint` — which is exactly what the
+determinism audit and the repo self-lint test do.
+"""
+
+from repro.lint.engine import LintResult, iter_python_files, run_lint
+from repro.lint.rule import Finding, Rule, all_rules, get_rule
+
+# Importing the rules package registers every built-in rule.
+from repro.lint import rules as _rules  # noqa: F401  (import-for-effect)
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "iter_python_files",
+    "run_lint",
+]

@@ -1,0 +1,85 @@
+"""The committed findings baseline.
+
+A baseline grandfathers pre-existing findings so a new rule can land
+without a flag-day fix of the whole tree; new code is held to the full
+standard immediately. The policy here (see DESIGN.md) is to keep the
+committed baseline **empty** — the file exists so the mechanism stays
+exercised, not as a parking lot.
+
+Format: JSON, one object with a sorted ``findings`` list of
+``{rule, path, snippet}`` triples. Matching ignores line numbers so a
+baselined finding survives unrelated edits above it; it dies the moment
+the offending line itself changes.
+"""
+
+import json
+import os
+
+
+def empty_baseline():
+    return {"findings": []}
+
+
+def load_baseline(path):
+    """Read a baseline file; a missing file is an empty baseline."""
+    if path is None or not os.path.exists(path):
+        return empty_baseline()
+    with open(path) as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict) or "findings" not in data:
+        raise ValueError("malformed baseline %s: expected {'findings': [...]}"
+                         % path)
+    return data
+
+
+def baseline_keys(baseline):
+    """The set of (rule, path, snippet) identities in ``baseline``."""
+    keys = set()
+    for entry in baseline["findings"]:
+        keys.add((entry["rule"], entry["path"], entry.get("snippet", "")))
+    return keys
+
+
+def write_baseline(path, findings):
+    """Write ``findings`` as the new baseline; returns the entry count.
+
+    Only error-severity findings are baselined — advice never gates, so
+    freezing it would only hide it.
+    """
+    entries = sorted(
+        {
+            (f.rule, f.path, f.snippet)
+            for f in findings
+            if f.severity == "error"
+        }
+    )
+    data = {
+        "findings": [
+            {"rule": rule, "path": rel_path, "snippet": snippet}
+            for rule, rel_path, snippet in entries
+        ]
+    }
+    with open(path, "w") as handle:
+        json.dump(data, handle, sort_keys=True, indent=2)
+        handle.write("\n")
+    return len(entries)
+
+
+def split_by_baseline(findings, baseline):
+    """Partition findings into (new, grandfathered) against ``baseline``."""
+    keys = baseline_keys(baseline)
+    new, grandfathered = [], []
+    for finding in findings:
+        if finding.severity == "error" and finding.key() in keys:
+            grandfathered.append(finding)
+        else:
+            new.append(finding)
+    return new, grandfathered
+
+
+def stale_entries(findings, baseline):
+    """Baseline entries no longer produced by the tree (safe to drop)."""
+    produced = {f.key() for f in findings}
+    return sorted(
+        key for key in baseline_keys(baseline) if key not in produced
+    )

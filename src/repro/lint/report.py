@@ -1,0 +1,66 @@
+"""Human and JSON renderings of a :class:`~repro.lint.engine.LintResult`.
+
+Both renderings are deterministic functions of the linted tree: the
+findings arrive sorted, the JSON is dumped with ``sort_keys=True`` and
+fixed separators, and nothing wall-clock (timestamps, durations, host
+names) ever enters a report — the same tree produces byte-identical
+output on every run, which is what lets CI diff reports directly.
+"""
+
+import json
+
+
+def render_json(result):
+    """The whole result as one stable JSON document (with newline)."""
+    document = {
+        "checked_files": result.checked_files,
+        "errors": len(result.errors),
+        "advice": len(result.advice),
+        "suppressed": result.suppressed_count,
+        "grandfathered": len(result.grandfathered),
+        "stale_baseline": [list(entry) for entry in result.stale_baseline],
+        "findings": [finding.to_dict() for finding in result.findings],
+        "ok": result.ok,
+    }
+    return json.dumps(document, sort_keys=True, indent=2) + "\n"
+
+
+def render_human(result):
+    """Readable report: one block per finding plus a summary line."""
+    lines = []
+    for finding in result.findings:
+        tag = "advice" if finding.severity != "error" else "error"
+        lines.append(
+            "%s: %s [%s] %s"
+            % (finding.location(), tag, finding.rule, finding.message)
+        )
+        if finding.snippet:
+            lines.append("    %s" % finding.snippet)
+        if tag == "error":
+            lines.append(
+                "    suppress with: # lint: allow[%s] <reason>" % finding.rule
+            )
+    if result.stale_baseline:
+        lines.append("stale baseline entries (no longer produced; drop them):")
+        for rule, path, snippet in result.stale_baseline:
+            lines.append("    [%s] %s: %s" % (rule, path, snippet))
+    lines.append(
+        "%d files checked: %d error(s), %d advice, "
+        "%d pragma-suppressed, %d baselined"
+        % (
+            result.checked_files,
+            len(result.errors),
+            len(result.advice),
+            result.suppressed_count,
+            len(result.grandfathered),
+        )
+    )
+    return "\n".join(lines) + "\n"
+
+
+def render_rule_list(rules):
+    """``--list-rules`` output: id, severity, one-line summary."""
+    lines = []
+    for rule in rules:
+        lines.append("%-22s %-7s %s" % (rule.id, rule.severity, rule.summary))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,115 @@
+"""Rule base class, the Finding record, and the rule registry.
+
+A rule is a stateless object with an ``id``, a ``severity`` and a
+``check(ctx)`` generator. Severities:
+
+* ``error`` — a violated invariant; fails the run unless pragma'd or
+  baselined.
+* ``advice`` — a heads-up (e.g. a probable hot-path copy); reported but
+  never affects the exit code.
+
+Rules register themselves via the :func:`register` decorator at import
+time; :func:`all_rules` hands the engine one instance of each, sorted
+by id so every run visits rules in the same order.
+"""
+
+from dataclasses import dataclass, field
+
+
+ERROR = "error"
+ADVICE = "advice"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One lint finding, ordered for stable reports."""
+
+    path: str          # repo-relative, posix separators
+    line: int
+    col: int
+    rule: str
+    message: str
+    severity: str = ERROR
+    snippet: str = field(default="", compare=False)
+
+    def key(self):
+        """Baseline identity: survives pure line-number drift."""
+        return (self.rule, self.path, self.snippet)
+
+    def location(self):
+        return "%s:%d" % (self.path, self.line)
+
+    def to_dict(self):
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+
+class Rule:
+    """Base class for AST lint rules.
+
+    Subclasses set ``id`` (kebab-case), ``summary`` (one line for
+    ``--list-rules``), ``severity``, and implement :meth:`check`.
+    :meth:`applies_to` gates whole files cheaply before any AST walk.
+    """
+
+    id = None
+    summary = ""
+    severity = ERROR
+
+    def applies_to(self, ctx):
+        """Whether this rule should look at ``ctx`` at all."""
+        return True
+
+    def check(self, ctx):
+        """Yield :class:`Finding`s for ``ctx`` (a ``FileContext``)."""
+        raise NotImplementedError
+
+    # -- helpers shared by every concrete rule --------------------------
+
+    def finding(self, ctx, node, message, severity=None):
+        """Build a Finding anchored at ``node`` (any ast node)."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            path=ctx.rel_path,
+            line=line,
+            col=col,
+            rule=self.id,
+            message=message,
+            severity=severity if severity is not None else self.severity,
+            snippet=ctx.snippet(line),
+        )
+
+
+_REGISTRY = {}
+
+
+def register(rule_cls):
+    """Class decorator: add ``rule_cls`` to the global registry."""
+    if not rule_cls.id:
+        raise ValueError("rule %r has no id" % (rule_cls,))
+    if rule_cls.id in _REGISTRY:
+        raise ValueError("duplicate rule id %r" % (rule_cls.id,))
+    _REGISTRY[rule_cls.id] = rule_cls
+    return rule_cls
+
+
+def all_rules():
+    """One fresh instance of every registered rule, sorted by id."""
+    return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id):
+    """Instantiate one rule by id (KeyError if unknown)."""
+    return _REGISTRY[rule_id]()
+
+
+def rule_ids():
+    return sorted(_REGISTRY)

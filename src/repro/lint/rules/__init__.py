@@ -1,0 +1,21 @@
+"""Built-in rules; importing this package registers every rule."""
+
+from repro.lint.rules import (
+    excepts,
+    exports,
+    hotpath,
+    randomness,
+    registry_sync,
+    simclock,
+    wallclock,
+)
+
+__all__ = [
+    "excepts",
+    "exports",
+    "hotpath",
+    "randomness",
+    "registry_sync",
+    "simclock",
+    "wallclock",
+]

@@ -1,0 +1,58 @@
+"""no-bare-except: failures are handled, not swallowed.
+
+A bare ``except:`` catches ``KeyboardInterrupt`` and ``SystemExit``
+along with everything else, and — worse for this codebase — catches
+:class:`repro.faults.injector.InjectedCrashError`, turning a scheduled
+controller crash into silent corruption of the scenario. A handler
+whose whole body is ``pass`` (or ``...``) swallows the failure with no
+record of it, which the chaos harness's "detected loss is never wrong
+bytes" invariant cannot tolerate.
+
+Scoped to ``src/repro``; tests may legitimately swallow in teardown.
+Catch a *named* exception and do something with it — return a sentinel,
+count it, re-raise — or pragma the site with the reason it is safe.
+"""
+
+import ast
+
+from repro.lint.rule import Rule, register
+
+
+def _is_swallow_body(body):
+    """A handler body that does nothing: only pass/... statements."""
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant) \
+                and stmt.value.value is Ellipsis:
+            continue
+        return False
+    return True
+
+
+@register
+class NoBareExcept(Rule):
+
+    id = "no-bare-except"
+    summary = ("no 'except:' and no handlers whose whole body is pass "
+               "in src/repro")
+
+    def applies_to(self, ctx):
+        return ctx.in_src
+
+    def check(self, ctx):
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    ctx, node,
+                    "bare 'except:' catches SystemExit/KeyboardInterrupt "
+                    "and injected crashes; name the exception",
+                )
+            elif _is_swallow_body(node.body):
+                yield self.finding(
+                    ctx, node,
+                    "exception handler swallows the failure with 'pass'; "
+                    "handle it, count it, or re-raise",
+                )

@@ -1,0 +1,127 @@
+"""stable-export: serialized output must be order-stable.
+
+The golden-trace tests assert byte-identical JSONL across same-seed
+runs; that only holds when every ``json.dump(s)`` passes
+``sort_keys=True`` and every dict/set iteration feeding an export is
+explicitly sorted. Python dicts preserve insertion order, but insertion
+order is a property of the run, not of the data — "it happened to be
+sorted when I wrote it" is exactly the kind of invariant that rots.
+
+Two checks, both scoped to ``src/repro``:
+
+* every ``json.dump``/``json.dumps`` call must carry a literal
+  ``sort_keys=True``;
+* inside an *export function* — one that calls ``json.dump(s)``
+  directly, or calls a module-local function that does (resolved to a
+  fixpoint over the module's call graph) — any ``for`` loop or
+  comprehension iterating ``<expr>.items()/.keys()/.values()`` or a
+  ``set(...)`` must wrap the iterable in ``sorted(...)``.
+"""
+
+import ast
+
+from repro.lint.astutil import functions, is_const_true, keyword_arg, own_nodes
+from repro.lint.rule import Rule, register
+
+DICT_ITERATORS = frozenset({"items", "keys", "values"})
+
+
+def _is_json_dump(node, ctx):
+    """Whether ``node`` is a call of json.dump/json.dumps."""
+    func = node.func
+    json_aliases = ctx.imports.module_aliases("json")
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        return func.value.id in json_aliases and func.attr in ("dump", "dumps")
+    if isinstance(func, ast.Name):
+        original = ctx.imports.from_imports("json").get(func.id)
+        return original in ("dump", "dumps")
+    return False
+
+
+def _unsorted_iterable(node):
+    """If ``node`` is an unsorted dict-view/set iterable, describe it."""
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in DICT_ITERATORS \
+                and not node.args and not node.keywords:
+            return ".%s()" % func.attr
+        if isinstance(func, ast.Name) and func.id == "set":
+            return "set(...)"
+    if isinstance(node, ast.Set) or isinstance(node, ast.SetComp):
+        return "a set literal"
+    return None
+
+
+@register
+class StableExport(Rule):
+
+    id = "stable-export"
+    summary = ("json.dump(s) needs sort_keys=True; dict/set iteration "
+               "feeding exports must be sorted")
+
+    def applies_to(self, ctx):
+        return ctx.in_src
+
+    def check(self, ctx):
+        # Pass 1: every json.dump(s) call needs a literal sort_keys=True.
+        dump_calls = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call) and _is_json_dump(node, ctx):
+                dump_calls.append(node)
+                sort_keys = keyword_arg(node, "sort_keys")
+                if sort_keys is None or not is_const_true(sort_keys):
+                    yield self.finding(
+                        ctx, node,
+                        "json.dump(s) without sort_keys=True: key order "
+                        "would depend on insertion history, not data",
+                    )
+        if not dump_calls:
+            return
+
+        # Pass 2: resolve the module's export functions to a fixpoint.
+        dump_ids = {id(call) for call in dump_calls}
+        funcs = functions(ctx.tree)
+        calls_json = set()
+        callees = {}
+        for func in funcs:
+            names = set()
+            for node in own_nodes(func):
+                if isinstance(node, ast.Call):
+                    if id(node) in dump_ids:
+                        calls_json.add(func.name)
+                    elif isinstance(node.func, ast.Name):
+                        names.add(node.func.id)
+                    elif isinstance(node.func, ast.Attribute):
+                        # self._dumps(...) style module-local helpers
+                        names.add(node.func.attr)
+            callees[func.name] = names
+        export_funcs = set(calls_json)
+        changed = True
+        while changed:
+            changed = False
+            for name, called in callees.items():
+                if name not in export_funcs and called & export_funcs:
+                    export_funcs.add(name)
+                    changed = True
+
+        # Pass 3: unsorted dict/set iteration inside export functions.
+        for func in funcs:
+            if func.name not in export_funcs:
+                continue
+            for node in own_nodes(func):
+                iterables = []
+                if isinstance(node, (ast.For, ast.AsyncFor)):
+                    iterables.append(node.iter)
+                elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                       ast.DictComp, ast.GeneratorExp)):
+                    iterables.extend(gen.iter for gen in node.generators)
+                for iterable in iterables:
+                    described = _unsorted_iterable(iterable)
+                    if described is not None:
+                        yield self.finding(
+                            ctx, iterable,
+                            "iteration over %s feeds an export from "
+                            "'%s' without sorted(...): order would be "
+                            "insertion history, not data"
+                            % (described, func.name),
+                        )

@@ -1,0 +1,93 @@
+"""hot-path-copy (advisory): don't re-copy what the zero-copy pass won.
+
+The hot-path kernel PR moved the write pipeline onto memoryviews so a
+cblock flows from compression through RS encode to the device without
+byte copies. ``bytes(view)`` silently materializes a copy — sometimes
+deliberately (an API boundary that must hand out immutable bytes),
+often accidentally (a slice that could have stayed a view). This rule
+flags the accidental kind in the three hot-path packages (``layout/``,
+``erasure/``, ``compression/``):
+
+* ``bytes(memoryview(...))`` composed directly;
+* ``bytes(name)`` / ``bytes(name[...])`` where ``name`` was assigned
+  from ``memoryview(...)`` — or from a subscript of such a name — in
+  the same function.
+
+Advisory severity: findings are reported but never fail the run.
+Deliberate materialization points carry a pragma naming the reason,
+which doubles as documentation of where the copies are.
+"""
+
+import ast
+
+from repro.lint.astutil import call_name, functions, own_nodes
+from repro.lint.rule import ADVICE, Rule, register
+
+
+def _memoryview_names(func):
+    """Names assigned (directly or via subscript chains) from memoryview."""
+    names = set()
+    changed = True
+    while changed:
+        changed = False
+        for node in own_nodes(func):
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            value = node.value
+            derived = False
+            if call_name(value) == "memoryview":
+                derived = True
+            elif isinstance(value, ast.Subscript) \
+                    and isinstance(value.value, ast.Name) \
+                    and value.value.id in names:
+                derived = True
+            if derived and target.id not in names:
+                names.add(target.id)
+                changed = True
+    return names
+
+
+@register
+class HotPathCopy(Rule):
+
+    id = "hot-path-copy"
+    summary = ("advisory: bytes(memoryview) copies in layout/erasure/"
+               "compression hot paths")
+    severity = ADVICE
+
+    def applies_to(self, ctx):
+        return ctx.in_subsystem("layout", "erasure", "compression")
+
+    def check(self, ctx):
+        for func in functions(ctx.tree):
+            view_names = _memoryview_names(func)
+            for node in own_nodes(func):
+                if not isinstance(node, ast.Call) \
+                        or call_name(node) != "bytes" or len(node.args) != 1:
+                    continue
+                arg = node.args[0]
+                if call_name(arg) == "memoryview":
+                    yield self.finding(
+                        ctx, node,
+                        "bytes(memoryview(...)) copies what was just made "
+                        "zero-copy; keep the view or drop the wrapper",
+                    )
+                elif isinstance(arg, ast.Name) and arg.id in view_names:
+                    yield self.finding(
+                        ctx, node,
+                        "bytes(%s) copies a memoryview in a hot path; "
+                        "pass the view through if the consumer accepts "
+                        "buffers" % arg.id,
+                    )
+                elif isinstance(arg, ast.Subscript) \
+                        and isinstance(arg.value, ast.Name) \
+                        and arg.value.id in view_names:
+                    yield self.finding(
+                        ctx, node,
+                        "bytes(%s[...]) copies a memoryview slice in a hot "
+                        "path; slicing the view is already zero-copy"
+                        % arg.value.id,
+                    )

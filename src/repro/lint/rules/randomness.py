@@ -1,0 +1,106 @@
+"""seeded-randomness: every random draw comes from an explicit seed.
+
+The simulation's contract is "same seed, same run": traces, fault
+schedules, and benchmark numbers are only debuggable because they
+replay exactly. That breaks the moment code draws from the
+process-global ``random`` module functions, builds a ``random.Random()``
+/ ``RandomStream()`` / numpy ``default_rng()`` with no seed.
+
+This is the AST-resolved successor of the regex scan that used to live
+in ``tests/test_determinism_audit.py``: ``stream.random()`` (a method
+on a seeded ``RandomStream``) is legal because the receiver is resolved
+against the module's imports, not pattern-matched — and mentions inside
+strings, comments, or error messages no longer false-positive.
+
+The runtime half of the audit is ``repro.sim.rand.STRICT_SEEDING``,
+which the root conftest arms for the whole suite.
+"""
+
+import ast
+
+from repro.lint.astutil import receiver_last_name
+from repro.lint.rule import Rule, register
+
+#: Module-level draw functions on the global (OS-seeded) RNG.
+GLOBAL_DRAWS = frozenset({
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "randbytes", "uniform", "gauss", "normalvariate",
+    "expovariate", "getrandbits", "betavariate", "triangular", "seed",
+})
+
+
+@register
+class SeededRandomness(Rule):
+
+    id = "seeded-randomness"
+    summary = ("no module-level random.* draws or seedless Random()/"
+               "RandomStream()/default_rng()")
+
+    def check(self, ctx):
+        random_aliases = ctx.imports.module_aliases("random")
+        from_random = ctx.imports.from_imports("random")
+        numpy_random_aliases = ctx.imports.module_aliases("numpy.random")
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                for alias in node.names:
+                    if alias.name in GLOBAL_DRAWS:
+                        yield self.finding(
+                            ctx, node,
+                            "'from random import %s' binds the process-"
+                            "global unseeded RNG; draw from a seeded "
+                            "RandomStream instead" % alias.name,
+                        )
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            seedless = not node.args and not node.keywords
+            if isinstance(func, ast.Attribute):
+                recv = receiver_last_name(node)
+                if recv in random_aliases:
+                    if func.attr in GLOBAL_DRAWS:
+                        yield self.finding(
+                            ctx, node,
+                            "module-level draw 'random.%s(...)' uses the "
+                            "process-global unseeded RNG" % func.attr,
+                        )
+                    elif func.attr == "Random" and seedless:
+                        yield self.finding(
+                            ctx, node,
+                            "'random.Random()' with no seed draws its state "
+                            "from the OS; pass an explicit seed",
+                        )
+                elif func.attr == "default_rng" and seedless and (
+                        recv in numpy_random_aliases or recv == "random"):
+                    yield self.finding(
+                        ctx, node,
+                        "'default_rng()' with no seed is OS-seeded; pass an "
+                        "explicit seed",
+                    )
+                elif func.attr == "RandomStream" and seedless:
+                    yield self.finding(
+                        ctx, node,
+                        "'RandomStream()' with no seed leans on the default; "
+                        "pass an explicit seed (STRICT_SEEDING raises here "
+                        "at runtime)",
+                    )
+            elif isinstance(func, ast.Name):
+                original = from_random.get(func.id)
+                if original == "Random" and seedless:
+                    yield self.finding(
+                        ctx, node,
+                        "'%s()' (random.Random) with no seed draws its state "
+                        "from the OS; pass an explicit seed" % func.id,
+                    )
+                elif func.id == "RandomStream" and seedless:
+                    yield self.finding(
+                        ctx, node,
+                        "'RandomStream()' with no seed leans on the default; "
+                        "pass an explicit seed (STRICT_SEEDING raises here "
+                        "at runtime)",
+                    )
+                elif func.id == "default_rng" and seedless:
+                    yield self.finding(
+                        ctx, node,
+                        "'default_rng()' with no seed is OS-seeded; pass an "
+                        "explicit seed",
+                    )

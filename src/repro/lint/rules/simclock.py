@@ -1,0 +1,87 @@
+"""sim-clock-monotonic: never cache clock.now across a yield.
+
+Process-style simulation code (generators driven by the event loop)
+suspends at every ``yield`` — and simulated time moves while it is
+suspended. A ``clock.now`` reading cached in a local before a yield is
+stale after it; arithmetic on the stale value (latency accounting,
+timeout checks) silently reports times from before the suspension.
+Correct code re-reads ``clock.now`` after every resume.
+
+The rule flags, inside any generator function in ``src/repro``, a local
+assigned from an expression containing ``<...>clock.now`` that is read
+again on a line after a later ``yield``. Non-generator functions are
+exempt: without a yield there is no suspension and caching is fine
+(and common — ``start = clock.now`` around a computed latency).
+"""
+
+import ast
+
+from repro.lint.astutil import functions, is_generator, own_nodes
+from repro.lint.rule import Rule, register
+
+
+def _reads_clock_now(expr):
+    """Whether ``expr`` contains an attribute read of ``<...>clock.now``."""
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Attribute) and node.attr == "now":
+            base = node.value
+            if isinstance(base, ast.Name) and base.id.endswith("clock"):
+                return True
+            if isinstance(base, ast.Attribute) and base.attr.endswith("clock"):
+                return True
+    return False
+
+
+@register
+class SimClockMonotonic(Rule):
+
+    id = "sim-clock-monotonic"
+    summary = ("generator callbacks must not cache clock.now across a "
+               "yield; re-read after resume")
+
+    def applies_to(self, ctx):
+        return ctx.in_src
+
+    def check(self, ctx):
+        for func in functions(ctx.tree):
+            if not is_generator(func):
+                continue
+            assigns = {}   # name -> first line assigned from clock.now
+            yields = []
+            reads = {}     # name -> [lines read]
+            for node in own_nodes(func):
+                if isinstance(node, ast.Assign) and _reads_clock_now(node.value):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            line = assigns.get(target.id)
+                            if line is None or node.lineno < line:
+                                assigns[target.id] = node.lineno
+                elif isinstance(node, (ast.Yield, ast.YieldFrom)):
+                    yields.append(node.lineno)
+                elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                    reads.setdefault(node.id, []).append(node.lineno)
+            for name, assigned_line in sorted(assigns.items()):
+                crossed = [y for y in yields if y >= assigned_line]
+                if not crossed:
+                    continue
+                first_yield = min(crossed)
+                stale_reads = [
+                    line for line in reads.get(name, [])
+                    if line > first_yield
+                ]
+                if stale_reads:
+                    yield self.finding(
+                        ctx, _line_anchor(assigned_line),
+                        "'%s' caches clock.now at line %d but is read at "
+                        "line %d after a yield (line %d); simulated time "
+                        "moved while suspended — re-read clock.now"
+                        % (name, assigned_line, min(stale_reads), first_yield),
+                    )
+
+
+class _line_anchor:
+    """A minimal node-alike to anchor a finding at a line."""
+
+    def __init__(self, lineno):
+        self.lineno = lineno
+        self.col_offset = 0

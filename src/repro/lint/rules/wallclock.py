@@ -1,0 +1,89 @@
+"""wall-clock-purity: the data path never reads the host clock.
+
+Same seed must mean byte-identical traces, which dies the moment any
+``src/repro`` module reads wall-clock time — simulated time comes from
+:class:`repro.sim.clock.SimClock` and nothing else. The only sanctioned
+home for wall time is :mod:`repro.perf` (host-side stage timers whose
+numbers are explicitly excluded from deterministic exports); tests and
+benchmarks are out of scope entirely.
+
+Flagged: any *reference* to ``time.time/monotonic/monotonic_ns/
+perf_counter[_ns]/process_time[_ns]/time_ns/sleep``, ``datetime.now/
+utcnow/today`` (and ``date.today``) — references, not just calls, so
+``monotonic = time.monotonic_ns`` cannot smuggle a clock in. From-form
+imports of those names are flagged at the import.
+"""
+
+import ast
+
+from repro.lint.rule import Rule, register
+
+WALL_CLOCK_ATTRS = frozenset({
+    "time", "time_ns",
+    "monotonic", "monotonic_ns",
+    "perf_counter", "perf_counter_ns",
+    "process_time", "process_time_ns",
+    "sleep",
+})
+
+DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
+
+#: src/repro files allowed to read the host clock.
+ALLOWED_FILES = frozenset({
+    "src/repro/perf.py",
+})
+
+
+@register
+class WallClockPurity(Rule):
+
+    id = "wall-clock-purity"
+    summary = ("no wall-clock reads in src/repro outside perf.py; "
+               "sim time comes from SimClock")
+
+    def applies_to(self, ctx):
+        return ctx.in_src and ctx.rel_path not in ALLOWED_FILES
+
+    def check(self, ctx):
+        time_aliases = ctx.imports.module_aliases("time")
+        datetime_aliases = ctx.imports.module_aliases("datetime")
+        datetime_classes = set(ctx.imports.from_imports("datetime"))
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name in WALL_CLOCK_ATTRS:
+                        yield self.finding(
+                            ctx, node,
+                            "wall-clock import 'from time import %s'; use the "
+                            "sim clock (or move the timing into repro.perf)"
+                            % alias.name,
+                        )
+            elif isinstance(node, ast.Attribute):
+                base = node.value
+                if isinstance(base, ast.Name):
+                    if base.id in time_aliases \
+                            and node.attr in WALL_CLOCK_ATTRS:
+                        yield self.finding(
+                            ctx, node,
+                            "wall-clock read 'time.%s'; simulated components "
+                            "take their time from SimClock.now" % node.attr,
+                        )
+                    elif (base.id in datetime_classes
+                            or base.id in datetime_aliases) \
+                            and node.attr in DATETIME_ATTRS:
+                        yield self.finding(
+                            ctx, node,
+                            "wall-clock read '%s.%s'; nothing host-time-"
+                            "dependent may enter sim state or exports"
+                            % (base.id, node.attr),
+                        )
+                elif isinstance(base, ast.Attribute) \
+                        and isinstance(base.value, ast.Name) \
+                        and base.value.id in datetime_aliases \
+                        and node.attr in DATETIME_ATTRS:
+                    # datetime.datetime.now / datetime.date.today
+                    yield self.finding(
+                        ctx, node,
+                        "wall-clock read 'datetime.%s.%s'"
+                        % (base.attr, node.attr),
+                    )

@@ -10,7 +10,6 @@ chains short (application reads never touch more than three cblocks);
 """
 
 from repro.errors import SnapshotError
-from repro.mediums.medium import MEDIUM_NONE
 
 #: A chain longer than this indicates a cycle or a corrupted table.
 MAX_CHAIN_DEPTH = 64

@@ -9,7 +9,6 @@ take up no space"), and a page can be scanned for a value by comparing
 the compressed bit pattern at a fixed stride, without decompressing.
 """
 
-import math
 
 from repro.errors import EncodingError
 from repro.metadata.bitpack import BitReader, BitWriter

@@ -30,16 +30,22 @@ def metrics_lines(obs, include_wall_time=False):
     """Metric snapshot as JSONL records, one per metric."""
     snapshot = obs.metrics.snapshot(include_wall_time=include_wall_time)
     lines = []
-    for name, value in snapshot["counters"].items():
-        lines.append(_dumps({"type": "counter", "name": name, "value": value}))
-    for name, value in snapshot["gauges"].items():
-        lines.append(_dumps({"type": "gauge", "name": name, "value": value}))
-    for name, summary in snapshot["histograms"].items():
-        lines.append(_dumps({"type": "histogram", "name": name, **summary}))
-    for name, points in snapshot["series"].items():
-        lines.append(_dumps({"type": "series", "name": name, "points": points}))
-    for name, row in snapshot.get("perf.stage", {}).items():
-        lines.append(_dumps({"type": "perf-stage", "name": name, **row}))
+    for name in sorted(snapshot["counters"]):
+        lines.append(_dumps({"type": "counter", "name": name,
+                             "value": snapshot["counters"][name]}))
+    for name in sorted(snapshot["gauges"]):
+        lines.append(_dumps({"type": "gauge", "name": name,
+                             "value": snapshot["gauges"][name]}))
+    for name in sorted(snapshot["histograms"]):
+        lines.append(_dumps({"type": "histogram", "name": name,
+                             **snapshot["histograms"][name]}))
+    for name in sorted(snapshot["series"]):
+        lines.append(_dumps({"type": "series", "name": name,
+                             "points": snapshot["series"][name]}))
+    perf_stages = snapshot.get("perf.stage", {})
+    for name in sorted(perf_stages):
+        lines.append(_dumps({"type": "perf-stage", "name": name,
+                             **perf_stages[name]}))
     return lines
 
 

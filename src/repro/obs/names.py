@@ -1,0 +1,67 @@
+"""The central registry of span, event, and metric names.
+
+Every trace span the pipeline opens, every point event it fires, and
+every metric name a call site passes to the
+:class:`~repro.obs.metrics.MetricsRegistry` must appear here. The
+``name-registry-sync`` lint rule checks string literals at call sites
+against these sets, which is what catches typo drift ("io.wrte") and
+silently-forked names ("segio-flush" vs "segio.flush") statically —
+before a report quietly renders an empty table.
+
+Adding an instrumented site is a two-line change: add the name here,
+use it there. The registry is data, not behaviour: nothing imports it
+on the hot path.
+"""
+
+#: Span names, one per instrumented pipeline stage or service root.
+SPAN_NAMES = frozenset({
+    # client-operation roots
+    "io.write",
+    "io.read",
+    # write-path stages
+    "nvram-commit",
+    "dedup",
+    "compress",
+    "segio-append",
+    "segio.flush",
+    "rs-encode",
+    # read-path stages
+    "cblock-read",
+    "segread.reconstruct",
+    # background service roots
+    "gc.run",
+    "gc.collect",
+    "scrub.run",
+    "recovery",
+    "rebuild",
+})
+
+#: Point-event names recorded into the span tree.
+EVENT_NAMES = frozenset({
+    "fault",
+    "drive.replace",
+})
+
+#: Metric names: dotted ``<subsystem>.<thing>[.<unit>]`` (see
+#: :mod:`repro.obs.metrics` for the convention).
+METRIC_NAMES = frozenset({
+    # latency histograms
+    "io.write.latency",
+    "io.read.latency",
+    "segio.flush.latency",
+    "recovery.downtime",
+    # counters
+    "faults.fired",
+    "segread.reconstructed",
+    "gc.segments_collected",
+    "gc.bytes_rewritten",
+    "recovery.count",
+    "scrub.segments_scanned",
+    "scrub.corrupt_shards",
+    "rebuild.segments",
+    # gauges and sampled series
+    "drives.alive",
+    "device.queue_depth",
+    "cache.cblock_hit_rate",
+    "dedup.savings_fraction",
+})

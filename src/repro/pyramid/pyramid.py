@@ -9,7 +9,7 @@ retried (or discarded) after a crash.
 """
 
 from repro.pyramid.memtable import MemTable
-from repro.pyramid.patch import Patch, merge_patches
+from repro.pyramid.patch import merge_patches
 
 
 class Pyramid:

@@ -62,7 +62,7 @@ class VDIWorkload:
         config = self.config
         trace = IOTrace()
         delta_blocks = max(1, int(config.image_blocks * config.delta_fraction))
-        for desktop, volume in enumerate(self.volume_names()):
+        for _desktop, volume in enumerate(self.volume_names()):
             delta_at = set(
                 self.stream.sample(range(config.image_blocks), delta_blocks)
             )

@@ -3,8 +3,6 @@
 import pytest
 
 from repro.analysis.consolidation import (
-    FA450_OPS,
-    PAPER_DEPLOYMENTS,
     Deployment,
     consolidation_table,
 )

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.baselines.kvcluster import KVCluster, KVNode, KVNodeConfig
+from repro.baselines.kvcluster import KVCluster, KVNode
 
 
 def test_node_throughput_matches_ycsb_study():

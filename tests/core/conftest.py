@@ -9,7 +9,7 @@ import pytest
 from repro.core.array import PurityArray
 from repro.core.config import ArrayConfig
 from repro.sim.rand import RandomStream
-from repro.units import KIB, MIB, SECTOR
+from repro.units import MIB
 
 
 @pytest.fixture

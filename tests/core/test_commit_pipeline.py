@@ -5,9 +5,7 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core import tables as T
-from repro.core.array import PurityArray
 from repro.core.commit import CommitPipeline
-from repro.core.config import ArrayConfig
 from repro.pyramid.elision import KeyPrefixPredicate, KeyRangePredicate
 from repro.units import KIB
 

@@ -8,9 +8,6 @@ cblocks are evacuated first, so they cluster at the front of the
 destination segments.
 """
 
-import pytest
-
-from repro.core import tables as T
 from repro.units import KIB, MIB
 
 from tests.core.conftest import unique_bytes

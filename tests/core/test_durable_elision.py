@@ -9,7 +9,6 @@ failover — the bug family the stateful property test originally found.
 import pytest
 
 from repro.core.array import PurityArray
-from repro.core.config import ArrayConfig
 from repro.core.recovery import recover_array
 from repro.errors import VolumeNotFoundError
 from repro.units import KIB, MIB

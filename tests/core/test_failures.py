@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import UncorrectableError
-from repro.units import KIB, MIB
+from repro.units import KIB
 
 from tests.core.conftest import unique_bytes
 

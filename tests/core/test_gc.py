@@ -1,7 +1,5 @@
 """Garbage collection: space reclamation, sweeps, chain shortening."""
 
-import pytest
-
 from repro.units import KIB, MIB
 
 from tests.core.conftest import unique_bytes
@@ -50,7 +48,7 @@ def test_gc_respects_dedup_references(array, stream):
     array.write("a", 0, shared)
     array.write("b", 0, shared)  # dedup ref into a's cblock
     # Churn volume a so its segment becomes collectible.
-    for round_number in range(6):
+    for _round_number in range(6):
         array.write("a", 32 * KIB, unique_bytes(16 * KIB, stream))
     array.drain()
     array.run_gc(max_segments=50)

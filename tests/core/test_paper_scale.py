@@ -9,7 +9,7 @@ import pytest
 
 from repro.core.array import PurityArray
 from repro.core.config import ArrayConfig
-from repro.units import GIB, KIB, MIB
+from repro.units import KIB, MIB
 
 
 @pytest.fixture(scope="module")

@@ -13,13 +13,10 @@ Two bugs the stateful property test found:
 
 import gc as python_gc
 
-import pytest
-
 from repro.core.array import PurityArray
 from repro.core.config import ArrayConfig
 from repro.core.recovery import recover_array
-from repro.sim.rand import RandomStream
-from repro.units import KIB, MIB
+from repro.units import KIB
 
 
 def crash_recover(array):

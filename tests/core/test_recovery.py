@@ -10,7 +10,7 @@ import pytest
 from repro.core.array import PurityArray
 from repro.units import KIB, MIB
 
-from tests.core.conftest import compressible_bytes, unique_bytes
+from tests.core.conftest import unique_bytes
 
 
 def crash_and_recover(array, full_scan=False):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.units import KIB, MIB
+from repro.units import KIB
 
 from tests.core.conftest import unique_bytes
 

@@ -6,7 +6,6 @@ from repro.core.array import PurityArray
 from repro.core.config import ArrayConfig
 from repro.core.ha import DualControllerArray
 from repro.core.replication import AsyncReplicator
-from repro.sim.clock import SimClock
 from repro.sim.rand import RandomStream
 from repro.units import KIB, MIB
 
@@ -15,7 +14,6 @@ pytestmark = pytest.mark.slow
 
 @pytest.fixture
 def site_pair():
-    clock = SimClock()
     primary_site = DualControllerArray(
         ArrayConfig.small(num_drives=11, drive_capacity=32 * MIB, seed=1)
     )

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import UncorrectableError
-from repro.layout.segment import SegioHeader
 
 
 def advance(clock, seconds=1.0):

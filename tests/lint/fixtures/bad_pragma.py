@@ -1,0 +1,5 @@
+"""Fixture: a reason-less pragma is itself a finding (1 bad-pragma)."""
+
+
+def hurried():
+    return 1  # lint: allow[wall-clock-purity]

@@ -1,0 +1,16 @@
+"""Fixture: named exceptions, handled (0 findings)."""
+
+
+def lookup(op, fallback):
+    try:
+        return op()
+    except KeyError:
+        return fallback
+
+
+def count_failures(op, metrics):
+    try:
+        op()
+    except ValueError:
+        metrics.counter("scrub.corrupt_shards").inc()
+        raise

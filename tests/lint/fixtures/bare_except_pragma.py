@@ -1,0 +1,8 @@
+"""Fixture: a deliberate swallow, suppressed with a reason."""
+
+
+def best_effort_release(allocator, unit):
+    try:
+        allocator.release(unit)
+    except LookupError:  # lint: allow[no-bare-except] drive already dropped from the allocator
+        pass

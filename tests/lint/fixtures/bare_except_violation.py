@@ -1,0 +1,15 @@
+"""Fixture: a bare except and a swallow-pass handler (2 findings)."""
+
+
+def swallow(op):
+    try:
+        return op()
+    except:
+        return None
+
+
+def ignore(op):
+    try:
+        op()
+    except ValueError:
+        pass

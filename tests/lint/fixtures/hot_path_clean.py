@@ -1,0 +1,11 @@
+"""Fixture: views stay views (0 findings)."""
+
+
+def flush(payload):
+    view = memoryview(payload)
+    return view[:512], view[512:]
+
+
+def unrelated(payload):
+    # bytes() of a plain argument is not provably a view copy.
+    return bytes(payload)

@@ -1,0 +1,6 @@
+"""Fixture: a deliberate materialization point, suppressed with a reason."""
+
+
+def seal(payload):
+    view = memoryview(payload)
+    return bytes(view)  # lint: allow[hot-path-copy] API boundary hands out immutable bytes

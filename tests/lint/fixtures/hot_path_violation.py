@@ -1,0 +1,11 @@
+"""Fixture: memoryview copies on the hot path (3 advice findings)."""
+
+
+def flush(payload):
+    view = memoryview(payload)
+    head = view[:512]
+    return bytes(head), bytes(view[512:])
+
+
+def direct(payload):
+    return bytes(memoryview(payload))

@@ -1,0 +1,9 @@
+"""Fixture: four typo-drifted instrumentation names (4 findings)."""
+
+
+def instrument(obs, metrics, cp):
+    span = obs.begin("io.wrte")
+    obs.event("drive.replaced")
+    metrics.counter("gc.segments_colected").inc()
+    cp.hit("segwriter.mid-flsh")
+    obs.end(span)

@@ -1,0 +1,20 @@
+"""Fixture: all randomness flows from explicit seeds (0 findings).
+
+``stream.random()`` is a method on a seeded stream — the AST resolution
+must not confuse it with the module-level ``random.random()``, and the
+words random.random() inside this docstring must not trip anything.
+"""
+
+import random
+
+
+def jitter(stream):
+    return stream.random() * 2
+
+
+def make_rng(seed):
+    return random.Random(seed)
+
+
+def make_stream(RandomStream, seed):
+    return RandomStream(seed)

@@ -1,0 +1,6 @@
+"""Fixture: a deliberate seedless construction, suppressed with a reason."""
+
+
+def assert_strict_mode_raises(RandomStream, raises):
+    with raises(ValueError):
+        RandomStream()  # lint: allow[seeded-randomness] asserting STRICT_SEEDING rejects the seedless form

@@ -1,0 +1,15 @@
+"""Fixture: unseeded randomness, three flavours (3 findings)."""
+
+import random
+
+
+def jitter():
+    return random.random() * 2
+
+
+def make_rng():
+    return random.Random()
+
+
+def make_stream(RandomStream):
+    return RandomStream()

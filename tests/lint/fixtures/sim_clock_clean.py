@@ -1,0 +1,15 @@
+"""Fixture: clock re-read after every resume (0 findings)."""
+
+
+def drain(queue, clock):
+    while queue:
+        item = queue.pop()
+        yield item
+        item.done_at = clock.now
+
+
+def plain_latency(op, clock):
+    # No yield: caching is fine — nothing suspends in between.
+    start = clock.now
+    op()
+    return clock.now - start

@@ -1,0 +1,8 @@
+"""Fixture: a deliberate pre-suspension timestamp, suppressed."""
+
+
+def admission_times(requests, clock):
+    arrived = clock.now  # lint: allow[sim-clock-monotonic] arrival time is defined as pre-suspension time
+    for request in requests:
+        yield request
+        request.arrived = arrived

@@ -1,0 +1,9 @@
+"""Fixture: clock.now cached across a yield (1 finding)."""
+
+
+def drain(queue, clock):
+    started = clock.now
+    while queue:
+        item = queue.pop()
+        yield item
+        item.latency = clock.now - started

@@ -1,0 +1,17 @@
+"""Fixture: order-stable export (0 findings)."""
+
+import json
+
+
+def _dumps(record):
+    return json.dumps(record, sort_keys=True)
+
+
+def render(counters, tags):
+    rows = [
+        {"name": name, "value": value}
+        for name, value in sorted(counters.items())
+    ]
+    for tag in sorted(set(tags)):
+        rows.append({"tag": tag})
+    return [_dumps(row) for row in rows]

@@ -1,0 +1,11 @@
+"""Fixture: pre-sorted input, suppressed with a reason."""
+
+import json
+
+
+def render(snapshot):
+    lines = []
+    # lint: allow[stable-export] snapshot() pre-sorts every section
+    for name, value in snapshot.items():
+        lines.append(json.dumps({name: value}, sort_keys=True))
+    return lines

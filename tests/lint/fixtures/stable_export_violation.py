@@ -1,0 +1,21 @@
+"""Fixture: order-unstable export (3 findings).
+
+``render`` never calls json itself — it feeds ``_dumps``, which does —
+so the rule must resolve the module-local call graph to catch its
+unsorted iterations.
+"""
+
+import json
+
+
+def _dumps(record):
+    return json.dumps(record)
+
+
+def render(counters, tags):
+    rows = [
+        {"name": name, "value": value} for name, value in counters.items()
+    ]
+    for tag in set(tags):
+        rows.append({"tag": tag})
+    return [_dumps(row) for row in rows]

@@ -1,0 +1,7 @@
+"""Fixture: simulated time comes from the sim clock only (0 findings)."""
+
+
+def charge_latency(sim, clock):
+    start = clock.now
+    sim.step()
+    return clock.now - start

@@ -1,0 +1,7 @@
+"""Fixture: a sanctioned wall-clock read, suppressed with a reason."""
+
+import time
+
+
+def host_side_timer():
+    return time.monotonic_ns()  # lint: allow[wall-clock-purity] host-only perf probe, never enters sim state

@@ -1,0 +1,11 @@
+"""Fixture: reads the host clock from simulated code (3 findings)."""
+
+import time
+from time import sleep
+
+
+def charge_latency(sim):
+    start = time.monotonic()
+    sim.step()
+    sleep(0.0)
+    return time.monotonic() - start

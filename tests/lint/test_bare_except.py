@@ -1,0 +1,21 @@
+"""no-bare-except: violating, clean, and pragma-suppressed fixtures."""
+
+from tests.lint.conftest import assert_all_suppressed, assert_clean
+
+RULE = "no-bare-except"
+
+
+def test_violations(lint_fixture):
+    result = lint_fixture("bare_except_violation.py", RULE)
+    assert len(result.findings) == 2
+    messages = "\n".join(f.message for f in result.findings)
+    assert "bare 'except:'" in messages
+    assert "swallows" in messages
+
+
+def test_clean(lint_fixture):
+    assert_clean(lint_fixture("bare_except_clean.py", RULE))
+
+
+def test_pragma_suppressed(lint_fixture):
+    assert_all_suppressed(lint_fixture("bare_except_pragma.py", RULE))

@@ -1,0 +1,88 @@
+"""Baseline round-trip: freeze, grandfather, detect staleness."""
+
+import json
+
+from repro.lint import get_rule, run_lint
+from repro.lint.baseline import (
+    empty_baseline,
+    load_baseline,
+    split_by_baseline,
+    stale_entries,
+    write_baseline,
+)
+
+from tests.lint.conftest import FIXTURES
+
+
+def setup_repo(tmp_path, fixture="bare_except_violation.py"):
+    (tmp_path / "pyproject.toml").write_text("[project]\nname = 'fake'\n")
+    target = tmp_path / "src" / "repro" / "mod.py"
+    target.parent.mkdir(parents=True)
+    target.write_text((FIXTURES / fixture).read_text())
+    return target
+
+
+def lint(target, tmp_path, baseline=None):
+    return run_lint(
+        [str(target)], root=str(tmp_path),
+        rules=[get_rule("no-bare-except")], baseline=baseline,
+    )
+
+
+def test_round_trip_grandfathers_findings(tmp_path):
+    target = setup_repo(tmp_path)
+    first = lint(target, tmp_path)
+    assert len(first.findings) == 2
+
+    baseline_path = tmp_path / "lint-baseline.json"
+    count = write_baseline(str(baseline_path), first.findings)
+    assert count == 2
+
+    baseline = load_baseline(str(baseline_path))
+    second = lint(target, tmp_path, baseline=baseline)
+    assert second.findings == []
+    assert len(second.grandfathered) == 2
+    assert second.ok and second.exit_code() == 0
+    assert second.stale_baseline == []
+
+
+def test_baseline_survives_line_drift_but_not_edits(tmp_path):
+    target = setup_repo(tmp_path)
+    first = lint(target, tmp_path)
+    baseline_path = tmp_path / "lint-baseline.json"
+    write_baseline(str(baseline_path), first.findings)
+    baseline = load_baseline(str(baseline_path))
+
+    # Unrelated lines above shift everything down: still grandfathered.
+    target.write_text("# a new header comment\n" + target.read_text())
+    shifted = lint(target, tmp_path, baseline=baseline)
+    assert shifted.findings == [] and len(shifted.grandfathered) == 2
+
+    # Fixing one site makes its baseline entry stale.
+    text = target.read_text().replace("except:", "except ValueError:")
+    target.write_text(text)
+    fixed = lint(target, tmp_path, baseline=baseline)
+    assert len(fixed.grandfathered) == 1
+    assert len(fixed.stale_baseline) == 1
+    assert fixed.stale_baseline[0][0] == "no-bare-except"
+
+
+def test_write_baseline_is_byte_stable_and_excludes_advice(tmp_path):
+    target = setup_repo(tmp_path)
+    findings = lint(target, tmp_path).findings
+    path_a = tmp_path / "a.json"
+    path_b = tmp_path / "b.json"
+    write_baseline(str(path_a), findings)
+    write_baseline(str(path_b), list(reversed(findings)))
+    assert path_a.read_bytes() == path_b.read_bytes()
+    data = json.loads(path_a.read_text())
+    assert all(set(entry) == {"rule", "path", "snippet"}
+               for entry in data["findings"])
+
+
+def test_missing_and_empty_baselines(tmp_path):
+    assert load_baseline(None) == empty_baseline()
+    assert load_baseline(str(tmp_path / "nope.json")) == empty_baseline()
+    new, grandfathered = split_by_baseline([], empty_baseline())
+    assert new == [] and grandfathered == []
+    assert stale_entries([], empty_baseline()) == []

@@ -1,0 +1,76 @@
+"""Engine behaviour: discovery, fixture skipping, parse errors."""
+
+import os
+
+from repro.lint import iter_python_files, run_lint
+from repro.lint.engine import find_root, lint_file
+
+from tests.lint.conftest import FIXTURES
+
+
+def build_tree(tmp_path):
+    (tmp_path / "pyproject.toml").write_text("[project]\nname = 'fake'\n")
+    layout = {
+        "src/repro/a.py": "x = 1\n",
+        "src/repro/fixtures/broken.py": "import random\nrandom.random()\n",
+        "src/repro/__pycache__/junk.py": "x = 1\n",
+        "src/repro/.hidden/secret.py": "x = 1\n",
+        "tests/test_a.py": "def test(): pass\n",
+    }
+    for rel, text in layout.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+    return tmp_path
+
+
+def test_walk_skips_fixture_pycache_hidden_dirs(tmp_path):
+    root = build_tree(tmp_path)
+    files = iter_python_files([str(root / "src"), str(root / "tests")],
+                              root=str(root))
+    rels = sorted(os.path.relpath(f, root).replace(os.sep, "/") for f in files)
+    assert rels == ["src/repro/a.py", "tests/test_a.py"]
+
+
+def test_explicit_file_beats_walk_skip(tmp_path):
+    root = build_tree(tmp_path)
+    broken = root / "src/repro/fixtures/broken.py"
+    files = iter_python_files([str(broken)], root=str(root))
+    assert len(files) == 1
+    result = run_lint([str(broken)], root=str(root))
+    assert [f.rule for f in result.findings] == ["seeded-randomness"]
+
+
+def test_duplicate_paths_lint_once(tmp_path):
+    root = build_tree(tmp_path)
+    a = str(root / "src/repro/a.py")
+    files = iter_python_files([a, a, str(root / "src")], root=str(root))
+    assert len(files) == 1
+
+
+def test_parse_error_is_a_finding(tmp_path):
+    root = build_tree(tmp_path)
+    bad = root / "src/repro/bad.py"
+    bad.write_text("def broken(:\n    pass\n")
+    findings, suppressed = lint_file(str(bad), root=str(root))
+    assert suppressed == 0
+    assert [f.rule for f in findings] == ["parse-error"]
+    assert findings[0].severity == "error"
+
+
+def test_find_root_walks_up_to_pyproject(tmp_path):
+    root = build_tree(tmp_path)
+    nested = root / "src" / "repro"
+    assert find_root(str(nested)) == str(root)
+
+
+def test_findings_are_sorted_and_paths_posix(tmp_path):
+    root = build_tree(tmp_path)
+    for name in ("z.py", "b.py"):
+        (root / "src/repro" / name).write_text(
+            (FIXTURES / "bare_except_violation.py").read_text()
+        )
+    result = run_lint([str(root / "src")], root=str(root))
+    paths = [f.path for f in result.findings]
+    assert paths == sorted(paths)
+    assert all("\\" not in path for path in paths)

@@ -1,0 +1,30 @@
+"""hot-path-copy: advisory severity, dataflow tracking, pragma."""
+
+from tests.lint.conftest import assert_all_suppressed, assert_clean
+
+RULE = "hot-path-copy"
+
+
+def test_violations_are_advice(lint_fixture):
+    result = lint_fixture("hot_path_violation.py", RULE)
+    assert len(result.findings) == 3
+    assert all(f.severity == "advice" for f in result.findings)
+    # Advice never gates: the run is still "ok" with exit code 0.
+    assert result.ok and result.exit_code() == 0
+    assert len(result.advice) == 3 and not result.errors
+
+
+def test_clean_does_not_guess_about_arguments(lint_fixture):
+    assert_clean(lint_fixture("hot_path_clean.py", RULE))
+
+
+def test_pragma_suppressed(lint_fixture):
+    assert_all_suppressed(lint_fixture("hot_path_pragma.py", RULE))
+
+
+def test_out_of_scope_outside_hot_packages(lint_fixture):
+    """Only layout/, erasure/, compression/ are hot paths."""
+    result = lint_fixture(
+        "hot_path_violation.py", RULE, dest="src/repro/analysis/fixture_mod.py"
+    )
+    assert_clean(result)

@@ -1,0 +1,61 @@
+"""Pragma parsing and enforcement of the reason requirement."""
+
+from repro.lint.pragma import PRAGMA, parse_pragmas, suppressed
+from repro.lint.rule import Finding
+
+
+def make_finding(line, rule="wall-clock-purity"):
+    return Finding(path="src/repro/x.py", line=line, col=0, rule=rule,
+                   message="m")
+
+
+def test_same_line_pragma():
+    pragmas, malformed = parse_pragmas([
+        "value = time.monotonic()  # lint: allow[wall-clock-purity] host probe",
+    ])
+    assert not malformed
+    assert suppressed(pragmas, make_finding(1))
+    assert not suppressed(pragmas, make_finding(1, rule="no-bare-except"))
+
+
+def test_comment_line_covers_next_line():
+    pragmas, malformed = parse_pragmas([
+        "# lint: allow[stable-export] snapshot pre-sorts",
+        "for k, v in snapshot.items():",
+    ])
+    assert not malformed
+    assert suppressed(pragmas, make_finding(2, rule="stable-export"))
+
+
+def test_multiple_rules_share_one_pragma():
+    pragmas, _ = parse_pragmas([
+        "x = 1  # lint: allow[wall-clock-purity,no-bare-except] both intentional",
+    ])
+    assert suppressed(pragmas, make_finding(1, rule="wall-clock-purity"))
+    assert suppressed(pragmas, make_finding(1, rule="no-bare-except"))
+
+
+def test_reasonless_pragma_is_malformed_and_suppresses_nothing():
+    pragmas, malformed = parse_pragmas([
+        "x = 1  # lint: allow[wall-clock-purity]",
+    ])
+    assert malformed == [(1, "x = 1  # lint: allow[wall-clock-purity]")]
+    assert not suppressed(pragmas, make_finding(1))
+
+
+def test_unrelated_comments_do_not_match():
+    pragmas, malformed = parse_pragmas([
+        "x = 1  # plain comment",
+        "# lint is great",
+    ])
+    assert not pragmas and not malformed
+
+
+def test_bad_pragma_fixture_surfaces_as_finding(lint_fixture):
+    result = lint_fixture("bad_pragma.py", "wall-clock-purity")
+    assert [f.rule for f in result.findings] == ["bad-pragma"]
+    assert "reason" in result.findings[0].message
+
+
+def test_pragma_regex_requires_bracketed_rule_ids():
+    assert PRAGMA.search("# lint: allow wall-clock reasons") is None

@@ -1,0 +1,33 @@
+"""seeded-randomness: violating, clean, and pragma-suppressed fixtures."""
+
+from tests.lint.conftest import assert_all_suppressed, assert_clean
+
+RULE = "seeded-randomness"
+
+
+def test_violations(lint_fixture):
+    result = lint_fixture("randomness_violation.py", RULE)
+    assert len(result.findings) == 3
+    assert all(f.rule == RULE for f in result.findings)
+    messages = "\n".join(f.message for f in result.findings)
+    assert "random.random" in messages
+    assert "random.Random" in messages
+    assert "RandomStream" in messages
+
+
+def test_clean_resolves_receivers(lint_fixture):
+    """stream.random() and docstring mentions must not false-positive —
+    the improvement over the retired regex scan."""
+    assert_clean(lint_fixture("randomness_clean.py", RULE))
+
+
+def test_pragma_suppressed(lint_fixture):
+    assert_all_suppressed(lint_fixture("randomness_pragma.py", RULE))
+
+
+def test_applies_to_test_trees_too(lint_fixture):
+    """Unlike wall-clock purity, unseeded randomness is banned everywhere."""
+    result = lint_fixture(
+        "randomness_violation.py", RULE, dest="tests/test_something.py"
+    )
+    assert len(result.findings) == 3

@@ -1,0 +1,43 @@
+"""The repo lints itself clean — the acceptance gate, in the fast lane.
+
+Every invariant the rule set encodes (no wall clock on the data path,
+seeded randomness everywhere, order-stable exports, registry-synced
+instrumentation names, no swallowed failures) holds for the tree as
+committed, with an **empty** baseline: nothing is grandfathered, and
+every suppression in the tree is a pragma carrying a reason.
+"""
+
+import json
+import pathlib
+
+from repro.lint import run_lint
+from repro.lint.baseline import load_baseline
+
+REPO = pathlib.Path(__file__).resolve().parent.parent.parent
+
+
+def test_repo_is_lint_clean():
+    result = run_lint(
+        [str(REPO / "src"), str(REPO / "tests")], root=str(REPO)
+    )
+    formatted = "\n".join(
+        "%s: [%s] %s" % (f.location(), f.rule, f.message)
+        for f in result.errors
+    )
+    assert not result.errors, "the repo must self-lint clean:\n" + formatted
+    # A meaningful number of files was actually checked.
+    assert result.checked_files > 150
+
+
+def test_benchmarks_are_lint_clean_too():
+    result = run_lint([str(REPO / "benchmarks")], root=str(REPO))
+    assert not result.errors, [f.to_dict() for f in result.errors]
+
+
+def test_committed_baseline_is_empty():
+    """Policy: the baseline mechanism exists, the parking lot stays empty."""
+    baseline = load_baseline(str(REPO / "lint-baseline.json"))
+    assert baseline["findings"] == []
+    # And the committed file is the canonical empty form, byte for byte.
+    text = (REPO / "lint-baseline.json").read_text()
+    assert json.loads(text) == {"findings": []}

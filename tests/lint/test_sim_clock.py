@@ -1,0 +1,21 @@
+"""sim-clock-monotonic: violating, clean, and pragma-suppressed fixtures."""
+
+from tests.lint.conftest import assert_all_suppressed, assert_clean
+
+RULE = "sim-clock-monotonic"
+
+
+def test_violation(lint_fixture):
+    result = lint_fixture("sim_clock_violation.py", RULE)
+    assert len(result.findings) == 1
+    finding = result.findings[0]
+    assert "'started'" in finding.message
+    assert "yield" in finding.message
+
+
+def test_clean_generators_and_plain_functions(lint_fixture):
+    assert_clean(lint_fixture("sim_clock_clean.py", RULE))
+
+
+def test_pragma_suppressed(lint_fixture):
+    assert_all_suppressed(lint_fixture("sim_clock_pragma.py", RULE))

@@ -1,0 +1,24 @@
+"""stable-export: violating, clean, and pragma-suppressed fixtures."""
+
+from tests.lint.conftest import assert_all_suppressed, assert_clean
+
+RULE = "stable-export"
+
+
+def test_violations(lint_fixture):
+    result = lint_fixture("stable_export_violation.py", RULE)
+    assert len(result.findings) == 3
+    messages = "\n".join(f.message for f in result.findings)
+    assert "sort_keys=True" in messages
+    # The call-graph fixpoint: render() never touches json directly.
+    assert "'render'" in messages
+    assert ".items()" in messages
+    assert "set(...)" in messages
+
+
+def test_clean(lint_fixture):
+    assert_clean(lint_fixture("stable_export_clean.py", RULE))
+
+
+def test_pragma_suppressed(lint_fixture):
+    assert_all_suppressed(lint_fixture("stable_export_pragma.py", RULE))

@@ -135,7 +135,7 @@ def test_rangeset_matches_brute_force_oracle():
             )
         # Structural invariants: sorted, disjoint, non-adjacent.
         pairs = list(ranges)
-        for (lo1, hi1), (lo2, hi2) in zip(pairs, pairs[1:]):
+        for (_lo1, hi1), (lo2, _hi2) in zip(pairs, pairs[1:]):
             assert hi1 + 1 < lo2
         # Round-trip: rebuilding from the emitted pairs is identity.
         assert IntRangeSet(pairs) == ranges

@@ -98,6 +98,6 @@ def test_matches_set_reference(pairs):
     assert ranges.covered_count() == len(reference)
     # Invariant: stored ranges are sorted, disjoint, non-adjacent.
     listed = list(ranges)
-    for (lo_a, hi_a), (lo_b, _hi_b) in zip(listed, listed[1:]):
+    for (_lo_a, hi_a), (lo_b, _hi_b) in zip(listed, listed[1:]):
         assert hi_a + 1 < lo_b
     assert all(lo <= hi for lo, hi in listed)

@@ -1,86 +1,48 @@
-"""Static determinism audit: no unseeded randomness anywhere.
+"""Determinism audit: no unseeded randomness anywhere.
 
 The simulation's contract is "same seed, same run" — traces, fault
 schedules, and benchmark numbers are only debuggable because they
 replay exactly. That breaks the moment any code draws from the
 module-level ``random`` functions (process-global, unseeded) or builds
-a ``random.Random()`` / ``RandomStream()`` with no seed.
+a ``random.Random()`` / ``RandomStream()`` / ``default_rng()`` with no
+seed.
 
-This test greps the source tree and the test tree for those patterns.
-It is the static half of the audit; the runtime half is the
+The static half of the audit is the ``seeded-randomness`` puritylint
+rule (:mod:`repro.lint.rules.randomness`): this test runs that one rule
+over the source, test, and benchmark trees, so there is exactly one
+definition of "unseeded" in the repo — the regex scan that used to live
+here was retired when the rule landed. The runtime half is the
 ``STRICT_SEEDING`` flag the root conftest enables, which makes an
 unseeded ``RandomStream()`` raise during the run itself.
 """
 
 import pathlib
-import re
+
+from repro.lint import get_rule, run_lint
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
-SCAN_ROOTS = (REPO / "src", REPO / "tests", REPO / "benchmarks")
-
-#: Module-level draws from the process-global RNG. The negative
-#: lookbehind keeps ``stream.random()`` / ``self._rng.random()`` legal
-#: while flagging bare ``random.random()`` & friends.
-UNSEEDED_DRAW = re.compile(
-    r"(?<![\w.])random\.(random|randint|choice|choices|shuffle|sample|"
-    r"randbytes|uniform|gauss|randrange|getrandbits|expovariate)\("
-)
-#: ``random.Random()`` with no arguments seeds from the OS.
-UNSEEDED_RANDOM = re.compile(r"(?<![\w.])random\.Random\(\s*\)")
-#: numpy's unseeded generator, should numpy ever appear.
-UNSEEDED_NUMPY = re.compile(r"(?<![\w.])default_rng\(\s*\)")
-#: ``RandomStream()`` with no seed leans on the default; tests must
-#: pass one explicitly (STRICT_SEEDING enforces this at runtime too).
-UNSEEDED_STREAM = re.compile(r"(?<![\w.])RandomStream\(\s*\)")
-
-PATTERNS = (
-    ("module-level random draw", UNSEEDED_DRAW),
-    ("random.Random() without a seed", UNSEEDED_RANDOM),
-    ("numpy default_rng() without a seed", UNSEEDED_NUMPY),
-    ("RandomStream() without a seed", UNSEEDED_STREAM),
-)
-
-#: Files allowed to mention the patterns: this audit itself, the stream
-#: wrapper whose error message spells the offending call out, and the
-#: conftest that documents it.
-EXEMPT = {
-    pathlib.Path(__file__).resolve(),
-    (REPO / "src/repro/sim/rand.py").resolve(),
-    (REPO / "tests/conftest.py").resolve(),
-}
-
-
-def _python_files():
-    for root in SCAN_ROOTS:
-        if not root.is_dir():
-            continue
-        yield from sorted(root.rglob("*.py"))
-
-
-def _strip_comments(line):
-    # Cheap but sufficient here: none of the audited patterns contain a
-    # '#' character, so cutting at the first one never splits a match.
-    return line.split("#", 1)[0]
+SCAN_ROOTS = [
+    str(REPO / name)
+    for name in ("src", "tests", "benchmarks")
+    if (REPO / name).is_dir()
+]
 
 
 def test_no_unseeded_randomness():
-    offenders = []
-    for path in _python_files():
-        if path.resolve() in EXEMPT:
-            continue
-        text = path.read_text()
-        for lineno, line in enumerate(text.splitlines(), start=1):
-            code = _strip_comments(line)
-            for label, pattern in PATTERNS:
-                if pattern.search(code):
-                    offenders.append(
-                        "%s:%d: %s: %s"
-                        % (path.relative_to(REPO), lineno, label, line.strip())
-                    )
+    """One source of truth: the seeded-randomness lint rule, repo-wide."""
+    result = run_lint(
+        SCAN_ROOTS, root=str(REPO), rules=[get_rule("seeded-randomness")]
+    )
+    offenders = [
+        "%s: %s" % (finding.location(), finding.message)
+        for finding in result.findings
+    ]
     assert not offenders, (
         "unseeded randomness found (seed it or draw from a RandomStream):\n"
         + "\n".join(offenders)
     )
+    # The audit is meaningless if it scanned nothing.
+    assert result.checked_files > 100
 
 
 def test_strict_seeding_is_armed():
@@ -92,6 +54,7 @@ def test_strict_seeding_is_armed():
 
     assert rand.STRICT_SEEDING is True
     with pytest.raises(ValueError):
+        # lint: allow[seeded-randomness] asserting STRICT_SEEDING rejects the seedless form
         RandomStream()
     # Explicit seeds (including 0) stay legal, as does forking.
     assert RandomStream(0).fork("child").seed == RandomStream(0).fork("child").seed

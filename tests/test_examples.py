@@ -6,7 +6,6 @@ budgets, DR verification).
 """
 
 import importlib
-import sys
 
 import pytest
 

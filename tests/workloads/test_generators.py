@@ -8,7 +8,7 @@ from repro.workloads.base import IOOperation, OpKind
 from repro.workloads.docstore import DocStoreConfig, DocStoreWorkload
 from repro.workloads.oltp import OLTPConfig, OLTPWorkload
 from repro.workloads.vdi import VDIConfig, VDIWorkload
-from repro.workloads.ycsb import YCSBConfig, YCSBWorkload, YCSB_MIXES
+from repro.workloads.ycsb import YCSBConfig, YCSBWorkload
 
 
 @pytest.fixture
