@@ -8,13 +8,21 @@ same workload fault-free.
 
 from benchmarks.conftest import RESULTS_DIR, emit
 from repro.analysis.reporting import format_table
+from repro.bench import (
+    Metric,
+    bench_seed,
+    register,
+    shape_equal,
+    shape_max,
+    shape_min,
+)
 from repro.core.ha import CLIENT_TIMEOUT_SECONDS
 from repro.faults.chaos import ChaosHarness
 from repro.faults.plan import FaultPlan
 from repro.obs.export import load_jsonl
 from repro.obs.report import fault_correlation, per_stage_table
 
-SEEDS = (0, 3, 7, 9, 11)
+SEEDS = tuple(bench_seed("chaos.sweep"))
 TOTAL_OPS = 200
 
 
@@ -26,11 +34,55 @@ def run_chaos(seed, plan=None):
     return report, elapsed
 
 
-def test_chaos_schedule_survival(once):
-    def run():
-        return [(seed,) + run_chaos(seed) for seed in SEEDS]
+def _run_sweep():
+    return [(seed,) + run_chaos(seed) for seed in SEEDS]
 
-    results = once(run)
+
+def _run_traced():
+    harness = ChaosHarness(seed=bench_seed("chaos.traced"),
+                           total_ops=TOTAL_OPS, tracing=True)
+    harness.run()
+    return harness
+
+
+@register("chaos", group="chaos",
+          title="Chaos harness: availability under seeded fault schedules")
+def collect():
+    results = _run_sweep()
+    throughput_seed = bench_seed("chaos.throughput")
+    quiet_report, quiet_elapsed = run_chaos(throughput_seed,
+                                            plan=FaultPlan())
+    chaos_report, chaos_elapsed = run_chaos(throughput_seed)
+    quiet_rate = quiet_report.ops / quiet_elapsed
+    chaos_rate = chaos_report.ops / chaos_elapsed
+    traced = _run_traced()
+    trace_events = [r for r in traced.array.obs.records
+                    if r["type"] == "event" and r["name"] == "fault"]
+    metrics = [
+        Metric("sweep_max_downtime",
+               max(report.max_downtime for _s, report, _e in results), "s",
+               shape_max(CLIENT_TIMEOUT_SECONDS,
+                         paper="inside the 30 s client timeout")),
+        Metric("sweep_violations",
+               sum(len(report.violations) for _s, report, _e in results),
+               "violations", shape_equal(0, paper="no invariant broken")),
+        Metric("sweep_faults_fired",
+               sum(report.faults_fired for _s, report, _e in results),
+               "faults", shape_min(len(SEEDS),
+                                   paper="every schedule injects faults")),
+        Metric("chaos_ops_completed", chaos_report.ops, "ops",
+               shape_equal(TOTAL_OPS, paper="every op completes")),
+        Metric("fault_free_vs_chaos_rate", quiet_rate / chaos_rate, "x",
+               shape_min(1.0, paper="faults cost time, never service")),
+        Metric("trace_events_match_faults",
+               len(trace_events) == traced.report.faults_fired, "",
+               shape_equal(1, paper="every fault lands in the trace")),
+    ]
+    return metrics, traced.array.obs.records
+
+
+def test_chaos_schedule_survival(once):
+    results = once(_run_sweep)
     rows = []
     for seed, report, _elapsed in results:
         rows.append([
@@ -61,8 +113,9 @@ def test_chaos_throughput_cost(once):
     with the injector firing versus the identical fault-free workload."""
 
     def run():
-        quiet_report, quiet_elapsed = run_chaos(21, plan=FaultPlan())
-        chaos_report, chaos_elapsed = run_chaos(21)
+        seed = bench_seed("chaos.throughput")
+        quiet_report, quiet_elapsed = run_chaos(seed, plan=FaultPlan())
+        chaos_report, chaos_elapsed = run_chaos(seed)
         return quiet_report, quiet_elapsed, chaos_report, chaos_elapsed
 
     quiet_report, quiet_elapsed, chaos_report, chaos_elapsed = once(run)
@@ -92,12 +145,7 @@ def test_chaos_fault_correlation(once):
     and render the fault-correlation view joining injector events onto
     the surrounding client-I/O latencies."""
 
-    def run():
-        harness = ChaosHarness(seed=9, total_ops=TOTAL_OPS, tracing=True)
-        harness.run()
-        return harness
-
-    harness = once(run)
+    harness = once(_run_traced)
     assert harness.report.violations == []
     assert harness.report.faults_fired > 0
     trace_path, metrics_path = harness.export_obs(

@@ -11,6 +11,14 @@ slightly more duplicates at 8x the index footprint.
 
 from benchmarks.conftest import emit
 from repro.analysis.reporting import format_table
+from repro.bench import (
+    Metric,
+    bench_seed,
+    register,
+    shape_band,
+    shape_max,
+    shape_min,
+)
 from repro.core.array import PurityArray
 from repro.core.config import ArrayConfig
 from repro.sim.rand import RandomStream
@@ -40,14 +48,132 @@ def reduction_for_profile(profile, seed, blocks=192):
     return array.reduction_report()
 
 
+PROFILES = ["incompressible", "rdbms", "docstore", "virtualization", "vdi"]
+
+
+def _class_reports():
+    base = bench_seed("data_reduction.class_base")
+    return {
+        profile: reduction_for_profile(profile, seed=base + index)
+        for index, profile in enumerate(PROFILES)
+    }
+
+
+def _application_reports():
+    results = {}
+    # OLTP database instance.
+    oltp_seed = bench_seed("data_reduction.oltp")
+    array = fresh_array(oltp_seed)
+    oltp = OLTPWorkload(OLTPConfig(page_count=128), RandomStream(oltp_seed))
+    array.create_volume(oltp.volume, oltp.volume_size)
+    run_trace(array, oltp.load_trace())
+    run_trace(array, oltp.run_trace(200))
+    results["OLTP (Oracle-style)"] = array.reduction_report()
+    # Document store.
+    docs_seed = bench_seed("data_reduction.docstore")
+    array = fresh_array(docs_seed)
+    docs = DocStoreWorkload(DocStoreConfig(batch_count=24),
+                            RandomStream(docs_seed))
+    array.create_volume(docs.volume, docs.volume_size)
+    run_trace(array, docs.load_trace())
+    results["Document store (MongoDB-style)"] = array.reduction_report()
+    # VDI fleet.
+    vdi_seed = bench_seed("data_reduction.vdi")
+    array = fresh_array(vdi_seed)
+    vdi = VDIWorkload(VDIConfig(desktop_count=16), RandomStream(vdi_seed))
+    for volume in vdi.volume_names():
+        array.create_volume(volume, vdi.volume_size)
+    run_trace(array, vdi.provision_trace())
+    run_trace(array, vdi.update_trace())
+    results["VDI fleet (16 desktops)"] = array.reduction_report()
+    return results
+
+
+def _dedup_variant(inline, background, seed):
+    array = fresh_array(seed, inline_dedup=inline, dedup_recent_capacity=512)
+    stream = RandomStream(seed)
+    generator = DataGenerator("virtualization", stream, block_size=16 * KIB)
+    array.create_volume("v", 8 * MIB)
+    for index in range(160):
+        offset = (index * 16 * KIB) % (8 * MIB - 16 * KIB)
+        array.write("v", offset, generator.block())
+    if background:
+        array.gc.background_dedup()
+    return array.reduction_report().dedup_ratio
+
+
+def _inline_ablation():
+    seed = bench_seed("data_reduction.inline_ablation")
+    return {
+        "inline only (paper default)": _dedup_variant(True, False, seed),
+        "inline + background GC pass": _dedup_variant(True, True, seed),
+        "background pass only": _dedup_variant(False, True, seed),
+        "no dedup at all": _dedup_variant(False, False, seed),
+    }
+
+
+def _sampling_ablation():
+    seed = bench_seed("data_reduction.sampling_ablation")
+    results = {}
+    for label, sample_every in [("1/8 sampling (paper)", 8),
+                                ("full recording", 1)]:
+        array = fresh_array(seed, dedup_sample_every=sample_every)
+        stream = RandomStream(seed)
+        generator = DataGenerator("virtualization", stream,
+                                  block_size=16 * KIB)
+        array.create_volume("v", 8 * MIB)
+        for index in range(160):
+            offset = (index * 16 * KIB) % (8 * MIB - 16 * KIB)
+            array.write("v", offset, generator.block())
+        results[label] = (
+            array.reduction_report().dedup_ratio,
+            len(array.datapath.dedup_index),
+        )
+    return results
+
+
+@register("data_reduction", group="paper_shapes",
+          title="Data reduction per workload class (Sections 4.7, 5.2-5.3)")
+def collect():
+    classes = {profile: report.data_reduction
+               for profile, report in _class_reports().items()}
+    apps = {name: report.data_reduction
+            for name, report in _application_reports().items()}
+    ablation = _inline_ablation()
+    sampling = _sampling_ablation()
+    sampled_ratio, sampled_entries = sampling["1/8 sampling (paper)"]
+    full_ratio, full_entries = sampling["full recording"]
+    return [
+        Metric("incompressible_reduction", classes["incompressible"], "x",
+               shape_max(1.1, paper="no reduction on random data")),
+        Metric("rdbms_reduction", classes["rdbms"], "x",
+               shape_band(2.0, 9.0, paper="RDBMS 3-8x")),
+        Metric("docstore_reduction", classes["docstore"], "x",
+               shape_band(5.0, 25.0, paper="document stores ~10x")),
+        Metric("virtualization_reduction", classes["virtualization"], "x",
+               shape_band(4.0, 25.0, paper="virtualization 5-10x")),
+        Metric("vdi_reduction", classes["vdi"], "x",
+               shape_min(12.0, paper="VDI 20x+")),
+        Metric("oltp_app_reduction", apps["OLTP (Oracle-style)"], "x",
+               shape_min(2.0)),
+        Metric("docstore_app_reduction",
+               apps["Document store (MongoDB-style)"], "x", shape_min(5.0)),
+        Metric("vdi_app_reduction", apps["VDI fleet (16 desktops)"], "x",
+               shape_min(10.0)),
+        Metric("inline_only_dedup", ablation["inline only (paper default)"],
+               "x", shape_min(2.0, paper="inline heuristics find most")),
+        Metric("background_only_dedup", ablation["background pass only"], "x",
+               shape_min(1.5, paper="GC pass recovers most on its own")),
+        Metric("sampled_index_fraction", sampled_entries / full_entries, "",
+               shape_max(0.25, paper="1/8 sampling, ~8x smaller index")),
+        Metric("sampled_dedup_retention", sampled_ratio / full_ratio, "",
+               shape_min(0.7, paper="keeps most of the dedup")),
+    ]
+
+
 def test_reduction_by_workload_class(once):
-    profiles = ["incompressible", "rdbms", "docstore", "virtualization", "vdi"]
-    reports = once(
-        lambda: {
-            profile: reduction_for_profile(profile, seed=100 + index)
-            for index, profile in enumerate(profiles)
-        }
-    )
+    profiles = PROFILES
+    reports = once(_class_reports)
     rows = [
         [profile,
          "%.1fx" % reports[profile].data_reduction,
@@ -72,32 +198,7 @@ def test_reduction_by_workload_class(once):
 
 
 def test_reduction_on_real_workload_generators(once):
-    def run():
-        results = {}
-        # OLTP database instance.
-        array = fresh_array(7)
-        oltp = OLTPWorkload(OLTPConfig(page_count=128), RandomStream(7))
-        array.create_volume(oltp.volume, oltp.volume_size)
-        run_trace(array, oltp.load_trace())
-        run_trace(array, oltp.run_trace(200))
-        results["OLTP (Oracle-style)"] = array.reduction_report()
-        # Document store.
-        array = fresh_array(8)
-        docs = DocStoreWorkload(DocStoreConfig(batch_count=24), RandomStream(8))
-        array.create_volume(docs.volume, docs.volume_size)
-        run_trace(array, docs.load_trace())
-        results["Document store (MongoDB-style)"] = array.reduction_report()
-        # VDI fleet.
-        array = fresh_array(9)
-        vdi = VDIWorkload(VDIConfig(desktop_count=16), RandomStream(9))
-        for volume in vdi.volume_names():
-            array.create_volume(volume, vdi.volume_size)
-        run_trace(array, vdi.provision_trace())
-        run_trace(array, vdi.update_trace())
-        results["VDI fleet (16 desktops)"] = array.reduction_report()
-        return results
-
-    results = once(run)
+    results = once(_application_reports)
     rows = [
         [name, "%.1fx" % report.data_reduction, "%.1fx" % report.dedup_ratio,
          "%.1fx" % report.compression_ratio]
@@ -116,29 +217,7 @@ def test_inline_vs_background_dedup(once):
     most duplicates; the GC's exhaustive background pass catches the
     rest. Ablated by turning inline dedup off entirely."""
 
-    def run_variant(inline, background, seed):
-        array = fresh_array(seed, inline_dedup=inline,
-                            dedup_recent_capacity=512)
-        stream = RandomStream(seed)
-        generator = DataGenerator("virtualization", stream,
-                                  block_size=16 * KIB)
-        array.create_volume("v", 8 * MIB)
-        for index in range(160):
-            offset = (index * 16 * KIB) % (8 * MIB - 16 * KIB)
-            array.write("v", offset, generator.block())
-        if background:
-            array.gc.background_dedup()
-        return array.reduction_report().dedup_ratio
-
-    def run():
-        return {
-            "inline only (paper default)": run_variant(True, False, 71),
-            "inline + background GC pass": run_variant(True, True, 71),
-            "background pass only": run_variant(False, True, 71),
-            "no dedup at all": run_variant(False, False, 71),
-        }
-
-    results = once(run)
+    results = once(_inline_ablation)
     rows = [[label, "%.2fx" % ratio] for label, ratio in results.items()]
     emit("data_reduction_inline_vs_background", format_table(
         ["Dedup configuration", "Dedup ratio"], rows,
@@ -156,25 +235,7 @@ def test_inline_vs_background_dedup(once):
 def test_hash_sampling_ablation(once):
     """1/8 sampling vs recording every hash (Section 4.7's tradeoff)."""
 
-    def run():
-        results = {}
-        for label, sample_every in [("1/8 sampling (paper)", 8),
-                                    ("full recording", 1)]:
-            array = fresh_array(55, dedup_sample_every=sample_every)
-            stream = RandomStream(55)
-            generator = DataGenerator("virtualization", stream,
-                                      block_size=16 * KIB)
-            array.create_volume("v", 8 * MIB)
-            for index in range(160):
-                offset = (index * 16 * KIB) % (8 * MIB - 16 * KIB)
-                array.write("v", offset, generator.block())
-            results[label] = (
-                array.reduction_report().dedup_ratio,
-                len(array.datapath.dedup_index),
-            )
-        return results
-
-    results = once(run)
+    results = once(_sampling_ablation)
     rows = [
         [label, "%.2fx" % ratio, entries]
         for label, (ratio, entries) in results.items()

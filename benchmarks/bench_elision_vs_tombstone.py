@@ -14,12 +14,36 @@ lock-free, and merges drop matching tuples immediately. Measured:
 from benchmarks.conftest import emit
 from repro.analysis.reporting import format_table
 from repro.baselines.tombstone_lsm import TombstoneLSM
+from repro.bench import Metric, register, shape_equal, shape_min
 from repro.pyramid.relation import Relation
 from repro.pyramid.tuples import SequenceGenerator
 
 KEYS = 2000
 #: Drop the mediums in contiguous runs, as snapshot lifecycles do.
 DROPS = 8
+
+
+@register("elision_vs_tombstone", group="paper_shapes", quick=True,
+          title="Section 4.10: elision vs tombstone deletion")
+def collect():
+    _relation, _tombstone, elide_counts, tombstone_counts = _run_bulk_drops()
+    timeline = _run_reclamation_timeline()
+    stages = {stage: (elision, tombstones)
+              for stage, elision, tombstones in timeline}
+    return [
+        Metric("elide_records_after_drops", elide_counts[-1], "records",
+               shape_equal(1, paper="ranges coalesce to one record")),
+        Metric("tombstones_after_drops", tombstone_counts[-1], "records",
+               shape_equal(KEYS, paper="one tombstone per key, forever")),
+        Metric("elision_facts_after_one_merge", stages["after one merge"][0],
+               "facts", shape_equal(0, paper="reclaimed at the first merge")),
+        Metric("tombstone_facts_after_one_merge",
+               stages["after one merge"][1], "facts",
+               shape_min(KEYS * 0.5, paper="tombstones still hold >50%")),
+        Metric("tombstone_facts_after_full_compaction",
+               stages["after full compaction"][1], "facts",
+               shape_equal(0, paper="reclaims only at full compaction")),
+    ]
 
 
 def build_pair():
@@ -36,22 +60,23 @@ def build_pair():
     return relation, tombstone
 
 
-def test_deletion_cost_and_table_growth(once):
-    def run():
-        relation, tombstone = build_pair()
-        run_size = KEYS // DROPS
-        elide_counts = []
-        tombstone_counts = []
-        for drop in range(DROPS):
-            lo = drop * run_size
-            hi = lo + run_size - 1
-            relation.elide_key_range(lo, hi)
-            tombstone.delete_range([(key,) for key in range(lo, hi + 1)])
-            elide_counts.append(relation.elide_table.record_count)
-            tombstone_counts.append(tombstone.tombstones_written)
-        return relation, tombstone, elide_counts, tombstone_counts
+def _run_bulk_drops():
+    relation, tombstone = build_pair()
+    run_size = KEYS // DROPS
+    elide_counts = []
+    tombstone_counts = []
+    for drop in range(DROPS):
+        lo = drop * run_size
+        hi = lo + run_size - 1
+        relation.elide_key_range(lo, hi)
+        tombstone.delete_range([(key,) for key in range(lo, hi + 1)])
+        elide_counts.append(relation.elide_table.record_count)
+        tombstone_counts.append(tombstone.tombstones_written)
+    return relation, tombstone, elide_counts, tombstone_counts
 
-    relation, tombstone, elide_counts, tombstone_counts = once(run)
+
+def test_deletion_cost_and_table_growth(once):
+    relation, tombstone, elide_counts, tombstone_counts = once(_run_bulk_drops)
     rows = [
         [drop + 1, elide_counts[drop], tombstone_counts[drop]]
         for drop in range(DROPS)
@@ -65,33 +90,34 @@ def test_deletion_cost_and_table_growth(once):
     assert tombstone_counts[-1] == KEYS
 
 
-def test_space_reclamation_timing(once):
-    def run():
-        relation, tombstone = build_pair()
-        relation.elide_key_range(0, KEYS - 1)
-        tombstone.delete_range([(key,) for key in range(KEYS)])
-        timeline = []
-        timeline.append(
-            ("after delete", relation.stored_fact_count(),
-             tombstone.stored_fact_count())
-        )
-        # One merge step each.
-        relation.flatten()
-        tombstone.seal()
-        tombstone.compact_once()
-        timeline.append(
-            ("after one merge", relation.stored_fact_count(),
-             tombstone.stored_fact_count())
-        )
-        # Run the tombstone side to full compaction.
-        tombstone.compact_fully()
-        timeline.append(
-            ("after full compaction", relation.stored_fact_count(),
-             tombstone.stored_fact_count())
-        )
-        return timeline
+def _run_reclamation_timeline():
+    relation, tombstone = build_pair()
+    relation.elide_key_range(0, KEYS - 1)
+    tombstone.delete_range([(key,) for key in range(KEYS)])
+    timeline = []
+    timeline.append(
+        ("after delete", relation.stored_fact_count(),
+         tombstone.stored_fact_count())
+    )
+    # One merge step each.
+    relation.flatten()
+    tombstone.seal()
+    tombstone.compact_once()
+    timeline.append(
+        ("after one merge", relation.stored_fact_count(),
+         tombstone.stored_fact_count())
+    )
+    # Run the tombstone side to full compaction.
+    tombstone.compact_fully()
+    timeline.append(
+        ("after full compaction", relation.stored_fact_count(),
+         tombstone.stored_fact_count())
+    )
+    return timeline
 
-    timeline = once(run)
+
+def test_space_reclamation_timing(once):
+    timeline = once(_run_reclamation_timeline)
     rows = [[stage, elision, tombstones] for stage, elision, tombstones in timeline]
     emit("elision_reclamation_timing", format_table(
         ["Stage", "Elision facts stored", "Tombstone facts stored"],

@@ -9,6 +9,7 @@ a rebuild must restore headroom for further failures.
 
 from benchmarks.conftest import emit
 from repro.analysis.reporting import format_table
+from repro.bench import Metric, bench_seed, register, shape_equal, shape_min
 from repro.core.array import PurityArray
 from repro.core.config import ArrayConfig
 from repro.sim.distributions import percentile
@@ -18,7 +19,9 @@ from repro.units import KIB, MIB
 READS = 300
 
 
-def build_loaded_array(seed=41):
+def build_loaded_array(seed=None):
+    if seed is None:
+        seed = bench_seed("failure_throughput.array")
     config = ArrayConfig.small(num_drives=11, drive_capacity=64 * MIB,
                                cblock_cache_entries=4, seed=seed)
     array = PurityArray.create(config)
@@ -50,23 +53,71 @@ def measure_reads(array, slots, seed):
     return throughput, latencies
 
 
-def test_throughput_through_failures(once):
-    def run():
-        array, expected, slots = build_loaded_array()
-        results = {}
-        results["healthy"] = measure_reads(array, slots, seed=1)
-        array.fail_drive(list(array.drives)[0])
-        results["1 drive failed"] = measure_reads(array, slots, seed=2)
-        array.fail_drive(list(array.drives)[3])
-        results["2 drives failed"] = measure_reads(array, slots, seed=3)
-        # Verify correctness while doubly degraded.
-        intact = all(
-            array.read("v", offset, 16 * KIB)[0] == payload
-            for offset, payload in list(expected.items())[:40]
-        )
-        return results, intact, array
+def _run_degraded_service():
+    array, expected, slots = build_loaded_array()
+    results = {}
+    results["healthy"] = measure_reads(
+        array, slots, seed=bench_seed("failure_throughput.reads_healthy")
+    )
+    array.fail_drive(list(array.drives)[0])
+    results["1 drive failed"] = measure_reads(
+        array, slots, seed=bench_seed("failure_throughput.reads_one_failed")
+    )
+    array.fail_drive(list(array.drives)[3])
+    results["2 drives failed"] = measure_reads(
+        array, slots, seed=bench_seed("failure_throughput.reads_two_failed")
+    )
+    # Verify correctness while doubly degraded.
+    intact = all(
+        array.read("v", offset, 16 * KIB)[0] == payload
+        for offset, payload in list(expected.items())[:40]
+    )
+    return results, intact, array
 
-    results, intact, array = once(run)
+
+def _run_rebuild():
+    array, expected, slots = build_loaded_array(
+        seed=bench_seed("failure_throughput.rebuild_array")
+    )
+    names = list(array.drives)
+    array.fail_drive(names[0])
+    rebuilt = array.rebuild()
+    array.clock.advance(2.0)
+    # With protection restored, two more losses are survivable.
+    array.fail_drive(names[2])
+    array.fail_drive(names[6])
+    array.datapath.drop_caches()
+    intact = all(
+        array.read("v", offset, 16 * KIB)[0] == payload
+        for offset, payload in list(expected.items())[:30]
+    )
+    return rebuilt, intact
+
+
+@register("failure_throughput", group="paper_shapes",
+          title="Sections 1/4.2: read service through device failures")
+def collect():
+    results, intact, _array = _run_degraded_service()
+    rebuilt, rebuild_intact = _run_rebuild()
+    healthy_tp = results["healthy"][0]
+    return [
+        Metric("one_failed_vs_healthy_throughput",
+               results["1 drive failed"][0] / healthy_tp, "",
+               shape_min(0.2, paper="bounded degradation, no collapse")),
+        Metric("two_failed_vs_healthy_throughput",
+               results["2 drives failed"][0] / healthy_tp, "",
+               shape_min(0.1, paper="service through two failures")),
+        Metric("data_intact_doubly_degraded", intact, "",
+               shape_equal(1, paper="correct reads while degraded")),
+        Metric("segments_rebuilt", rebuilt, "segments",
+               shape_min(1, paper="rebuild restores failure headroom")),
+        Metric("data_intact_after_rebuild_plus_two_losses", rebuild_intact,
+               "", shape_equal(1, paper="two more losses survivable")),
+    ]
+
+
+def test_throughput_through_failures(once):
+    results, intact, array = once(_run_degraded_service)
     rows = [
         [state,
          round(throughput / MIB, 1),
@@ -89,23 +140,7 @@ def test_throughput_through_failures(once):
 
 
 def test_rebuild_restores_failure_headroom(once):
-    def run():
-        array, expected, slots = build_loaded_array(seed=42)
-        names = list(array.drives)
-        array.fail_drive(names[0])
-        rebuilt = array.rebuild()
-        array.clock.advance(2.0)
-        # With protection restored, two more losses are survivable.
-        array.fail_drive(names[2])
-        array.fail_drive(names[6])
-        array.datapath.drop_caches()
-        intact = all(
-            array.read("v", offset, 16 * KIB)[0] == payload
-            for offset, payload in list(expected.items())[:30]
-        )
-        return rebuilt, intact
-
-    rebuilt, intact = once(run)
+    rebuilt, intact = once(_run_rebuild)
     emit("failure_rebuild",
          "rebuild re-protected %d segments; data intact after two further "
          "drive losses: %s" % (rebuilt, intact))

@@ -11,6 +11,7 @@ Three behavioural claims about the device substrate:
 
 from benchmarks.conftest import emit
 from repro.analysis.reporting import format_table
+from repro.bench import Metric, bench_seed, register, shape_max, shape_min
 from repro.sim.clock import SimClock
 from repro.sim.distributions import percentile
 from repro.sim.rand import RandomStream
@@ -31,7 +32,7 @@ def make_ssd(seed=0):
 def throughput_at_queue_depth(queue_depth, operations=512):
     """4 KiB random-read IOPS at a fixed queue depth."""
     ssd = make_ssd(seed=queue_depth)
-    stream = RandomStream(1000 + queue_depth)
+    stream = RandomStream(bench_seed("fig1.qd_arrival_base") + queue_depth)
     erase_blocks = ssd.geometry.num_erase_blocks
     start = ssd.clock.now
     issued = 0
@@ -43,6 +44,68 @@ def throughput_at_queue_depth(queue_depth, operations=512):
             issued += 1
         ssd.clock.advance(max(batch))
     return operations / (ssd.clock.now - start)
+
+
+def _measure_read_stalls():
+    calm = make_ssd(seed=bench_seed("fig1.calm_device"))
+    stream = RandomStream(bench_seed("fig1.stall_arrivals"))
+    calm_latencies = []
+    for _ in range(300):
+        offset = stream.randint(0, calm.geometry.num_erase_blocks - 1)
+        calm_latencies.append(
+            calm.read(offset * calm.geometry.erase_block_size, 4 * KIB).latency
+        )
+        calm.clock.advance(calm_latencies[-1])
+    busy = make_ssd(seed=bench_seed("fig1.busy_device"))
+    busy_latencies = []
+    for index in range(300):
+        if index % 10 == 0:
+            busy.write((index % 64) * MIB, b"\xaa" * MIB)
+        offset = stream.randint(0, busy.geometry.num_erase_blocks - 1)
+        result = busy.read(offset * busy.geometry.erase_block_size, 4 * KIB)
+        busy_latencies.append(result.latency)
+        busy.clock.advance(result.latency)
+    return calm_latencies, busy_latencies
+
+
+def _measure_ftl_patterns():
+    sequential = make_ssd(seed=bench_seed("fig1.sequential_device"))
+    cursor = 0
+    for _ in range(400):
+        sequential.write(cursor, b"s" * (64 * KIB))
+        cursor = (cursor + 64 * KIB) % (256 * MIB)
+        sequential.clock.advance(0.01)
+    random_ssd = make_ssd(seed=bench_seed("fig1.random_device"))
+    stream = RandomStream(bench_seed("fig1.random_offsets"))
+    for _ in range(400):
+        offset = stream.randint(0, 60000) * 4 * KIB
+        random_ssd.write(offset, b"r" * (4 * KIB))
+        random_ssd.clock.advance(0.01)
+    return sequential.ftl, random_ssd.ftl
+
+
+@register("fig1_ssd_characteristics", group="paper_shapes",
+          title="Figure 1: SSD queue depth, read stalls, and FTL behaviour")
+def collect():
+    iops = {depth: throughput_at_queue_depth(depth)
+            for depth in (1, 8, 32, 64)}
+    calm, busy = _measure_read_stalls()
+    sequential_ftl, random_ftl = _measure_ftl_patterns()
+    return [
+        Metric("qd8_vs_qd1_iops", iops[8] / iops[1], "x",
+               shape_min(4.0, paper="deep queues needed for peak")),
+        Metric("qd32_vs_qd8_iops", iops[32] / iops[8], "x",
+               shape_min(1.5, paper="still climbing past QD8")),
+        Metric("qd64_vs_qd32_iops", iops[64] / iops[32], "x",
+               shape_max(1.5, paper="saturating near QD32")),
+        Metric("busy_vs_calm_read_p99", percentile(busy, 0.99)
+               / percentile(calm, 0.99), "x",
+               shape_min(5.0, paper="millisecond stalls behind programs")),
+        Metric("random_vs_sequential_write_amp",
+               random_ftl.write_amplification()
+               / sequential_ftl.write_amplification(), "x",
+               shape_min(1.5, paper="random writes churn the FTL")),
+    ]
 
 
 def test_queue_depth_curve(once):
@@ -60,28 +123,7 @@ def test_queue_depth_curve(once):
 
 
 def test_read_stalls_during_programs(once):
-    def measure():
-        calm = make_ssd(seed=1)
-        stream = RandomStream(5)
-        calm_latencies = []
-        for _ in range(300):
-            offset = stream.randint(0, calm.geometry.num_erase_blocks - 1)
-            calm_latencies.append(
-                calm.read(offset * calm.geometry.erase_block_size, 4 * KIB).latency
-            )
-            calm.clock.advance(calm_latencies[-1])
-        busy = make_ssd(seed=2)
-        busy_latencies = []
-        for index in range(300):
-            if index % 10 == 0:
-                busy.write((index % 64) * MIB, b"\xaa" * MIB)
-            offset = stream.randint(0, busy.geometry.num_erase_blocks - 1)
-            result = busy.read(offset * busy.geometry.erase_block_size, 4 * KIB)
-            busy_latencies.append(result.latency)
-            busy.clock.advance(result.latency)
-        return calm_latencies, busy_latencies
-
-    calm, busy = once(measure)
+    calm, busy = once(_measure_read_stalls)
     rows = [
         ["idle device", percentile(calm, 0.5) * 1e6, percentile(calm, 0.99) * 1e6],
         ["device absorbing writes", percentile(busy, 0.5) * 1e6,
@@ -94,22 +136,7 @@ def test_read_stalls_during_programs(once):
 
 
 def test_random_writes_harm_ftl(once):
-    def measure():
-        sequential = make_ssd(seed=3)
-        cursor = 0
-        for _ in range(400):
-            sequential.write(cursor, b"s" * (64 * KIB))
-            cursor = (cursor + 64 * KIB) % (256 * MIB)
-            sequential.clock.advance(0.01)
-        random_ssd = make_ssd(seed=4)
-        stream = RandomStream(9)
-        for _ in range(400):
-            offset = stream.randint(0, 60000) * 4 * KIB
-            random_ssd.write(offset, b"r" * (4 * KIB))
-            random_ssd.clock.advance(0.01)
-        return sequential.ftl, random_ssd.ftl
-
-    sequential_ftl, random_ftl = once(measure)
+    sequential_ftl, random_ftl = once(_measure_ftl_patterns)
     rows = [
         ["sequential 64 KiB", round(sequential_ftl.write_amplification(), 2),
          "%.2f%%" % (sequential_ftl.stall_probability() * 100)],

@@ -11,6 +11,14 @@ Three behaviours of the dual-controller, dual-ported design:
 
 from benchmarks.conftest import emit
 from repro.analysis.reporting import format_table
+from repro.bench import (
+    Metric,
+    bench_seed,
+    register,
+    shape_equal,
+    shape_max,
+    shape_min,
+)
 from repro.core.config import ArrayConfig
 from repro.core.ha import CLIENT_TIMEOUT_SECONDS, DualControllerArray
 from repro.sim.distributions import percentile
@@ -25,24 +33,87 @@ def build_appliance(seed=0, **kwargs):
     return appliance
 
 
-def test_failover_budget(once):
-    def run():
-        appliance = build_appliance()
-        stream = RandomStream(1)
-        written = {}
-        for index in range(40):
-            offset = (index * 32 * KIB) % (4 * MIB - 16 * KIB)
-            payload = stream.randbytes(16 * KIB)
-            appliance.write("prod", offset, payload)
-            written[offset] = payload
-        result = appliance.fail_primary()
-        intact = all(
-            appliance.read("prod", offset, 16 * KIB)[0] == payload
-            for offset, payload in written.items()
-        )
-        return result, intact
+def _run_failover():
+    appliance = build_appliance(seed=bench_seed("fig2.failover_array"))
+    stream = RandomStream(bench_seed("fig2.failover_data"))
+    written = {}
+    for index in range(40):
+        offset = (index * 32 * KIB) % (4 * MIB - 16 * KIB)
+        payload = stream.randbytes(16 * KIB)
+        appliance.write("prod", offset, payload)
+        written[offset] = payload
+    result = appliance.fail_primary()
+    intact = all(
+        appliance.read("prod", offset, 16 * KIB)[0] == payload
+        for offset, payload in written.items()
+    )
+    return result, intact
 
-    result, intact = once(run)
+
+def _run_forwarding():
+    appliance = build_appliance(seed=bench_seed("fig2.forwarding_array"),
+                                secondary_port_fraction=1.0)
+    stream = RandomStream(bench_seed("fig2.forwarding_data"))
+    appliance.write("prod", 0, stream.randbytes(16 * KIB))
+    forwarded = []
+    for _ in range(200):
+        _data, latency = appliance.read("prod", 0, 16 * KIB)
+        forwarded.append(latency)
+    appliance.fail_secondary()
+    direct = []
+    for _ in range(200):
+        _data, latency = appliance.read("prod", 0, 16 * KIB)
+        direct.append(latency)
+    return forwarded, direct
+
+
+def _run_pulled_drives():
+    appliance = build_appliance(seed=bench_seed("fig2.pulled_array"))
+    stream = RandomStream(bench_seed("fig2.pulled_data"))
+    written = {}
+    for index in range(24):
+        offset = index * 32 * KIB
+        payload = stream.randbytes(16 * KIB)
+        appliance.write("prod", offset, payload)
+        written[offset] = payload
+    appliance.active.drain()
+    for name in list(appliance.active.drives)[:2]:
+        appliance.active.fail_drive(name)
+    appliance.active.datapath.drop_caches()
+    read_latencies = []
+    intact = True
+    for offset, payload in written.items():
+        data, latency = appliance.read("prod", offset, 16 * KIB)
+        intact = intact and data == payload
+        read_latencies.append(latency)
+    return intact, read_latencies
+
+
+@register("fig2_failover", group="paper_shapes",
+          title="Figure 2: failover, forwarding, and pulled drives")
+def collect():
+    result, intact = _run_failover()
+    forwarded, direct = _run_forwarding()
+    pulled_intact, _latencies = _run_pulled_drives()
+    return [
+        Metric("failover_downtime", result.downtime, "s",
+               shape_max(CLIENT_TIMEOUT_SECONDS / 10,
+                         paper="far inside the 30 s client timeout")),
+        Metric("acked_writes_intact_after_failover", intact, "",
+               shape_equal(1, paper="no acknowledged write lost")),
+        Metric("direct_p50_below_forwarded",
+               percentile(direct, 0.5) < percentile(forwarded, 0.5), "",
+               shape_equal(1, paper="latency improves without forwarding")),
+        Metric("forwarding_overhead_p50",
+               (percentile(forwarded, 0.5) - percentile(direct, 0.5)) * 1e6,
+               "us", shape_min(0.0)),
+        Metric("data_intact_after_two_pulled_drives", pulled_intact, "",
+               shape_equal(1, paper="the sales demo: pull two SSDs")),
+    ]
+
+
+def test_failover_budget(once):
+    result, intact = once(_run_failover)
     rows = [
         ["failover downtime (s)", round(result.downtime, 4)],
         ["client timeout (s)", CLIENT_TIMEOUT_SECONDS],
@@ -59,22 +130,7 @@ def test_failover_budget(once):
 
 
 def test_secondary_failure_improves_latency(once):
-    def run():
-        appliance = build_appliance(seed=3, secondary_port_fraction=1.0)
-        stream = RandomStream(4)
-        appliance.write("prod", 0, stream.randbytes(16 * KIB))
-        forwarded = []
-        for _ in range(200):
-            _data, latency = appliance.read("prod", 0, 16 * KIB)
-            forwarded.append(latency)
-        appliance.fail_secondary()
-        direct = []
-        for _ in range(200):
-            _data, latency = appliance.read("prod", 0, 16 * KIB)
-            direct.append(latency)
-        return forwarded, direct
-
-    forwarded, direct = once(run)
+    forwarded, direct = once(_run_forwarding)
     rows = [
         ["both controllers (forwarding)", percentile(forwarded, 0.5) * 1e6],
         ["secondary failed (direct)", percentile(direct, 0.5) * 1e6],
@@ -86,28 +142,7 @@ def test_secondary_failure_improves_latency(once):
 
 
 def test_service_through_pulled_drives(once):
-    def run():
-        appliance = build_appliance(seed=5)
-        stream = RandomStream(6)
-        written = {}
-        for index in range(24):
-            offset = index * 32 * KIB
-            payload = stream.randbytes(16 * KIB)
-            appliance.write("prod", offset, payload)
-            written[offset] = payload
-        appliance.active.drain()
-        for name in list(appliance.active.drives)[:2]:
-            appliance.active.fail_drive(name)
-        appliance.active.datapath.drop_caches()
-        read_latencies = []
-        intact = True
-        for offset, payload in written.items():
-            data, latency = appliance.read("prod", offset, 16 * KIB)
-            intact = intact and data == payload
-            read_latencies.append(latency)
-        return intact, read_latencies
-
-    intact, latencies = once(run)
+    intact, latencies = once(_run_pulled_drives)
     rows = [
         ["data intact after 2 pulled drives", intact],
         ["degraded read p50 (us)", percentile(latencies, 0.5) * 1e6],

@@ -12,25 +12,59 @@ back, both flushed together as large sequential writes. Measured here:
 
 from benchmarks.conftest import emit
 from repro.analysis.reporting import format_table
+from repro.bench import (
+    Metric,
+    bench_seed,
+    register,
+    shape_band,
+    shape_equal,
+    shape_max,
+)
 from repro.core.array import PurityArray
 from repro.core.config import ArrayConfig
 from repro.sim.rand import RandomStream
 from repro.units import KIB, MIB
 
 
-def test_segment_layout(once):
-    def run():
-        config = ArrayConfig.small(num_drives=11, drive_capacity=32 * MIB)
-        array = PurityArray.create(config)
-        stream = RandomStream(12)
-        array.create_volume("v", 8 * MIB)
-        for index in range(120):
-            offset = (index * 16 * KIB) % (8 * MIB - 16 * KIB)
-            array.write("v", offset, stream.randbytes(16 * KIB))
-        array.drain()
-        return array
+def _run_fill():
+    config = ArrayConfig.small(num_drives=11, drive_capacity=32 * MIB)
+    array = PurityArray.create(config)
+    stream = RandomStream(bench_seed("fig3.data"))
+    array.create_volume("v", 8 * MIB)
+    for index in range(120):
+        offset = (index * 16 * KIB) % (8 * MIB - 16 * KIB)
+        array.write("v", offset, stream.randbytes(16 * KIB))
+    array.drain()
+    return array
 
-    array = once(run)
+
+@register("fig3_segment_layout", group="paper_shapes",
+          title="Figure 3: segio fill discipline and write amplification")
+def collect():
+    array = _run_fill()
+    writer = array.segwriter
+    geometry = array.config.segment_geometry
+    payload = writer.data_bytes_written + writer.log_bytes_written
+    amplification = writer.flush_bytes_written / payload
+    parity_floor = geometry.total_shards / geometry.data_shards
+    ftl_amplifications = [
+        drive.ftl.write_amplification() for drive in array.drives.values()
+    ]
+    return [
+        Metric("physical_write_amplification", amplification, "x",
+               shape_band(parity_floor, parity_floor * 2.5,
+                          paper="parity floor plus headers/padding")),
+        Metric("max_drive_ftl_write_amplification",
+               max(ftl_amplifications), "x",
+               shape_max(1.2, paper="sequential writes keep FTLs at floor")),
+        Metric("log_bytes_below_data_bytes",
+               writer.log_bytes_written < writer.data_bytes_written, "",
+               shape_equal(1, paper="log records are a minority of bytes")),
+    ]
+
+
+def test_segment_layout(once):
+    array = once(_run_fill)
     writer = array.segwriter
     geometry = array.config.segment_geometry
     payload = writer.data_bytes_written + writer.log_bytes_written

@@ -12,6 +12,14 @@ NVRAM instead and moves facts to segios in the background. Measured:
 
 from benchmarks.conftest import emit
 from repro.analysis.reporting import format_table
+from repro.bench import (
+    Metric,
+    bench_seed,
+    register,
+    shape_equal,
+    shape_max,
+    shape_min,
+)
 from repro.core.array import PurityArray
 from repro.core.config import ArrayConfig
 from repro.sim.distributions import percentile
@@ -19,26 +27,80 @@ from repro.sim.rand import RandomStream
 from repro.units import KIB, MIB
 
 
-def test_commit_latency_vs_flush(once):
-    def run():
-        config = ArrayConfig.small(num_drives=11, drive_capacity=32 * MIB)
-        array = PurityArray.create(config)
-        stream = RandomStream(21)
-        array.create_volume("v", 4 * MIB)
-        commit_latencies = []
-        flush_latencies = []
-        for index in range(100):
-            offset = (index * 16 * KIB) % (4 * MIB - 16 * KIB)
-            commit_latencies.append(
-                array.write("v", offset, stream.randbytes(16 * KIB))
-            )
-            if index % 10 == 9:
-                latency = array.segwriter.flush()
-                if latency > 0:
-                    flush_latencies.append(latency)
-        return commit_latencies, flush_latencies
+def _run_commit_vs_flush():
+    config = ArrayConfig.small(num_drives=11, drive_capacity=32 * MIB)
+    array = PurityArray.create(config)
+    stream = RandomStream(bench_seed("fig4.commit_data"))
+    array.create_volume("v", 4 * MIB)
+    commit_latencies = []
+    flush_latencies = []
+    for index in range(100):
+        offset = (index * 16 * KIB) % (4 * MIB - 16 * KIB)
+        commit_latencies.append(
+            array.write("v", offset, stream.randbytes(16 * KIB))
+        )
+        if index % 10 == 9:
+            latency = array.segwriter.flush()
+            if latency > 0:
+                flush_latencies.append(latency)
+    return commit_latencies, flush_latencies
 
-    commits, flushes = once(run)
+
+def _run_wal_trim():
+    config = ArrayConfig.small(num_drives=11, drive_capacity=32 * MIB)
+    array = PurityArray.create(config)
+    stream = RandomStream(bench_seed("fig4.wal_data"))
+    array.create_volume("v", 4 * MIB)
+    samples = []
+    for index in range(60):
+        array.write("v", (index * 16 * KIB) % (4 * MIB - 16 * KIB),
+                    stream.randbytes(16 * KIB))
+        samples.append(
+            (index, array.pipeline.wal.nvram.bytes_used,
+             array.pipeline.drains)
+        )
+    before_drain = array.pipeline.wal.nvram.bytes_used
+    array.drain()
+    after_drain = array.pipeline.wal.nvram.bytes_used
+    return samples, before_drain, after_drain, array
+
+
+def _run_frontier_fraction():
+    config = ArrayConfig.small(num_drives=11, drive_capacity=64 * MIB)
+    array = PurityArray.create(config)
+    stream = RandomStream(bench_seed("fig4.frontier_data"))
+    array.create_volume("v", 16 * MIB)
+    for index in range(400):
+        offset = (index * 16 * KIB) % (16 * MIB - 16 * KIB)
+        array.write("v", offset, stream.randbytes(16 * KIB))
+    array.drain()
+    return array
+
+
+@register("fig4_commit_path", group="paper_shapes",
+          title="Figure 4: the monotonic write-ahead commit path")
+def collect():
+    commits, flushes = _run_commit_vs_flush()
+    _samples, _before, after, array = _run_wal_trim()
+    frontier_array = _run_frontier_fraction()
+    boot_bytes = frontier_array.boot_region.bytes_written
+    flushed = frontier_array.segwriter.flush_bytes_written
+    return [
+        Metric("flush_p50_vs_commit_p99",
+               percentile(flushes, 0.5) / percentile(commits, 0.99), "x",
+               shape_min(5.0, paper="NVRAM commit orders cheaper")),
+        Metric("nvram_bytes_after_drain", after, "B",
+               shape_equal(0, paper="drains trim NVRAM to zero")),
+        Metric("automatic_drains", array.pipeline.drains, "drains",
+               shape_min(1, paper="watermark keeps NVRAM bounded")),
+        Metric("frontier_write_fraction",
+               boot_bytes / (boot_bytes + flushed), "",
+               shape_max(0.01, paper="boot writes well under 1%")),
+    ]
+
+
+def test_commit_latency_vs_flush(once):
+    commits, flushes = once(_run_commit_vs_flush)
     rows = [
         ["NVRAM commit p50 (us)", percentile(commits, 0.5) * 1e6],
         ["NVRAM commit p99 (us)", percentile(commits, 0.99) * 1e6],
@@ -52,25 +114,7 @@ def test_commit_latency_vs_flush(once):
 
 
 def test_wal_ordering_and_trim(once):
-    def run():
-        config = ArrayConfig.small(num_drives=11, drive_capacity=32 * MIB)
-        array = PurityArray.create(config)
-        stream = RandomStream(22)
-        array.create_volume("v", 4 * MIB)
-        samples = []
-        for index in range(60):
-            array.write("v", (index * 16 * KIB) % (4 * MIB - 16 * KIB),
-                        stream.randbytes(16 * KIB))
-            samples.append(
-                (index, array.pipeline.wal.nvram.bytes_used,
-                 array.pipeline.drains)
-            )
-        before_drain = array.pipeline.wal.nvram.bytes_used
-        array.drain()
-        after_drain = array.pipeline.wal.nvram.bytes_used
-        return samples, before_drain, after_drain, array
-
-    samples, before, after, array = once(run)
+    samples, before, after, array = once(_run_wal_trim)
     peak = max(used for _i, used, _d in samples)
     rows = [
         ["peak NVRAM bytes during run", peak],
@@ -90,18 +134,7 @@ def test_wal_ordering_and_trim(once):
 def test_frontier_writes_are_rare(once):
     """Figure 5's companion claim: frontier (boot) writes << 1% of writes."""
 
-    def run():
-        config = ArrayConfig.small(num_drives=11, drive_capacity=64 * MIB)
-        array = PurityArray.create(config)
-        stream = RandomStream(23)
-        array.create_volume("v", 16 * MIB)
-        for index in range(400):
-            offset = (index * 16 * KIB) % (16 * MIB - 16 * KIB)
-            array.write("v", offset, stream.randbytes(16 * KIB))
-        array.drain()
-        return array
-
-    array = once(run)
+    array = once(_run_frontier_fraction)
     boot_bytes = array.boot_region.bytes_written
     flushed = array.segwriter.flush_bytes_written
     fraction = boot_bytes / (boot_bytes + flushed)

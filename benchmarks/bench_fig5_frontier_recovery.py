@@ -13,6 +13,14 @@ order 10-100x on a reasonably full array.
 
 from benchmarks.conftest import emit
 from repro.analysis.reporting import format_table
+from repro.bench import (
+    Metric,
+    bench_seed,
+    register,
+    shape_equal,
+    shape_max,
+    shape_min,
+)
 from repro.core.array import PurityArray
 from repro.core.config import ArrayConfig
 from repro.core.recovery import recover_array
@@ -57,11 +65,68 @@ def recover_both_ways(fill_writes, seed):
     return frontier_report, full_report
 
 
-def test_frontier_vs_full_scan(once):
-    fills = [100, 300, 600]
-    results = once(
-        lambda: [(fill,) + recover_both_ways(fill, seed=fill) for fill in fills]
+FILLS = [100, 300, 600]
+
+
+def _scan_results():
+    base = bench_seed("fig5.fill_base")
+    return [(fill,) + recover_both_ways(fill, seed=base + fill)
+            for fill in FILLS]
+
+
+def _run_correctness_probes():
+    array, config = fill_array(150, seed=bench_seed("fig5.correctness_fill"))
+    stream = RandomStream(bench_seed("fig5.probes"))
+    probe_offsets = [0, 1 * MIB, 2 * MIB]
+    probes = {}
+    for offset in probe_offsets:
+        payload = stream.randbytes(16 * KIB)
+        array.write("v", offset, payload)
+        probes[offset] = payload
+    shelf, boot_region, clock = array.crash()
+    frontier_array, _ = recover_array(
+        PurityArray, config, shelf, boot_region, clock
     )
+    frontier_view = {
+        offset: frontier_array.read("v", offset, 16 * KIB)[0]
+        for offset in probe_offsets
+    }
+    shelf, boot_region, clock = frontier_array.crash()
+    full_array, _ = recover_array(
+        PurityArray, config, shelf, boot_region, clock, full_scan=True
+    )
+    full_view = {
+        offset: full_array.read("v", offset, 16 * KIB)[0]
+        for offset in probe_offsets
+    }
+    return probes, frontier_view, full_view
+
+
+@register("fig5_frontier_recovery", group="paper_shapes",
+          title="Figure 5: frontier sets bound the recovery scan")
+def collect():
+    results = _scan_results()
+    full_aus = [full.aus_scanned for _f, _fr, full in results]
+    frontier_aus = [fr.aus_scanned for _f, fr, _full in results]
+    _fill, frontier, full = results[-1]
+    probes, frontier_view, full_view = _run_correctness_probes()
+    return [
+        Metric("full_scan_growth", full_aus[-1] / full_aus[0], "x",
+               shape_min(2.0, paper="full scan grows with array fill")),
+        Metric("frontier_scan_flatness",
+               max(frontier_aus) / min(frontier_aus), "x",
+               shape_max(2.5, paper="frontier scan stays flat")),
+        Metric("recovery_speedup_at_full",
+               full.scan_latency / max(frontier.scan_latency, 1e-9), "x",
+               shape_min(5.0, paper="order 10-100x (12 s vs 0.1 s)")),
+        Metric("both_paths_recover_identical_state",
+               frontier_view == probes and full_view == probes, "",
+               shape_equal(1, paper="identical application state")),
+    ]
+
+
+def test_frontier_vs_full_scan(once):
+    results = once(_scan_results)
     rows = []
     for fill, frontier, full in results:
         speedup = full.scan_latency / max(frontier.scan_latency, 1e-9)
@@ -93,34 +158,7 @@ def test_frontier_vs_full_scan(once):
 def test_recovery_correctness_both_paths(once):
     """Both scan strategies recover identical application state."""
 
-    def run():
-        array, config = fill_array(150, seed=77)
-        stream = RandomStream(1234)
-        probe_offsets = [0, 1 * MIB, 2 * MIB]
-        probes = {}
-        for offset in probe_offsets:
-            payload = stream.randbytes(16 * KIB)
-            array.write("v", offset, payload)
-            probes[offset] = payload
-        shelf, boot_region, clock = array.crash()
-        frontier_array, _ = recover_array(
-            PurityArray, config, shelf, boot_region, clock
-        )
-        frontier_view = {
-            offset: frontier_array.read("v", offset, 16 * KIB)[0]
-            for offset in probe_offsets
-        }
-        shelf, boot_region, clock = frontier_array.crash()
-        full_array, _ = recover_array(
-            PurityArray, config, shelf, boot_region, clock, full_scan=True
-        )
-        full_view = {
-            offset: full_array.read("v", offset, 16 * KIB)[0]
-            for offset in probe_offsets
-        }
-        return probes, frontier_view, full_view
-
-    probes, frontier_view, full_view = once(run)
+    probes, frontier_view, full_view = once(_run_correctness_probes)
     assert frontier_view == probes
     assert full_view == probes
     emit("fig5_recovery_correctness",

@@ -9,6 +9,7 @@ Figure 6 composite-medium example resolving correctly.
 
 from benchmarks.conftest import emit
 from repro.analysis.reporting import format_table
+from repro.bench import Metric, bench_seed, register, shape_equal, shape_max, shape_min
 from repro.core.array import PurityArray
 from repro.core.config import ArrayConfig
 from repro.mediums.resolver import chain_depth, resolve_chain
@@ -16,48 +17,71 @@ from repro.sim.rand import RandomStream
 from repro.units import KIB, MIB
 
 
+GENERATIONS = 8
+
+
+def _run_lineage():
+    config = ArrayConfig.small(num_drives=11, drive_capacity=32 * MIB,
+                               cblock_cache_entries=4)
+    array = PurityArray.create(config)
+    stream = RandomStream(bench_seed("fig6.lineage_data"))
+    array.create_volume("base", 2 * MIB)
+    payload = stream.randbytes(16 * KIB)
+    array.write("base", 0, payload)
+    name = "base"
+    for generation in range(GENERATIONS):
+        array.snapshot(name, "s")
+        child = "gen%d" % generation
+        array.clone(name, "s", child)
+        name = child
+    anchor = array.volumes.anchor_medium(name)
+    depth_before = chain_depth(array.medium_table, anchor, 0)
+    array.datapath.drop_caches()
+    _data, latency_before = array.read(name, 0, 16 * KIB)
+    array.run_gc()
+    depth_after = chain_depth(array.medium_table, anchor, 0)
+    array.datapath.drop_caches()
+    data, latency_after = array.read(name, 0, 16 * KIB)
+    assert data == payload
+    return depth_before, latency_before, depth_after, latency_after
+
+
+@register("fig6_medium_resolution", group="paper_shapes",
+          title="Figure 6: medium-table resolution and chain shortening")
+def collect():
+    depth_before, _lat_before, depth_after, _lat_after = _run_lineage()
+    probes = _resolve_paper_example()
+    example_ok = (
+        probes[(14, 100)] == [(14, 100), (12, 100)]
+        and probes[(15, 100)] == [(15, 100), (12, 2100)]
+        and probes[(22, 700)] == [(22, 700), (12, 2700)]
+        and probes[(22, 1500)] == [(22, 1500)]
+        and probes[(22, 100)][-1] == (12, 2100)
+    )
+    return [
+        Metric("chain_depth_before_gc", depth_before, "levels",
+               shape_min(4, paper="deep lineage before flattening")),
+        Metric("chain_depth_after_gc", depth_after, "levels",
+               shape_max(3, paper="GC keeps chains at three levels")),
+        Metric("paper_example_resolves", example_ok, "",
+               shape_equal(1, paper="Figure 6 rows resolve exactly")),
+    ]
+
+
 def test_chain_depth_before_and_after_gc(once):
-    generations = 8
-
-    def run():
-        config = ArrayConfig.small(num_drives=11, drive_capacity=32 * MIB,
-                                   cblock_cache_entries=4)
-        array = PurityArray.create(config)
-        stream = RandomStream(61)
-        array.create_volume("base", 2 * MIB)
-        payload = stream.randbytes(16 * KIB)
-        array.write("base", 0, payload)
-        name = "base"
-        for generation in range(generations):
-            array.snapshot(name, "s")
-            child = "gen%d" % generation
-            array.clone(name, "s", child)
-            name = child
-        anchor = array.volumes.anchor_medium(name)
-        depth_before = chain_depth(array.medium_table, anchor, 0)
-        array.datapath.drop_caches()
-        _data, latency_before = array.read(name, 0, 16 * KIB)
-        array.run_gc()
-        depth_after = chain_depth(array.medium_table, anchor, 0)
-        array.datapath.drop_caches()
-        data, latency_after = array.read(name, 0, 16 * KIB)
-        assert data == payload
-        return depth_before, latency_before, depth_after, latency_after
-
-    depth_before, lat_before, depth_after, lat_after = once(run)
+    depth_before, lat_before, depth_after, lat_after = once(_run_lineage)
     rows = [
         ["before GC", depth_before, round(lat_before * 1e6, 1)],
         ["after GC flattening", depth_after, round(lat_after * 1e6, 1)],
     ]
     emit("fig6_chain_depth", format_table(
         ["State", "chain depth", "read latency (us)"], rows,
-        title="%d-generation clone lineage" % generations))
+        title="%d-generation clone lineage" % GENERATIONS))
     assert depth_before > 3
     assert depth_after <= 3
 
 
-def test_paper_figure6_example(once):
-    """The table from Figure 6, resolved probe by probe."""
+def _resolve_paper_example():
     from repro.mediums.medium import (
         MEDIUM_NONE,
         STATUS_RO,
@@ -67,33 +91,34 @@ def test_paper_figure6_example(once):
     from repro.pyramid.relation import Relation
     from repro.pyramid.tuples import SequenceGenerator
 
-    def run():
-        relation = Relation("mediums", key_arity=2)
-        seq = SequenceGenerator()
-        table = MediumTable(
-            relation,
-            inserter=lambda key, value: relation.insert(key, value, seq.next()),
-        )
-        # Source / Start:End / Target / Offset / Status rows of Figure 6.
-        table.define_range(12, 0, 4000, MEDIUM_NONE, 0, STATUS_RO)
-        table.define_range(14, 0, 4000, 12, 0, STATUS_RW)
-        table.define_range(15, 0, 1000, 12, 2000, STATUS_RW)
-        table.define_range(18, 0, 1000, 12, 2000, STATUS_RO)
-        table.define_range(20, 0, 1000, 18, 0, STATUS_RO)
-        table.define_range(21, 0, 1000, 20, 0, STATUS_RO)
-        table.define_range(22, 0, 500, 21, 0, STATUS_RW)
-        table.define_range(22, 500, 1000, 12, 2500, STATUS_RW)
-        table.define_range(22, 1000, 2000, MEDIUM_NONE, 0, STATUS_RW)
-        probes = {
-            (14, 100): resolve_chain(table, 14, 100),
-            (15, 100): resolve_chain(table, 15, 100),
-            (22, 100): resolve_chain(table, 22, 100),
-            (22, 700): resolve_chain(table, 22, 700),
-            (22, 1500): resolve_chain(table, 22, 1500),
-        }
-        return probes
+    relation = Relation("mediums", key_arity=2)
+    seq = SequenceGenerator()
+    table = MediumTable(
+        relation,
+        inserter=lambda key, value: relation.insert(key, value, seq.next()),
+    )
+    # Source / Start:End / Target / Offset / Status rows of Figure 6.
+    table.define_range(12, 0, 4000, MEDIUM_NONE, 0, STATUS_RO)
+    table.define_range(14, 0, 4000, 12, 0, STATUS_RW)
+    table.define_range(15, 0, 1000, 12, 2000, STATUS_RW)
+    table.define_range(18, 0, 1000, 12, 2000, STATUS_RO)
+    table.define_range(20, 0, 1000, 18, 0, STATUS_RO)
+    table.define_range(21, 0, 1000, 20, 0, STATUS_RO)
+    table.define_range(22, 0, 500, 21, 0, STATUS_RW)
+    table.define_range(22, 500, 1000, 12, 2500, STATUS_RW)
+    table.define_range(22, 1000, 2000, MEDIUM_NONE, 0, STATUS_RW)
+    return {
+        (14, 100): resolve_chain(table, 14, 100),
+        (15, 100): resolve_chain(table, 15, 100),
+        (22, 100): resolve_chain(table, 22, 100),
+        (22, 700): resolve_chain(table, 22, 700),
+        (22, 1500): resolve_chain(table, 22, 1500),
+    }
 
-    probes = once(run)
+
+def test_paper_figure6_example(once):
+    """The table from Figure 6, resolved probe by probe."""
+    probes = once(_resolve_paper_example)
     rows = [
         ["%d:%d" % key, " -> ".join("%d@%d" % probe for probe in chain)]
         for key, chain in sorted(probes.items())

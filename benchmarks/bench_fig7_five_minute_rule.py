@@ -17,6 +17,7 @@ from repro.analysis.costmodel import (
     standard_tiers,
 )
 from repro.analysis.reporting import format_table
+from repro.bench import Metric, register, shape_band, shape_equal, shape_min
 from repro.units import KIB
 
 #: The x-axis of Figure 7: 1 s ... 1 yr.
@@ -34,6 +35,40 @@ INTERVALS = [
     ("4w", 2419200.0),
     ("1yr", 31536000.0),
 ]
+
+
+@register("fig7_five_minute_rule", group="paper_shapes", quick=True,
+          title="Figure 7: the five-minute rule with data-reducing flash")
+def collect():
+    seconds = [value for _label, value in INTERVALS]
+    series = figure7_series(seconds)
+    tiers = {tier.name: tier for tier in standard_tiers()}
+    disk = series["Hard disk"]
+    ram = series["ECC DIMM"]
+    no_reduction = series["1x - No reduction"]
+    rdbms = series["4x - RDBMS"]
+    mongo = series["10x - MongoDB"]
+    rule1 = all(
+        min(no_reduction[i], rdbms[i], mongo[i]) < disk[i]
+        for i in range(len(seconds))
+    )
+    crossover = crossover_interval(tiers["10x - MongoDB"], tiers["ECC DIMM"],
+                                   item_bytes=55 * KIB)
+    rdbms_crossover = crossover_interval(tiers["4x - RDBMS"],
+                                         tiers["ECC DIMM"],
+                                         item_bytes=55 * KIB)
+    return [
+        Metric("rule1_flash_beats_disk_everywhere", rule1, "",
+               shape_equal(1, paper="performance disk is dead")),
+        Metric("rule2_ram_beats_unreduced_flash_at_5m",
+               ram[4] < no_reduction[4], "",
+               shape_equal(1, paper="RAM wins for hot data, no reduction")),
+        Metric("crossover_10x_flash_vs_dram", crossover, "s",
+               shape_band(10 * 60, 60 * 60, paper="~half an hour")),
+        Metric("crossover_4x_over_10x",
+               rdbms_crossover / crossover, "x",
+               shape_min(1.0, paper="4x line crosses later")),
+    ]
 
 
 def test_figure7_curves(once):

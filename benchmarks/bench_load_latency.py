@@ -9,6 +9,7 @@ the paper's production arrays live.
 
 from benchmarks.conftest import emit
 from repro.analysis.reporting import format_table
+from repro.bench import Metric, bench_seed, register, shape_max, shape_min
 from repro.core.array import PurityArray
 from repro.core.config import ArrayConfig
 from repro.sim.distributions import percentile
@@ -47,23 +48,50 @@ def read_trace(slots, stream):
     return trace
 
 
-def test_load_latency_curve(once):
-    def run():
-        curve = []
-        for rate in RATES:
-            array, slots = build_array(seed=rate)
-            driver = OpenLoopDriver(array, arrival_rate=rate,
-                                    stream=RandomStream(rate + 1))
-            result = driver.run(read_trace(slots, RandomStream(rate + 2)))
-            curve.append((
-                rate,
-                percentile(result.read_latencies, 0.5),
-                percentile(result.read_latencies, 0.99),
-                percentile(result.read_latencies, 0.999),
-            ))
-        return curve
+def _measure_curve():
+    curve = []
+    for rate in RATES:
+        array, slots = build_array(
+            seed=rate + bench_seed("load_latency.rate_offset_array")
+        )
+        driver = OpenLoopDriver(
+            array, arrival_rate=rate,
+            stream=RandomStream(
+                rate + bench_seed("load_latency.rate_offset_driver")
+            ),
+        )
+        result = driver.run(read_trace(slots, RandomStream(
+            rate + bench_seed("load_latency.rate_offset_trace")
+        )))
+        curve.append((
+            rate,
+            percentile(result.read_latencies, 0.5),
+            percentile(result.read_latencies, 0.99),
+            percentile(result.read_latencies, 0.999),
+        ))
+    return curve
 
-    curve = once(run)
+
+@register("load_latency", group="paper_shapes",
+          title="Latency under offered load: the hockey stick and the SLA")
+def collect():
+    by_rate = {rate: (p50, p99, p999)
+               for rate, p50, p99, p999 in _measure_curve()}
+    return [
+        Metric("p999_at_200rps", by_rate[200][2] * 1e6, "us",
+               shape_max(1000, paper="99.9% under 1 ms at gentle load")),
+        Metric("p999_at_20krps", by_rate[20000][2] * 1e6, "us",
+               shape_max(2000, paper="tail flat through the knee")),
+        Metric("hockey_stick_blowup",
+               by_rate[2000000][2] / by_rate[200][2], "x",
+               shape_min(4.0, paper="queueing blow-up past saturation")),
+        Metric("p50_at_20krps", by_rate[20000][0] * 1e6, "us",
+               shape_max(500, paper="median stays calm far longer")),
+    ]
+
+
+def test_load_latency_curve(once):
+    curve = once(_measure_curve)
     rows = [
         [rate, round(p50 * 1e6, 1), round(p99 * 1e6, 1), round(p999 * 1e6, 1)]
         for rate, p50, p99, p999 in curve

@@ -13,6 +13,7 @@ dictionaries plus fixed-width offsets. Measured here:
 
 from benchmarks.conftest import emit
 from repro.analysis.reporting import format_table
+from repro.bench import Metric, bench_seed, register, shape_equal, shape_min
 from repro.metadata.dictpage import DictionaryPage
 from repro.pyramid.tuples import Fact, encode_fact
 from repro.sim.rand import RandomStream
@@ -25,7 +26,7 @@ def segment_table_rows(count=2048):
 
 def address_map_rows(count=2048, stream=None):
     """(medium, offset, segment, payload_offset): realistic skew."""
-    stream = stream or RandomStream(3)
+    stream = stream or RandomStream(bench_seed("metadata.address_rows"))
     rows = []
     for i in range(count):
         medium = 10 + stream.randint(0, 5)
@@ -44,21 +45,58 @@ def wire_format_bytes(rows):
     )
 
 
-def test_compression_ratios(once):
-    def run():
-        results = []
-        for name, rows in [
-            ("segment table", segment_table_rows()),
-            ("address map", address_map_rows()),
-        ]:
-            page = DictionaryPage.build(rows)
-            naive = len(rows) * len(rows[0]) * 8
-            wire = wire_format_bytes(rows)
-            results.append((name, len(rows), page.size_bytes(), naive, wire,
-                            page.bits_per_row))
-        return results
+def _compression_results():
+    results = []
+    for name, rows in [
+        ("segment table", segment_table_rows()),
+        ("address map", address_map_rows()),
+    ]:
+        page = DictionaryPage.build(rows)
+        naive = len(rows) * len(rows[0]) * 8
+        wire = wire_format_bytes(rows)
+        results.append((name, len(rows), page.size_bytes(), naive, wire,
+                        page.bits_per_row))
+    return results
 
-    results = once(run)
+
+@register("metadata_compression", group="paper_shapes", quick=True,
+          title="Section 4.9: dictionary-compressed metadata pages")
+def collect():
+    by_name = {row[0]: row for row in _compression_results()}
+    _n, _count, seg_packed, seg_naive, seg_wire, seg_bits = \
+        by_name["segment table"]
+    _n, _count, map_packed, map_naive, map_wire, _bits = by_name["address map"]
+    with_constant = DictionaryPage.build([(i, 11, 7) for i in range(1024)])
+    without = DictionaryPage.build([(i,) for i in range(1024)])
+    scan_rows = address_map_rows(4096,
+                                 RandomStream(bench_seed("metadata.scan_rows")))
+    page = DictionaryPage.build(scan_rows)
+    target = scan_rows[1234][0]
+    compressed_hits = page.scan_equal(0, target)
+    decompressed_hits = [index for index, row in enumerate(page.decode_all())
+                         if row[0] == target]
+    return [
+        Metric("segment_table_vs_naive", seg_naive / seg_packed, "x",
+               shape_min(3.0, paper="9.5x vs naive 8 B/field")),
+        Metric("segment_table_bits_per_row", seg_bits, "bits",
+               shape_min(1)),
+        Metric("segment_table_beats_wire_format", seg_packed < seg_wire, "",
+               shape_equal(1, paper="smaller than the log wire format")),
+        Metric("address_map_vs_naive", map_naive / map_packed, "x",
+               shape_min(3.0, paper="~6.4x")),
+        Metric("address_map_beats_wire_format", map_packed < map_wire, "",
+               shape_equal(1)),
+        Metric("constant_fields_extra_bits",
+               with_constant.bits_per_row - without.bits_per_row, "bits",
+               shape_equal(0, paper="extra fields take up no space")),
+        Metric("scan_without_decompress_identical",
+               compressed_hits == decompressed_hits and bool(compressed_hits),
+               "", shape_equal(1, paper="identical row sets")),
+    ]
+
+
+def test_compression_ratios(once):
+    results = once(_compression_results)
     rows = [
         [name, count, packed, naive, wire,
          "%.1fx" % (naive / packed), bits]
@@ -91,7 +129,7 @@ def test_constant_fields_are_free(once):
 
 
 def test_scan_without_decompress(once):
-    rows = address_map_rows(4096, RandomStream(9))
+    rows = address_map_rows(4096, RandomStream(bench_seed("metadata.scan_rows")))
     page = DictionaryPage.build(rows)
     target = rows[1234][0]
 

@@ -11,6 +11,7 @@ import itertools
 
 from benchmarks.conftest import emit
 from repro.analysis.reporting import format_table
+from repro.bench import Metric, bench_seed, register, shape_band, shape_equal
 from repro.core.array import PurityArray
 from repro.core.config import ArrayConfig
 from repro.erasure.reed_solomon import ReedSolomon
@@ -18,33 +19,88 @@ from repro.sim.rand import RandomStream
 from repro.units import KIB, MIB
 
 
-def test_space_overhead_and_survivability(once):
-    def run():
-        # Reed-Solomon: enumerate every 2-of-9 erasure on a real stripe.
-        code = ReedSolomon(7, 2)
-        stream = RandomStream(3)
-        data = [stream.randbytes(256) for _ in range(7)]
-        stripe = data + code.encode(data)
-        rs_survived = 0
-        rs_total = 0
-        for pair in itertools.combinations(range(9), 2):
-            rs_total += 1
-            lost = [None if i in pair else shard
-                    for i, shard in enumerate(stripe)]
-            if code.reconstruct(lost) == stripe:
-                rs_survived += 1
-        # RAID-10 over 10 drives (5 mirror pairs): a double loss is fatal
-        # exactly when it hits one pair.
-        pairs = [(2 * i, 2 * i + 1) for i in range(5)]
-        raid_total = 0
-        raid_survived = 0
-        for loss in itertools.combinations(range(10), 2):
-            raid_total += 1
-            if tuple(sorted(loss)) not in pairs:
-                raid_survived += 1
-        return rs_survived, rs_total, raid_survived, raid_total
+def _run_survivability():
+    # Reed-Solomon: enumerate every 2-of-9 erasure on a real stripe.
+    code = ReedSolomon(7, 2)
+    stream = RandomStream(bench_seed("raid.stripe_data"))
+    data = [stream.randbytes(256) for _ in range(7)]
+    stripe = data + code.encode(data)
+    rs_survived = 0
+    rs_total = 0
+    for pair in itertools.combinations(range(9), 2):
+        rs_total += 1
+        lost = [None if i in pair else shard
+                for i, shard in enumerate(stripe)]
+        if code.reconstruct(lost) == stripe:
+            rs_survived += 1
+    # RAID-10 over 10 drives (5 mirror pairs): a double loss is fatal
+    # exactly when it hits one pair.
+    pairs = [(2 * i, 2 * i + 1) for i in range(5)]
+    raid_total = 0
+    raid_survived = 0
+    for loss in itertools.combinations(range(10), 2):
+        raid_total += 1
+        if tuple(sorted(loss)) not in pairs:
+            raid_survived += 1
+    return rs_survived, rs_total, raid_survived, raid_total
 
-    rs_survived, rs_total, raid_survived, raid_total = once(run)
+
+def _run_degraded_cost():
+    config = ArrayConfig.small(num_drives=11, drive_capacity=32 * MIB,
+                               cblock_cache_entries=0)
+    array = PurityArray.create(config)
+    stream = RandomStream(bench_seed("raid.degraded_data"))
+    array.create_volume("v", 2 * MIB)
+    for block in range(32):
+        array.write("v", block * 16 * KIB, stream.randbytes(16 * KIB))
+    array.drain()
+    array.clock.advance(1.0)
+    # Healthy read cost.
+    baseline = {
+        name: drive.counters.reads for name, drive in array.drives.items()
+    }
+    for block in range(32):
+        array.read("v", block * 16 * KIB, 16 * KIB)
+    healthy_reads = sum(
+        drive.counters.reads - baseline[name]
+        for name, drive in array.drives.items()
+    )
+    # Degraded read cost.
+    array.fail_drive(list(array.drives)[0])
+    array.datapath.drop_caches()
+    baseline = {
+        name: drive.counters.reads
+        for name, drive in array.drives.items()
+        if not array.drives[name].failed
+    }
+    for block in range(32):
+        array.read("v", block * 16 * KIB, 16 * KIB)
+    degraded_reads = sum(
+        drive.counters.reads - baseline[name]
+        for name, drive in array.drives.items()
+        if name in baseline
+    )
+    return healthy_reads, degraded_reads
+
+
+@register("raid_ablation", group="paper_shapes", quick=True,
+          title="Ablation: 7+2 Reed-Solomon vs RAID-10 mirroring")
+def collect():
+    rs_survived, rs_total, raid_survived, raid_total = _run_survivability()
+    healthy_reads, degraded_reads = _run_degraded_cost()
+    return [
+        Metric("rs_double_losses_survived", rs_survived, "cases",
+               shape_equal(rs_total, paper="ANY two losses survivable")),
+        Metric("raid10_double_losses_survived", raid_survived, "cases",
+               shape_equal(raid_total - 5, paper="5 fatal mirror pairs")),
+        Metric("degraded_read_amplification",
+               degraded_reads / max(1, healthy_reads), "x",
+               shape_band(1.0, 7.5, paper="bounded by k=7 on hit shards")),
+    ]
+
+
+def test_space_overhead_and_survivability(once):
+    rs_survived, rs_total, raid_survived, raid_total = once(_run_survivability)
     rows = [
         ["RS 7+2", "1.29x", "%d/%d (100%%)" % (rs_survived, rs_total)],
         ["RAID-10", "2.00x",
@@ -65,44 +121,7 @@ def test_degraded_read_cost(once):
     Purity accepts that cost because flash random reads are cheap
     (Section 3.1) — quantify it on the real array."""
 
-    def run():
-        config = ArrayConfig.small(num_drives=11, drive_capacity=32 * MIB,
-                                   cblock_cache_entries=0)
-        array = PurityArray.create(config)
-        stream = RandomStream(4)
-        array.create_volume("v", 2 * MIB)
-        for block in range(32):
-            array.write("v", block * 16 * KIB, stream.randbytes(16 * KIB))
-        array.drain()
-        array.clock.advance(1.0)
-        # Healthy read cost.
-        baseline = {
-            name: drive.counters.reads for name, drive in array.drives.items()
-        }
-        for block in range(32):
-            array.read("v", block * 16 * KIB, 16 * KIB)
-        healthy_reads = sum(
-            drive.counters.reads - baseline[name]
-            for name, drive in array.drives.items()
-        )
-        # Degraded read cost.
-        array.fail_drive(list(array.drives)[0])
-        array.datapath.drop_caches()
-        baseline = {
-            name: drive.counters.reads
-            for name, drive in array.drives.items()
-            if not array.drives[name].failed
-        }
-        for block in range(32):
-            array.read("v", block * 16 * KIB, 16 * KIB)
-        degraded_reads = sum(
-            drive.counters.reads - baseline[name]
-            for name, drive in array.drives.items()
-            if name in baseline
-        )
-        return healthy_reads, degraded_reads
-
-    healthy_reads, degraded_reads = once(run)
+    healthy_reads, degraded_reads = once(_run_degraded_cost)
     amplification = degraded_reads / max(1, healthy_reads)
     emit("raid_ablation_degraded_reads",
          "device reads for 32 logical reads: healthy=%d, one drive "

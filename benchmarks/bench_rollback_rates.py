@@ -12,12 +12,36 @@ Two published claims:
 from benchmarks.conftest import emit
 from repro.analysis.reporting import format_table
 from repro.analysis.rollback import TransactionModel, naive_speedup_bound
+from repro.bench import Metric, register, shape_max, shape_min
 from repro.units import MILLISECOND
 
 MODEL = TransactionModel(tps=2500, ios_per_txn=10, cpu_seconds=0.0003,
                          keys_per_txn=4, hot_keys=8000)
 
 LATENCIES = [0.2, 0.5, 1.0, 2.0, 5.0, 8.0]  # milliseconds
+
+
+@register("rollback_rates", group="paper_shapes", quick=True,
+          title="Section 5.2.1: rollback rates vs storage latency")
+def collect():
+    probabilities = {
+        latency_ms: MODEL.rollback_probability(latency_ms * MILLISECOND)
+        for latency_ms in LATENCIES
+    }
+    reduction = MODEL.rollback_reduction(5 * MILLISECOND, 0.5 * MILLISECOND)
+    actual = MODEL.speedup(5 * MILLISECOND, 0.5 * MILLISECOND)
+    naive = naive_speedup_bound(0.6, 0.4, io_speedup=10.0)
+    return [
+        Metric("rollback_superlinearity",
+               probabilities[5.0] / probabilities[0.5], "x",
+               shape_min(10.0, paper="10x latency -> >10x rollbacks")),
+        Metric("flash_rollback_reduction", reduction, "x",
+               shape_min(10.0, paper="flash cuts rollbacks >10x")),
+        Metric("naive_amdahl_speedup", naive, "x",
+               shape_max(2.0, paper="60/40 Amdahl bound: <2x")),
+        Metric("modeled_db_speedup", actual, "x",
+               shape_min(5.0, paper="customers see ~10x")),
+    ]
 
 
 def test_rollback_curve(once):

@@ -22,6 +22,7 @@ from repro.analysis.costmodel import (
 )
 from repro.analysis.reporting import format_ratio, format_table
 from repro.baselines.diskarray import DiskArray, DiskArrayConfig
+from repro.bench import Metric, bench_seed, register, shape_min
 from repro.core.array import PurityArray
 from repro.core.config import ArrayConfig
 from repro.sim.clock import SimClock
@@ -55,7 +56,7 @@ def _measure_purity():
         nvram_capacity=8 * MIB,
     )
     array = PurityArray.create(config)
-    stream = RandomStream(31)
+    stream = RandomStream(bench_seed("table1.purity"))
     volume_bytes = 16 * MIB
     array.create_volume("bench", volume_bytes)
     slots = volume_bytes // IO_SIZE
@@ -91,7 +92,7 @@ def _measure_purity():
 def _measure_disk_array():
     clock = SimClock()
     disk_array = DiskArray(clock, DiskArrayConfig(num_disks=480))
-    stream = RandomStream(32)
+    stream = RandomStream(bench_seed("table1.disk"))
     start = clock.now
     latencies = []
     issued = 0
@@ -107,6 +108,21 @@ def _measure_disk_array():
         clock.advance(max(batch))
     elapsed = clock.now - start
     return OPERATIONS / elapsed, percentile(latencies, 0.5)
+
+
+@register("table1_array_comparison", group="paper_shapes",
+          title="Table 1: Purity vs an enterprise disk array")
+def collect():
+    purity_iops, purity_latency = _measure_purity()
+    disk_iops, disk_latency = _measure_disk_array()
+    return [
+        Metric("purity_vs_disk_iops", purity_iops / disk_iops, "x",
+               shape_min(2.0, paper="single-digit IOPS factor")),
+        Metric("disk_vs_purity_latency", disk_latency / purity_latency, "x",
+               shape_min(3.0, paper="~5x or more")),
+        Metric("purity_iops", purity_iops, "ops/s", shape_min(0)),
+        Metric("disk_iops", disk_iops, "ops/s", shape_min(0)),
+    ]
 
 
 def test_table1(once):

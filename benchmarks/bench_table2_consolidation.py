@@ -10,6 +10,30 @@ from benchmarks.conftest import emit
 from repro.analysis.consolidation import FA450_OPS, consolidation_table
 from repro.analysis.reporting import format_table
 from repro.baselines.kvcluster import KVCluster, KVNode
+from repro.bench import Metric, register, shape_band, shape_min
+
+
+@register("table2_consolidation", group="paper_shapes", quick=True,
+          title="Table 2: KV deployment sizes and consolidation ratios")
+def collect():
+    node_ops = KVNode().ops_per_second(0.95)
+    rows = {row["service"]: row
+            for row in consolidation_table(node_ops=node_ops)}
+    ratios = [row["nodes_per_array"] for row in rows.values()
+              if row["nodes_per_array"] is not None]
+    cluster_nodes = KVCluster(1).nodes_for_throughput(FA450_OPS)
+    return [
+        Metric("disk_kv_node_ops", node_ops, "ops/s",
+               shape_band(800, 3000, paper="YCSB citation ~1600")),
+        Metric("pnuts_fa450_equivalents", rows["PNUTS"]["fa450_equivalents"],
+               "arrays", shape_band(6, 10, paper="8 FA-450s")),
+        Metric("pnuts_apps_per_array", rows["PNUTS"]["apps_per_array"],
+               "apps", shape_min(100, paper="120 apps/array")),
+        Metric("mean_nodes_per_array", sum(ratios) / len(ratios), "nodes",
+               shape_band(50, 400, paper="100-250:1 consolidation")),
+        Metric("cluster_nodes_matching_fa450", cluster_nodes, "nodes",
+               shape_band(80, 400, paper="order 100:1")),
+    ]
 
 
 def _render(rows):

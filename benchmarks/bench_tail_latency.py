@@ -14,6 +14,7 @@ import json
 
 from benchmarks.conftest import emit
 from repro.analysis.reporting import format_table
+from repro.bench import Metric, bench_seed, register, shape_max, shape_min
 from repro.core.array import PurityArray
 from repro.core.config import ArrayConfig
 from repro.core.telemetry import format_perf_report, reset_perf_counters
@@ -32,7 +33,9 @@ THINK_TIME = 0.002
 SAMPLE_EVERY = 100
 
 
-def run_workload(read_around_writes, seed=17):
+def run_workload(read_around_writes, seed=None):
+    if seed is None:
+        seed = bench_seed("tail_latency.workload")
     config = ArrayConfig.small(
         num_drives=11,
         drive_capacity=64 * MIB,
@@ -66,14 +69,47 @@ def run_workload(read_around_writes, seed=17):
     return read_latencies, array
 
 
-def test_read_around_writes_flattens_tail(once):
-    def run():
-        reset_perf_counters()
-        with_scheduler, array_on = run_workload(True)
-        without_scheduler, array_off = run_workload(False)
-        return with_scheduler, array_on, without_scheduler, array_off
+def _run_ablation():
+    reset_perf_counters()
+    with_scheduler, array_on = run_workload(True)
+    without_scheduler, array_off = run_workload(False)
+    return with_scheduler, array_on, without_scheduler, array_off
 
-    on_latencies, array_on, off_latencies, array_off = once(run)
+
+@register("tail_latency", group="paper_shapes",
+          title="Section 4.4: read-around-writes and tail latency")
+def collect():
+    on_latencies, array_on, off_latencies, array_off = _run_ablation()
+    reads_on = array_on.segreader.direct_reads + (
+        array_on.segreader.reconstructed_reads
+    )
+    amplification = (
+        array_on.segreader.direct_reads
+        + array_on.segreader.reconstructed_reads
+        * array_on.config.segment_geometry.data_shards
+    ) / max(1, reads_on)
+    sla_latencies, _sla_array = run_workload(
+        True, seed=bench_seed("tail_latency.sla_workload")
+    )
+    metrics = [
+        Metric("scheduler_tail_improvement",
+               percentile(off_latencies, 0.999)
+               / percentile(on_latencies, 0.999), "x",
+               shape_min(1.0, paper="order-of-magnitude better tail")),
+        Metric("device_read_amplification", amplification, "x",
+               shape_max(2.0, paper="~1.3x reads on write-heavy")),
+        Metric("extra_reconstructed_reads",
+               array_on.segreader.reconstructed_reads
+               - array_off.segreader.reconstructed_reads, "reads",
+               shape_min(1, paper="actually reads around busy drives")),
+        Metric("sla_p999", percentile(sla_latencies, 0.999) * 1e6, "us",
+               shape_max(10000, paper="99.9% under 1 ms regime")),
+    ]
+    return metrics, array_on.obs.records
+
+
+def test_read_around_writes_flattens_tail(once):
+    on_latencies, array_on, off_latencies, array_off = once(_run_ablation)
 
     def describe(latencies, array):
         reads = array.segreader.direct_reads + array.segreader.reconstructed_reads
@@ -131,7 +167,9 @@ def test_sub_millisecond_service_at_modest_load(once):
     '99.9% under 1 ms' regime, at simulation scale)."""
 
     def run():
-        latencies, _array = run_workload(True, seed=23)
+        latencies, _array = run_workload(
+            True, seed=bench_seed("tail_latency.sla_workload")
+        )
         return latencies
 
     latencies = once(run)

@@ -14,6 +14,7 @@ application — zero application-visible errors.
 
 from benchmarks.conftest import emit
 from repro.analysis.reporting import format_table
+from repro.bench import Metric, bench_seed, register, shape_equal, shape_min
 from repro.core.array import PurityArray
 from repro.core.config import ArrayConfig
 from repro.sim.rand import RandomStream
@@ -22,46 +23,102 @@ from repro.units import KIB, MIB
 ROUNDS = 6
 
 
-def test_worn_array_serves_without_application_errors(once):
-    def run():
-        config = ArrayConfig.small(num_drives=11, drive_capacity=32 * MIB,
-                                   cblock_cache_entries=0,
-                                   rated_pe_cycles=100)
-        array = PurityArray.create(config)
-        stream = RandomStream(51)
-        array.create_volume("v", 2 * MIB)
-        expected = {}
-        for block in range(24):
-            payload = stream.randbytes(16 * KIB)
-            array.write("v", block * 16 * KIB, payload)
-            expected[block * 16 * KIB] = payload
-        array.drain()
-        # Wear every erase block to 1.15x its rating (the "worn-out
-        # flash" array), then run rounds of aging + reads + scrubs.
-        for drive in array.drives.values():
-            for erase_block in range(drive.geometry.num_erase_blocks):
-                drive.wear._pe_counts[erase_block] = int(
-                    drive.wear.rated_pe_cycles * 1.15
-                )
-        year = next(iter(array.drives.values())).wear.RATED_RETENTION_SECONDS
-        application_errors = 0
-        device_corruptions = 0
-        rewrites = 0
-        for _round in range(ROUNDS):
-            array.clock.advance(year / 4)  # three months pass
-            for offset, payload in expected.items():
-                data, _latency = array.read("v", offset, 16 * KIB)
-                if data != payload:
-                    application_errors += 1
-            device_corruptions = sum(
-                drive.counters.corrupted_reads
-                for drive in array.drives.values()
+def _run_scrubbed_worn_array():
+    config = ArrayConfig.small(num_drives=11, drive_capacity=32 * MIB,
+                               cblock_cache_entries=0,
+                               rated_pe_cycles=100)
+    array = PurityArray.create(config)
+    stream = RandomStream(bench_seed("worn_flash.scrubbed"))
+    array.create_volume("v", 2 * MIB)
+    expected = {}
+    for block in range(24):
+        payload = stream.randbytes(16 * KIB)
+        array.write("v", block * 16 * KIB, payload)
+        expected[block * 16 * KIB] = payload
+    array.drain()
+    # Wear every erase block to 1.15x its rating (the "worn-out
+    # flash" array), then run rounds of aging + reads + scrubs.
+    for drive in array.drives.values():
+        for erase_block in range(drive.geometry.num_erase_blocks):
+            drive.wear._pe_counts[erase_block] = int(
+                drive.wear.rated_pe_cycles * 1.15
             )
-            report = array.scrub()
-            rewrites += report.segments_rewritten
-        return application_errors, device_corruptions, rewrites
+    year = next(iter(array.drives.values())).wear.RATED_RETENTION_SECONDS
+    application_errors = 0
+    device_corruptions = 0
+    rewrites = 0
+    for _round in range(ROUNDS):
+        array.clock.advance(year / 4)  # three months pass
+        for offset, payload in expected.items():
+            data, _latency = array.read("v", offset, 16 * KIB)
+            if data != payload:
+                application_errors += 1
+        device_corruptions = sum(
+            drive.counters.corrupted_reads
+            for drive in array.drives.values()
+        )
+        report = array.scrub()
+        rewrites += report.segments_rewritten
+    return application_errors, device_corruptions, rewrites
 
-    application_errors, device_corruptions, rewrites = once(run)
+
+def _run_unscrubbed_control():
+    config = ArrayConfig.small(num_drives=11, drive_capacity=32 * MIB,
+                               cblock_cache_entries=0,
+                               rated_pe_cycles=100)
+    array = PurityArray.create(config)
+    stream = RandomStream(bench_seed("worn_flash.control"))
+    array.create_volume("v", MIB)
+    for block in range(16):
+        array.write("v", block * 16 * KIB, stream.randbytes(16 * KIB))
+    array.drain()
+    for drive in array.drives.values():
+        for erase_block in range(drive.geometry.num_erase_blocks):
+            drive.wear._pe_counts[erase_block] = int(
+                drive.wear.rated_pe_cycles * 1.3
+            )
+    year = next(iter(array.drives.values())).wear.RATED_RETENTION_SECONDS
+    array.clock.advance(year)
+    from repro.errors import UncorrectableError
+
+    unreadable = 0
+    for block in range(16):
+        try:
+            array.read("v", block * 16 * KIB, 16 * KIB)
+        except UncorrectableError:
+            unreadable += 1
+    corrupted = sum(
+        drive.counters.corrupted_reads for drive in array.drives.values()
+    )
+    reconstructions = array.segreader.reconstructed_reads
+    return corrupted, reconstructions, unreadable
+
+
+@register("worn_flash", group="paper_shapes",
+          title="Section 5.1: the worn-flash validation experiment")
+def collect():
+    application_errors, device_corruptions, rewrites = \
+        _run_scrubbed_worn_array()
+    corrupted, reconstructions, unreadable = _run_unscrubbed_control()
+    return [
+        Metric("application_visible_errors", application_errors, "errors",
+               shape_equal(0, paper="zero application-level errors")),
+        Metric("scrub_rewrites", rewrites, "segments",
+               shape_min(1, paper="scrubber refreshes decaying data")),
+        Metric("device_corruptions_absorbed", device_corruptions,
+               "reads", shape_min(1, paper="the substrate really rots")),
+        Metric("control_corrupted_reads", corrupted, "reads",
+               shape_min(1, paper="unscrubbed control decays")),
+        Metric("control_damage_beyond_direct_reads",
+               reconstructions + unreadable, "reads",
+               shape_min(1, paper="without scrubbing, stripes decay")),
+    ]
+
+
+def test_worn_array_serves_without_application_errors(once):
+    application_errors, device_corruptions, rewrites = once(
+        _run_scrubbed_worn_array
+    )
     rows = [
         ["rounds of 3-month aging + full read + scrub", ROUNDS],
         ["device-level corrupted page reads", device_corruptions],
@@ -81,38 +138,7 @@ def test_unscrubbed_worn_array_eventually_rots(once):
     reconstruction territory and (past two shards per stripe) real
     trouble — demonstrating the scrubber earns its keep."""
 
-    def run():
-        config = ArrayConfig.small(num_drives=11, drive_capacity=32 * MIB,
-                                   cblock_cache_entries=0,
-                                   rated_pe_cycles=100)
-        array = PurityArray.create(config)
-        stream = RandomStream(52)
-        array.create_volume("v", MIB)
-        for block in range(16):
-            array.write("v", block * 16 * KIB, stream.randbytes(16 * KIB))
-        array.drain()
-        for drive in array.drives.values():
-            for erase_block in range(drive.geometry.num_erase_blocks):
-                drive.wear._pe_counts[erase_block] = int(
-                    drive.wear.rated_pe_cycles * 1.3
-                )
-        year = next(iter(array.drives.values())).wear.RATED_RETENTION_SECONDS
-        array.clock.advance(year)
-        from repro.errors import UncorrectableError
-
-        unreadable = 0
-        for block in range(16):
-            try:
-                array.read("v", block * 16 * KIB, 16 * KIB)
-            except UncorrectableError:
-                unreadable += 1
-        corrupted = sum(
-            drive.counters.corrupted_reads for drive in array.drives.values()
-        )
-        reconstructions = array.segreader.reconstructed_reads
-        return corrupted, reconstructions, unreadable
-
-    corrupted, reconstructions, unreadable = once(run)
+    corrupted, reconstructions, unreadable = once(_run_unscrubbed_control)
     emit("worn_flash_control",
          "unscrubbed worn array after a year: %d corrupted device reads, "
          "%d Reed-Solomon reconstruction attempts, %d of 16 blocks beyond "

@@ -1,9 +1,17 @@
 """Shared benchmark fixtures and result emission.
 
-Each benchmark regenerates one of the paper's tables or figures and
-emits the rows both to stdout and to ``benchmarks/results/<name>.txt``,
-so ``pytest benchmarks/ --benchmark-only`` leaves a full set of
-artifacts behind. EXPERIMENTS.md records paper-versus-measured for each.
+Each benchmark regenerates one of the paper's tables or figures. The
+scripts have two entry points over the same measurement helpers:
+
+* ``pytest benchmarks/ --benchmark-only`` runs them here, emitting
+  human-readable rows to stdout and ``benchmarks/results/<name>.txt``
+  (gitignored run logs);
+* ``python -m repro.bench`` runs the ``@register``-ed collectors and
+  writes the schema-versioned ``BENCH_*.json`` artifacts plus the
+  EXPERIMENTS.md tables (see DESIGN.md "Benchmark harness").
+
+Seeds come from the central table in ``repro.bench.seeds`` either way,
+so both entry points measure identical numbers.
 """
 
 import os

@@ -1,0 +1,42 @@
+"""Deterministic benchmark orchestrator (``python -m repro.bench``).
+
+The reproduction's standing validation harness: every
+``benchmarks/bench_*.py`` script registers a metric collector with
+:func:`register`; the orchestrator discovers them, runs them under the
+pinned seeds from :mod:`repro.bench.seeds`, and emits schema-versioned
+``BENCH_*.json`` artifacts at the repo root — one record per metric
+with its value, unit, the paper's expected shape, and a computed
+pass/fail. ``--check`` turns the same run into a perf-regression gate
+against the committed ``bench-baseline.json``; ``--docs`` regenerates
+the paper-vs-measured tables in EXPERIMENTS.md from the committed data.
+
+Module map: :mod:`~repro.bench.registry` (decorator + discovery),
+:mod:`~repro.bench.schema` (records, shapes, validation),
+:mod:`~repro.bench.runner` (execution + artifact writing),
+:mod:`~repro.bench.baseline` (tolerance-band comparison),
+:mod:`~repro.bench.docs` (EXPERIMENTS.md markers),
+:mod:`~repro.bench.cli` (argument handling).
+"""
+
+from repro.bench.registry import REGISTRY, discover, register
+from repro.bench.schema import (
+    Metric,
+    shape_band,
+    shape_equal,
+    shape_max,
+    shape_min,
+)
+from repro.bench.seeds import ROOT_SEED, bench_seed
+
+__all__ = [
+    "REGISTRY",
+    "ROOT_SEED",
+    "Metric",
+    "bench_seed",
+    "discover",
+    "register",
+    "shape_band",
+    "shape_equal",
+    "shape_max",
+    "shape_min",
+]

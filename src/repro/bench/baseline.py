@@ -1,0 +1,150 @@
+"""Baseline comparison: the perf-regression gate behind ``--check``.
+
+``bench-baseline.json`` commits one value per metric (plus its
+tolerance). A ``--check`` run re-measures, then fails when:
+
+* any metric's paper *shape* breaks (direction/band violated), or
+* a metric drifts from its baseline value by more than its tolerance
+  band, or
+* a bench or metric present in the baseline disappears entirely.
+
+Tolerances are per-metric: deterministic metrics default to a tight
+band (same seed should reproduce them almost exactly; the slack only
+absorbs intentional cross-platform float noise), wall-clock-derived
+metrics to a wide one (machine speed is not a regression). A metric
+record may pin its own ``tolerance_pct`` to override either default.
+
+New metrics that are not yet in the baseline are reported but never
+fatal — you add them by re-running ``--write-baseline``.
+"""
+
+import json
+
+#: Default relative tolerance bands, in percent.
+DETERMINISTIC_TOLERANCE_PCT = 10.0
+WALL_CLOCK_TOLERANCE_PCT = 60.0
+
+BASELINE_FILENAME = "bench-baseline.json"
+
+
+def baseline_from_documents(documents):
+    """Flatten group documents into the committed baseline form."""
+    metrics = {}
+    for group in sorted(documents):
+        for bench in documents[group]["benches"]:
+            for metric in bench["metrics"]:
+                key = "%s.%s" % (bench["bench"], metric["metric"])
+                entry = {
+                    "value": metric["value"],
+                    "unit": metric["unit"],
+                    "deterministic": metric["deterministic"],
+                }
+                if metric.get("tolerance_pct") is not None:
+                    entry["tolerance_pct"] = metric["tolerance_pct"]
+                metrics[key] = entry
+    return {
+        "schema_version": documents[sorted(documents)[0]]["schema_version"],
+        "metrics": metrics,
+    }
+
+
+def write_baseline(baseline, path):
+    with open(path, "w") as handle:
+        handle.write(json.dumps(baseline, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_baseline(path):
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def tolerance_for(entry):
+    """The relative tolerance band (in percent) for a baseline entry."""
+    if entry.get("tolerance_pct") is not None:
+        return float(entry["tolerance_pct"])
+    if entry.get("deterministic", True):
+        return DETERMINISTIC_TOLERANCE_PCT
+    return WALL_CLOCK_TOLERANCE_PCT
+
+
+class Deviation:
+    """One comparison failure (or informational note)."""
+
+    __slots__ = ("kind", "key", "message", "fatal")
+
+    def __init__(self, kind, key, message, fatal=True):
+        self.kind = kind
+        self.key = key
+        self.message = message
+        self.fatal = fatal
+
+    def __repr__(self):
+        return "Deviation(%s, %s)" % (self.kind, self.key)
+
+    def render(self):
+        marker = "FAIL" if self.fatal else "note"
+        return "%s [%s] %s: %s" % (marker, self.kind, self.key, self.message)
+
+
+def compare(documents, baseline, max_regression_pct=None):
+    """All deviations between fresh documents and a committed baseline.
+
+    ``max_regression_pct``, when given, overrides every per-metric
+    tolerance with one global cap (the CI gate's ``-N%`` knob).
+    """
+    deviations = []
+    fresh = {}
+    ran_benches = set()
+    for group in sorted(documents):
+        for bench in documents[group]["benches"]:
+            ran_benches.add(bench["bench"])
+            for metric in bench["metrics"]:
+                key = "%s.%s" % (bench["bench"], metric["metric"])
+                fresh[key] = metric
+                if not metric["passed"]:
+                    deviations.append(Deviation(
+                        "shape", key,
+                        "measured %s %s violates the paper shape %s"
+                        % (metric["value"], metric["unit"],
+                           json.dumps(metric.get("shape"), sort_keys=True)),
+                    ))
+    base_metrics = baseline.get("metrics", {})
+    for key in sorted(base_metrics):
+        entry = base_metrics[key]
+        metric = fresh.get(key)
+        if metric is None:
+            # Only fatal when the bench itself ran: a subset run
+            # (--quick, --group) legitimately skips whole benches.
+            if key.split(".", 1)[0] in ran_benches:
+                deviations.append(Deviation(
+                    "missing", key, "metric present in baseline but not "
+                    "produced by this run"))
+            continue
+        tolerance = tolerance_for(entry)
+        if max_regression_pct is not None:
+            tolerance = min(tolerance, float(max_regression_pct))
+        base_value = entry["value"]
+        value = metric["value"]
+        if base_value == 0:
+            drift_ok = value == 0
+            drift_pct = 0.0 if drift_ok else float("inf")
+        else:
+            drift_pct = abs(value - base_value) / abs(base_value) * 100.0
+            drift_ok = drift_pct <= tolerance
+        if not drift_ok:
+            deviations.append(Deviation(
+                "regression", key,
+                "measured %s vs baseline %s (%.1f%% drift, tolerance "
+                "%.0f%%)" % (value, base_value, drift_pct, tolerance),
+            ))
+    for key in sorted(fresh):
+        if key not in base_metrics:
+            deviations.append(Deviation(
+                "new", key, "metric not in baseline yet (re-run "
+                "--write-baseline to adopt it)", fatal=False))
+    return deviations
+
+
+def fatal_deviations(deviations):
+    return [deviation for deviation in deviations if deviation.fatal]

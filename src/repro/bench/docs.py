@@ -1,0 +1,120 @@
+"""Regenerate EXPERIMENTS.md tables from committed BENCH_*.json.
+
+EXPERIMENTS.md stays a hand-written narrative, but every
+paper-vs-measured *table* inside it is generated: the doc brackets each
+one with ``<!-- bench:<name> -->`` / ``<!-- /bench:<name> -->`` markers
+and ``python -m repro.bench --docs`` rewrites the bracketed bodies from
+the committed JSON artifacts. ``--check-docs`` re-renders in memory and
+fails when the committed doc and the committed data have drifted apart
+— the CI guard that keeps the prose honest.
+"""
+
+import re
+
+from repro.bench.schema import describe_shape
+
+MARKER_PATTERN = re.compile(
+    r"(<!-- bench:(?P<name>[a-z0-9_.]+) -->\n)(?P<body>.*?)"
+    r"(\n?<!-- /bench:(?P=name) -->)",
+    re.DOTALL,
+)
+
+
+class DocsError(ValueError):
+    """A marker references a bench absent from the committed data."""
+
+
+def bench_index(documents):
+    """bench name -> bench record, across every group document."""
+    index = {}
+    for group in sorted(documents):
+        for bench in documents[group]["benches"]:
+            index[bench["bench"]] = bench
+    return index
+
+
+def _format_value(metric):
+    value = metric["value"]
+    if isinstance(value, float):
+        text = "%.6g" % value
+    else:
+        text = str(value)
+    unit = metric["unit"]
+    return "%s %s" % (text, unit) if unit else text
+
+
+def _format_shape(metric):
+    shape = metric.get("shape")
+    described = describe_shape(shape)
+    paper = (shape or {}).get("paper")
+    return "%s (paper: %s)" % (described, paper) if paper else described
+
+
+def render_bench_table(bench):
+    """One bench's metrics as a GitHub-flavored markdown table."""
+    lines = [
+        "| Metric | Measured | Expected shape | Pass |",
+        "|---|---|---|---|",
+    ]
+    for metric in bench["metrics"]:
+        lines.append("| %s | %s | %s | %s |" % (
+            metric["metric"].replace("_", " "),
+            _format_value(metric),
+            _format_shape(metric),
+            "yes" if metric["passed"] else "**NO**",
+        ))
+    return "\n".join(lines)
+
+
+def regenerate_text(text, documents):
+    """The document with every marker body re-rendered from the data."""
+    index = bench_index(documents)
+    missing = []
+
+    def replace(match):
+        name = match.group("name")
+        bench = index.get(name)
+        if bench is None:
+            missing.append(name)
+            return match.group(0)
+        return "%s%s%s" % (match.group(1), render_bench_table(bench),
+                           match.group(4))
+
+    regenerated = MARKER_PATTERN.sub(replace, text)
+    if missing:
+        raise DocsError(
+            "EXPERIMENTS.md references benches with no committed data: %s"
+            % ", ".join(sorted(set(missing))))
+    return regenerated
+
+
+def marker_names(text):
+    """Every bench name bracketed by markers, in document order."""
+    return [match.group("name") for match in MARKER_PATTERN.finditer(text)]
+
+
+def regenerate_file(path, documents):
+    """Rewrite ``path`` in place; returns True when anything changed."""
+    with open(path) as handle:
+        text = handle.read()
+    regenerated = regenerate_text(text, documents)
+    if regenerated != text:
+        with open(path, "w") as handle:
+            handle.write(regenerated)
+        return True
+    return False
+
+
+def check_file(path, documents):
+    """Names of markers whose bodies drifted from the committed data."""
+    with open(path) as handle:
+        text = handle.read()
+    regenerated = regenerate_text(text, documents)
+    if regenerated == text:
+        return []
+    drifted = []
+    for match, fresh in zip(MARKER_PATTERN.finditer(text),
+                            MARKER_PATTERN.finditer(regenerated)):
+        if match.group(0) != fresh.group(0):
+            drifted.append(match.group("name"))
+    return drifted or ["(structural drift)"]

@@ -1,0 +1,168 @@
+"""Benchmark registration and discovery.
+
+A benchmark script opts into the orchestrator with one decorator::
+
+    from repro.bench import register
+
+    @register("fig5_frontier_recovery", group="paper_shapes",
+              title="Figure 5: frontier-set recovery", quick=True)
+    def collect():
+        ...measure...
+        return [Metric(...), Metric(...)]
+
+The decorated callable runs the measurement (drawing every seed from
+:mod:`repro.bench.seeds`) and returns the metric rows; the script stays
+runnable standalone under pytest because its test functions share the
+same measurement helpers. :func:`discover` imports every
+``benchmarks/bench_*.py`` module so the registrations execute; the
+global :data:`REGISTRY` then holds the full suite.
+"""
+
+import importlib
+import os
+
+from repro.bench.seeds import SEEDS
+
+
+class BenchSpec:
+    """One registered benchmark: identity, grouping, and its collector."""
+
+    __slots__ = ("name", "group", "title", "func", "source", "quick")
+
+    def __init__(self, name, group, title, func, source, quick):
+        self.name = name
+        self.group = group
+        self.title = title
+        self.func = func
+        self.source = source
+        self.quick = quick
+
+    @property
+    def seeds(self):
+        """The pinned seeds this bench draws, from the central table."""
+        matches = {}
+        for key in sorted(SEEDS):
+            bench, _dot, _role = key.partition(".")
+            if self.name == bench or self.name.startswith(bench + "_"):
+                value = SEEDS[key]
+                matches[key] = list(value) if isinstance(value, tuple) \
+                    else value
+        return matches
+
+    def collect(self):
+        """Run the measurement; returns the list of Metric rows."""
+        return self.func()
+
+
+class DuplicateBenchError(ValueError):
+    """Two different callables registered under one bench name."""
+
+
+class Registry:
+    """Ordered name -> :class:`BenchSpec` map."""
+
+    def __init__(self):
+        self._specs = {}
+
+    def add(self, spec):
+        existing = self._specs.get(spec.name)
+        if existing is not None and existing.source != spec.source:
+            raise DuplicateBenchError(
+                "bench %r registered by both %s and %s"
+                % (spec.name, existing.source, spec.source)
+            )
+        # Same source re-imported (pytest + orchestrator in one
+        # process): the fresh registration wins, silently.
+        self._specs[spec.name] = spec
+        return spec
+
+    def get(self, name):
+        return self._specs[name]
+
+    def names(self):
+        return sorted(self._specs)
+
+    def specs(self, group=None, quick_only=False, names=None):
+        """Specs filtered by group(s) / quick flag / explicit names.
+
+        ``group`` accepts one group name or a list of them.
+        """
+        groups = None
+        if group is not None:
+            groups = {group} if isinstance(group, str) else set(group)
+        selected = []
+        for name in self.names():
+            spec = self._specs[name]
+            if groups is not None and spec.group not in groups:
+                continue
+            if quick_only and not spec.quick:
+                continue
+            if names is not None and name not in names:
+                continue
+            selected.append(spec)
+        return selected
+
+    def groups(self):
+        return sorted({spec.group for spec in self._specs.values()})
+
+    def __len__(self):
+        return len(self._specs)
+
+    def __contains__(self, name):
+        return name in self._specs
+
+
+#: The process-wide registry ``@register`` feeds and the CLI consumes.
+REGISTRY = Registry()
+
+
+def register(name, group, title=None, quick=False, registry=None):
+    """Decorator registering a metric collector under ``name``.
+
+    ``group`` selects the output artifact (``BENCH_<group>.json``);
+    ``quick`` marks the bench as part of the trimmed CI gate subset.
+    Passing an explicit ``registry`` keeps test registries isolated
+    from the global one.
+    """
+    from repro.bench.schema import GROUPS
+
+    if group not in GROUPS:
+        raise ValueError("unknown bench group %r (expected one of %s)"
+                         % (group, (GROUPS,)))
+    target = registry if registry is not None else REGISTRY
+
+    def decorator(func):
+        module = getattr(func, "__module__", "") or ""
+        source = "benchmarks/%s.py" % module.rsplit(".", 1)[-1] \
+            if module.startswith("benchmarks.") else module
+        spec = BenchSpec(
+            name=name,
+            group=group,
+            title=title or (func.__doc__ or name).strip().splitlines()[0],
+            func=func,
+            source=source,
+            quick=quick,
+        )
+        target.add(spec)
+        func.bench_spec = spec
+        return func
+
+    return decorator
+
+
+def benchmarks_dir():
+    """Locate the repo's ``benchmarks/`` package directory."""
+    package = importlib.import_module("benchmarks")
+    return os.path.dirname(os.path.abspath(package.__file__))
+
+
+def discover(registry=None):
+    """Import every ``benchmarks/bench_*.py`` so registrations run.
+
+    Returns the populated registry (the global one by default).
+    """
+    directory = benchmarks_dir()
+    for filename in sorted(os.listdir(directory)):
+        if filename.startswith("bench_") and filename.endswith(".py"):
+            importlib.import_module("benchmarks.%s" % filename[:-3])
+    return registry if registry is not None else REGISTRY

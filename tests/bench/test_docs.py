@@ -1,0 +1,88 @@
+"""EXPERIMENTS.md regeneration: markers, rendering, drift detection."""
+
+import pytest
+
+from repro.bench import docs as docs_mod
+from repro.bench.registry import BenchSpec
+from repro.bench.schema import (
+    Metric,
+    bench_record,
+    group_document,
+    shape_band,
+    shape_min,
+)
+
+DOC = """# Experiments
+
+Narrative prose that must survive regeneration untouched.
+
+<!-- bench:demo -->
+stale table
+<!-- /bench:demo -->
+
+Trailing prose, also untouched.
+"""
+
+
+def _documents():
+    spec = BenchSpec("demo", "paper_shapes", "demo bench", lambda: [],
+                     "benchmarks/bench_demo.py", False)
+    metrics = [
+        Metric("speedup", 3.5, "x", shape_min(2.0, paper="~3x")),
+        Metric("reduction", 5.0, "x", shape_band(2, 9)),
+        Metric("note", 42, "count"),
+    ]
+    return {"paper_shapes": group_document(
+        "paper_shapes", [bench_record(spec, metrics)], 2015)}
+
+
+def test_regenerate_replaces_only_marker_bodies():
+    regenerated = docs_mod.regenerate_text(DOC, _documents())
+    assert "stale table" not in regenerated
+    assert "Narrative prose that must survive" in regenerated
+    assert "Trailing prose, also untouched." in regenerated
+    assert "| speedup | 3.5 x | >= 2 (paper: ~3x) | yes |" in regenerated
+    assert "| reduction | 5 x | 2..9 | yes |" in regenerated
+    assert "| note | 42 count | (informational) | yes |" in regenerated
+
+
+def test_regeneration_is_idempotent():
+    once = docs_mod.regenerate_text(DOC, _documents())
+    assert docs_mod.regenerate_text(once, _documents()) == once
+
+
+def test_failing_metric_renders_loudly():
+    documents = _documents()
+    metric = documents["paper_shapes"]["benches"][0]["metrics"][0]
+    metric["value"] = 1.0
+    metric["passed"] = False
+    documents["paper_shapes"]["benches"][0]["passed"] = False
+    documents["paper_shapes"]["passed"] = False
+    regenerated = docs_mod.regenerate_text(DOC, documents)
+    assert "| speedup | 1 x | >= 2 (paper: ~3x) | **NO** |" in regenerated
+
+
+def test_marker_for_unknown_bench_is_an_error():
+    with pytest.raises(docs_mod.DocsError, match="demo"):
+        docs_mod.regenerate_text(DOC, {"paper_shapes": group_document(
+            "paper_shapes",
+            [bench_record(
+                BenchSpec("other", "paper_shapes", "t", lambda: [],
+                          "benchmarks/bench_other.py", False),
+                [Metric("m", 1, "x")])],
+            2015)})
+
+
+def test_marker_names_in_document_order():
+    text = DOC + "\n<!-- bench:second -->\nx\n<!-- /bench:second -->\n"
+    assert docs_mod.marker_names(text) == ["demo", "second"]
+
+
+def test_check_file_reports_drifted_markers(tmp_path):
+    path = tmp_path / "EXPERIMENTS.md"
+    path.write_text(DOC)
+    documents = _documents()
+    assert docs_mod.check_file(str(path), documents) == ["demo"]
+    assert docs_mod.regenerate_file(str(path), documents) is True
+    assert docs_mod.check_file(str(path), documents) == []
+    assert docs_mod.regenerate_file(str(path), documents) is False

@@ -1,0 +1,137 @@
+"""Schema: metric records, shape evaluation, document validation.
+
+Also validates the *committed* repo-root BENCH_*.json artifacts, so a
+hand-edited or truncated artifact fails the fast test lane, not just
+the slow bench gate.
+"""
+
+import copy
+import json
+import os
+
+import pytest
+
+from repro.bench.registry import BenchSpec
+from repro.bench.runner import GROUP_FILES
+from repro.bench.schema import (
+    Metric,
+    SchemaError,
+    bench_record,
+    evaluate_shape,
+    group_document,
+    round_value,
+    shape_band,
+    shape_equal,
+    shape_max,
+    shape_min,
+    validate_document,
+)
+
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", ".."))
+
+
+def _spec(name="demo", group="paper_shapes"):
+    return BenchSpec(name, group, "demo bench", lambda: [],
+                     "benchmarks/bench_demo.py", False)
+
+
+def _document(metrics=None):
+    metrics = metrics or [
+        Metric("speedup", 3.5, "x", shape_min(2.0, paper="~3x")),
+        Metric("errors", 0, "count", shape_equal(0)),
+    ]
+    record = bench_record(_spec(), metrics)
+    return group_document("paper_shapes", [record], 2015)
+
+
+def test_shape_evaluation():
+    assert evaluate_shape(shape_min(2.0), 2.0)
+    assert not evaluate_shape(shape_min(2.0), 1.99)
+    assert evaluate_shape(shape_max(1.3), 1.3)
+    assert not evaluate_shape(shape_max(1.3), 1.31)
+    assert evaluate_shape(shape_band(2, 9), 5)
+    assert not evaluate_shape(shape_band(2, 9), 9.1)
+    assert evaluate_shape(shape_equal(1), 1)
+    assert not evaluate_shape(shape_equal(1), 0)
+    assert evaluate_shape(None, -123)  # informational metrics always pass
+
+
+def test_round_value_normalizes_floats_and_bools():
+    assert round_value(True) == 1 and round_value(False) == 0
+    assert round_value(1.23456789) == 1.23457  # 6 significant digits
+    assert round_value(4.0) == 4 and isinstance(round_value(4.0), int)
+    assert round_value(7) == 7
+
+
+def test_metric_record_carries_shape_and_pass():
+    metric = Metric("wa", 1.43, "x", shape_band(1.0, 2.5, paper="~1.3x"))
+    record = metric.record()
+    assert record["passed"] is True
+    assert record["shape"]["paper"] == "~1.3x"
+    failing = Metric("wa", 3.0, "x", shape_band(1.0, 2.5))
+    assert failing.record()["passed"] is False
+
+
+def test_valid_document_validates():
+    validate_document(_document())
+
+
+@pytest.mark.parametrize("mutate, message", [
+    (lambda d: d.update(schema_version=99), "schema_version"),
+    (lambda d: d.update(group="bogus"), "group"),
+    (lambda d: d.update(benches=[]), "non-empty"),
+    (lambda d: d["benches"][0].pop("seeds"), "seeds"),
+    (lambda d: d["benches"][0]["metrics"][0].pop("unit"), "unit"),
+    (lambda d: d["benches"][0]["metrics"][0].update(value="fast"),
+     "JSON number"),
+    (lambda d: d["benches"][0]["metrics"][0].update(passed=False),
+     "disagrees"),
+    (lambda d: d["benches"][0].update(passed=False), "disagrees"),
+    (lambda d: d.update(passed=False), "disagrees"),
+])
+def test_corrupted_documents_fail(mutate, message):
+    document = _document()
+    mutate(document)
+    with pytest.raises(SchemaError, match=message):
+        validate_document(document)
+
+
+def test_duplicate_and_unsorted_benches_fail():
+    record = bench_record(_spec("bbb"), [Metric("m", 1, "x")])
+    document = group_document("paper_shapes", [record, copy.deepcopy(record)],
+                              2015)
+    with pytest.raises(SchemaError, match="duplicate bench"):
+        validate_document(document)
+    shuffled = group_document("paper_shapes", [
+        bench_record(_spec("bbb"), [Metric("m", 1, "x")]),
+        bench_record(_spec("aaa"), [Metric("m", 1, "x")]),
+    ], 2015)
+    shuffled["benches"].reverse()  # bypass group_document's sort
+    with pytest.raises(SchemaError, match="sorted"):
+        validate_document(shuffled)
+
+
+@pytest.mark.parametrize("filename", sorted(GROUP_FILES.values()))
+def test_committed_artifacts_conform_to_schema(filename):
+    path = os.path.join(REPO_ROOT, filename)
+    assert os.path.exists(path), "%s missing from repo root" % filename
+    with open(path) as handle:
+        document = json.load(handle)
+    validate_document(document)
+    assert document["group"] == [g for g, f in GROUP_FILES.items()
+                                 if f == filename][0]
+    assert document["passed"], "committed %s records failures" % filename
+
+
+def test_committed_baseline_covers_committed_artifacts():
+    """Every metric in the committed JSON has a committed baseline row."""
+    with open(os.path.join(REPO_ROOT, "bench-baseline.json")) as handle:
+        baseline = json.load(handle)
+    keys = set(baseline["metrics"])
+    for filename in GROUP_FILES.values():
+        with open(os.path.join(REPO_ROOT, filename)) as handle:
+            document = json.load(handle)
+        for bench in document["benches"]:
+            for metric in bench["metrics"]:
+                assert "%s.%s" % (bench["bench"], metric["metric"]) in keys
