@@ -1,0 +1,237 @@
+"""Parallel-pipeline benchmark: modeled speedup + determinism proof.
+
+The deterministic executor (``repro.parallel``) fans three CPU-bound
+stages out to a worker pool: per-cblock compression, column-partitioned
+RS encode at segio flush, and per-segment scrub verification. This
+bench drives one seeded end-to-end workload through the pipeline and
+reports:
+
+* the **modeled** speedup at 2/4 workers — a deterministic critical-path
+  cost model (chunk costs round-robined onto N workers; speedup =
+  total cost / critical path). The container the suite runs in has one
+  CPU, so wall-clock parallel speedup is unmeasurable here by
+  construction; the model is seed-stable and is what the gate checks;
+* per-stage modeled speedups and the realized chunk fan-out;
+* the buffer-pool hit rates on the flush and read paths;
+* a byte-identity bit: the same seed run at ``workers=0`` and
+  ``workers=2`` must produce identical stored bytes and read-back data.
+
+Wall-clock timings are printed by the standalone entry points for
+interactive profiling but deliberately kept out of the orchestrated
+metrics — every row in ``BENCH_parallel.json`` is deterministic.
+
+Run directly to see the numbers::
+
+    PYTHONPATH=src python -m benchmarks.bench_parallel
+"""
+
+import argparse
+import hashlib
+import json
+import time
+
+from repro.bench import Metric, bench_seed, register, shape_equal, shape_min
+from repro.core.array import PurityArray
+from repro.core.config import ArrayConfig
+from repro.sim.rand import RandomStream
+from repro.units import KIB
+
+SEED = bench_seed("parallel.workload")
+
+#: Workload shape: large sequential-ish writes with overwrites so GC
+#: and scrub both have work, and a compressible fraction so the
+#: compression stage sees both codec outcomes.
+WRITES = 24
+WRITE_SIZE = 256 * KIB
+SLOTS = 8
+
+#: Small RS chunks so the miniature segment geometry still fans out.
+RS_CHUNK_COLS = 4 * KIB
+
+MODELED_AT = (2, 4)
+
+
+def _config(workers):
+    return ArrayConfig.small(
+        seed=SEED, workers=workers, parallel_rs_chunk_cols=RS_CHUNK_COLS
+    )
+
+
+def _chunks():
+    stream = RandomStream(SEED).fork("parallel-workload")
+    chunks = []
+    for index in range(WRITES):
+        if index % 3 == 2:
+            pattern = bytes([index % 256, (index * 7) % 256])
+            chunks.append(pattern * (WRITE_SIZE // 2))
+        else:
+            chunks.append(stream.randbytes(WRITE_SIZE))
+    return chunks
+
+
+def _fingerprint(array, reads):
+    """Stored media bytes + read-back data, hashed in a fixed order."""
+    digest = hashlib.sha256()
+    for data in reads:
+        digest.update(data)
+    for name in sorted(array.drives):
+        store = array.drives[name].store
+        digest.update(name.encode())
+        for start, length in store.extents():
+            digest.update(b"%d:%d:" % (start, length))
+            digest.update(store.read(start, length))
+    return digest.hexdigest()
+
+
+def run_workload(workers):
+    """One seeded write/GC/scrub/read pass; returns model + pool stats."""
+    chunks = _chunks()
+    array = PurityArray.create(_config(workers))
+    array.create_volume("v", SLOTS * WRITE_SIZE)
+    start = time.perf_counter()
+    for index, chunk in enumerate(chunks):
+        array.write("v", (index % SLOTS) * WRITE_SIZE, chunk)
+    array.drain()
+    write_seconds = time.perf_counter() - start
+    array.run_gc()
+    array.scrub()
+    reads = [array.read("v", slot * WRITE_SIZE, WRITE_SIZE)[0]
+             for slot in range(SLOTS)]
+    executor = array.parallel
+    stages = {
+        stage: {
+            "chunks": stats.chunks,
+            "items": stats.items,
+            "modeled_speedup": {
+                count: round(stats.modeled_speedup(count), 4)
+                for count in MODELED_AT
+            },
+        }
+        for stage, stats in ((name, executor.stage_stats(name))
+                             for name in executor.stages())
+    }
+    segio_pool = array.segwriter.buffer_pool
+    read_pool = array.datapath.read_pool
+    return {
+        "workers": workers,
+        "write_seconds": write_seconds,
+        "fingerprint": _fingerprint(array, reads),
+        "modeled_speedup": {
+            count: round(executor.modeled_speedup(count), 4)
+            for count in MODELED_AT
+        },
+        "stages": stages,
+        "segio_pool": dict(segio_pool.counters(),
+                           hit_rate=round(segio_pool.hit_rate, 4)),
+        "read_pool": dict(read_pool.counters(),
+                          hit_rate=round(read_pool.hit_rate, 4)),
+    }
+
+
+def run_all():
+    pooled = run_workload(workers=2)
+    serial = run_workload(workers=0)
+    return {
+        "seed": SEED,
+        "writes": WRITES,
+        "write_bytes": WRITE_SIZE,
+        "serial": serial,
+        "pooled": pooled,
+        "identical": serial["fingerprint"] == pooled["fingerprint"],
+    }
+
+
+def summarize(results):
+    pooled = results["pooled"]
+    lines = [
+        "modeled e2e speedup    w2 %.2fx   w4 %.2fx" % (
+            pooled["modeled_speedup"][2], pooled["modeled_speedup"][4]),
+    ]
+    for stage in sorted(pooled["stages"]):
+        row = pooled["stages"][stage]
+        lines.append("  %-22s w4 %.2fx  (%d items, %d chunks)" % (
+            stage, row["modeled_speedup"][4], row["items"], row["chunks"]))
+    lines.append("segio pool             %4.0f%% hits (%d allocations)" % (
+        pooled["segio_pool"]["hit_rate"] * 100,
+        pooled["segio_pool"]["misses"]))
+    lines.append("read pool              %4.0f%% hits (%d allocations)" % (
+        pooled["read_pool"]["hit_rate"] * 100,
+        pooled["read_pool"]["misses"]))
+    lines.append("byte-identical w0/w2   %s" % results["identical"])
+    lines.append("wall write (w0/w2)     %.2fs / %.2fs  [informational]" % (
+        results["serial"]["write_seconds"], pooled["write_seconds"]))
+    return "\n".join(lines)
+
+
+@register("parallel", group="parallel", quick=True,
+          title="Parallel pipeline: modeled speedup, pools, determinism")
+def collect():
+    results = run_all()
+    pooled = results["pooled"]
+    stages = pooled["stages"]
+    return [
+        Metric("e2e_modeled_write_speedup_w4",
+               pooled["modeled_speedup"][4], "x",
+               shape_min(1.8, paper="parallel pipeline scales the write "
+                                    "path")),
+        Metric("e2e_modeled_write_speedup_w2",
+               pooled["modeled_speedup"][2], "x", shape_min(1.4)),
+        Metric("compress_modeled_speedup_w4",
+               stages["parallel.compress"]["modeled_speedup"][4], "x",
+               shape_min(1.5)),
+        Metric("rs_encode_modeled_speedup_w4",
+               stages["parallel.rs-encode"]["modeled_speedup"][4], "x",
+               shape_min(1.5)),
+        Metric("scrub_modeled_speedup_w4",
+               stages["parallel.scrub-verify"]["modeled_speedup"][4], "x",
+               shape_min(1.2)),
+        Metric("fanout_chunks",
+               sum(row["chunks"] for row in stages.values()), "chunks",
+               shape_min(50, paper="the stages genuinely partition")),
+        Metric("identical_bytes_across_worker_counts",
+               results["identical"], "bool",
+               shape_equal(1, paper="same seed, same bytes, any worker "
+                                    "count")),
+        Metric("segio_pool_hit_rate", pooled["segio_pool"]["hit_rate"],
+               "fraction", shape_min(0.8)),
+        Metric("segio_pool_allocations", pooled["segio_pool"]["misses"],
+               "buffers", None),
+        Metric("read_pool_hit_rate", pooled["read_pool"]["hit_rate"],
+               "fraction", shape_min(0.5)),
+    ]
+
+
+# ----------------------------------------------------------------------
+# pytest entry: the same measurements as a regression guard
+
+
+def test_parallel_pipeline(once):
+    from benchmarks.conftest import emit
+
+    results = once(run_all)
+    emit("parallel_pipeline", summarize(results))
+    pooled = results["pooled"]
+    assert results["identical"]
+    assert pooled["modeled_speedup"][4] >= 1.8
+    assert pooled["segio_pool"]["hit_rate"] >= 0.8
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write full results as JSON to PATH",
+    )
+    options = parser.parse_args(argv)
+    results = run_all()
+    print(summarize(results))
+    if options.json:
+        with open(options.json, "w") as handle:
+            json.dump(results, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("\nwrote %s" % options.json)
+    return results
+
+
+if __name__ == "__main__":
+    main()

@@ -40,7 +40,8 @@ def build_parser():
     select.add_argument("--all", action="store_true",
                         help="run every registered bench")
     select.add_argument("--group", action="append",
-                        choices=("paper_shapes", "hotpath", "chaos"),
+                        choices=("paper_shapes", "hotpath", "chaos",
+                                 "parallel"),
                         help="run one group (repeatable)")
     select.add_argument("--only", action="append", metavar="NAME",
                         help="run the named bench (repeatable)")

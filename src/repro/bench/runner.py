@@ -33,6 +33,7 @@ GROUP_FILES = {
     "paper_shapes": "BENCH_paper_shapes.json",
     "hotpath": "BENCH_hotpath.json",
     "chaos": "BENCH_chaos.json",
+    "parallel": "BENCH_parallel.json",
 }
 
 

@@ -87,6 +87,8 @@ SEEDS = {
     "chaos.traced": 9,
     # Hot-path kernels (the paper's year, historically).
     "hotpath.kernels": 2015,
+    # Parallel pipeline: one seeded workload drives both worker counts.
+    "parallel.workload": 19,
 }
 
 

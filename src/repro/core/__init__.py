@@ -13,12 +13,10 @@ from repro.core.config import ArrayConfig
 from repro.core.array import PurityArray
 from repro.core.ha import DualControllerArray
 from repro.core.replication import AsyncReplicator
-from repro.core.telemetry import LatencyRecorder
 
 __all__ = [
     "ArrayConfig",
     "PurityArray",
     "DualControllerArray",
     "AsyncReplicator",
-    "LatencyRecorder",
 ]

@@ -17,7 +17,7 @@ from repro.core.gc import GarbageCollector
 from repro.core.health import DriveHealthMonitor
 from repro.core.scrubber import Scrubber
 from repro.core.tables import TableSet
-from repro.core.telemetry import LatencyRecorder, ReductionReport
+from repro.core.telemetry import ReductionReport
 from repro.core.volume import VolumeManager
 from repro.erasure.reed_solomon import ReedSolomon
 from repro.layout.allocation import Allocator
@@ -27,6 +27,7 @@ from repro.layout.segreader import SegmentReader
 from repro.layout.segwriter import SegmentWriter
 from repro.mediums.medium import MediumTable
 from repro.obs.trace import Observability
+from repro.parallel import BufferPool, ParallelExecutor
 from repro.sim.clock import SimClock
 from repro.sim.rand import RandomStream
 from repro.ssd.shelf import Shelf
@@ -120,9 +121,26 @@ class PurityArray:
         self.segreader.obs = self.obs
         for drive in self.drives.values():
             drive.obs = self.obs
-        #: DEPRECATED view over ``obs.metrics`` (io.<op>.latency); new
-        #: code reads the registry directly.
-        self.latencies = LatencyRecorder(self.obs.metrics)
+        #: Deterministic fan-out for CPU-bound stages, plus recycled
+        #: scratch buffers for the flush and read paths. Wired the same
+        #: way as ``obs``: plain slots, None-safe at every call site.
+        self.parallel = ParallelExecutor(
+            workers=self.config.workers,
+            chunk_items=self.config.parallel_chunk_items,
+            min_items=self.config.parallel_min_items,
+            rs_chunk_cols=self.config.parallel_rs_chunk_cols,
+        )
+        self.parallel.obs = self.obs
+        self.datapath.parallel = self.parallel
+        self.segwriter.parallel = self.parallel
+        self.segwriter.buffer_pool = BufferPool(
+            self.config.segio_buffer_pool, metrics=self.obs.metrics,
+            name="pool.segio",
+        )
+        self.datapath.read_pool = BufferPool(
+            self.config.read_buffer_pool, metrics=self.obs.metrics,
+            name="pool.read",
+        )
         self._write_latency = self.obs.metrics.histogram("io.write.latency")
         self._read_latency = self.obs.metrics.histogram("io.read.latency")
         self.crashed = False

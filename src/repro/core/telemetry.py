@@ -28,7 +28,6 @@ from repro.core.health import (  # noqa: F401  (re-exported)
     DriveHealthMonitor,
 )
 from repro.layout.segreader import DriveRetryStats  # noqa: F401  (re-exported)
-from repro.sim.distributions import percentile
 
 __all__ = [
     # re-exports: the perf-counter layer's public face
@@ -45,7 +44,6 @@ __all__ = [
     "DriveRetryStats",
     # this module's own public surface
     "degraded_mode_report",
-    "LatencyRecorder",
     "ReductionReport",
 ]
 
@@ -72,62 +70,6 @@ def degraded_mode_report(array):
         "reconstructed_reads": array.segreader.reconstructed_reads,
         "direct_reads": array.segreader.direct_reads,
     }
-
-
-class LatencyRecorder:
-    """DEPRECATED shim over the unified metrics registry.
-
-    Kept so the old ``array.latencies`` surface keeps working; the data
-    now lives in :class:`repro.obs.metrics.MetricsRegistry` histograms
-    named ``io.<operation>.latency``. New code should use the registry
-    (``array.obs.metrics``) directly.
-    """
-
-    _PREFIX = "io."
-    _SUFFIX = ".latency"
-
-    def __init__(self, registry=None):
-        from repro.obs.metrics import MetricsRegistry
-
-        self.registry = registry if registry is not None else MetricsRegistry()
-
-    def _histogram(self, operation):
-        return self.registry.histogram(
-            "%s%s%s" % (self._PREFIX, operation, self._SUFFIX)
-        )
-
-    def record(self, operation, latency):
-        """Add one sample (seconds) for an operation class."""
-        self._histogram(operation).record(latency)
-
-    def count(self, operation):
-        return self._histogram(operation).count
-
-    def samples(self, operation):
-        """The raw sample list (owned by the histogram; do not mutate)."""
-        return self._histogram(operation).samples
-
-    def mean(self, operation):
-        histogram = self._histogram(operation)
-        if not histogram.count:
-            raise ValueError("no samples for %r" % operation)
-        return histogram.mean
-
-    def percentile(self, operation, fraction):
-        """E.g. ``percentile("read", 0.999)`` for the 99.9th percentile."""
-        return percentile(self._histogram(operation).samples, fraction)
-
-    def operations(self):
-        return [
-            name[len(self._PREFIX):-len(self._SUFFIX)]
-            for name in self.registry.histogram_names()
-            if name.startswith(self._PREFIX) and name.endswith(self._SUFFIX)
-            and self.registry.histogram(name).count
-        ]
-
-    def clear(self):
-        for operation in self.operations():
-            self._histogram(operation).reset()
 
 
 @dataclass

@@ -15,11 +15,18 @@ from repro.layout.segment import SegioHeader
 class OpenSegio:
     """One segio being filled in controller RAM."""
 
-    def __init__(self, geometry, descriptor, segio_index):
+    def __init__(self, geometry, descriptor, segio_index, buffer_pool=None):
         self.geometry = geometry
         self.descriptor = descriptor
         self.segio_index = segio_index
-        self._payload = bytearray(geometry.payload_per_segio)
+        #: Payload accumulation buffer, recycled through the writer's
+        #: buffer pool when one is wired (acquire returns it zeroed, so
+        #: the gap/zero-fill contract holds either way).
+        self._buffer_pool = buffer_pool
+        if buffer_pool is not None:
+            self._payload = buffer_pool.acquire(geometry.payload_per_segio)
+        else:
+            self._payload = bytearray(geometry.payload_per_segio)
         self._front = 0  # next data byte (from the front)
         self._back = geometry.payload_per_segio  # log region grows downward
         self._log_locators = []
@@ -101,6 +108,8 @@ class OpenSegio:
         """
         base = self.payload_base()
         within = payload_offset - base
+        if self._payload is None:
+            return None  # buffer already recycled; data is on the drives
         if within < 0 or within + length > self.geometry.payload_per_segio:
             return None
         return bytes(self._payload[within : within + length])
@@ -109,12 +118,29 @@ class OpenSegio:
         if self.finalized:
             raise RuntimeError("segio already finalized")
 
-    def finalize(self, codec):
+    def release_buffer(self):
+        """Return the payload buffer to the pool after a flush.
+
+        Only legal once finalized: the write units hold their own
+        copies by then, so nothing references the accumulation buffer.
+        The slot is cleared so a stale read fails closed (None), never
+        serves recycled bytes.
+        """
+        if not self.finalized or self._payload is None:
+            return
+        buffer, self._payload = self._payload, None
+        if self._buffer_pool is not None:
+            self._buffer_pool.release(buffer)
+
+    def finalize(self, codec, parallel=None):
         """Seal the segio; returns the write units to put on each drive.
 
         ``codec`` is the Reed–Solomon codec for this geometry. Returns a
         list of ``total_shards`` byte strings, each exactly one write
         unit (replicated header + shard body), data shards first.
+        ``parallel`` (a :class:`repro.parallel.ParallelExecutor`) fans
+        the parity encode out over column chunks; the bytes are
+        identical with or without it.
         """
         self._check_open()
         self.finalized = True
@@ -126,7 +152,10 @@ class OpenSegio:
         data_shards = self.geometry.data_shards
         payload_view = np.frombuffer(self._payload, dtype=np.uint8)
         matrix = payload_view.reshape(data_shards, payload_view.size // data_shards)
-        parity = codec.encode_stripes(matrix)
+        if parallel is not None:
+            parity = parallel.rs_encode(codec, matrix)
+        else:
+            parity = codec.encode_stripes(matrix)
         write_units = []
         all_shards = [matrix[index] for index in range(data_shards)]
         all_shards.extend(parity[index] for index in range(len(parity)))

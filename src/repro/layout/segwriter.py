@@ -56,6 +56,11 @@ class SegmentWriter:
         #: Observability handle (see :mod:`repro.obs`); wired by the
         #: array, None-safe for standalone writers.
         self.obs = None
+        #: Parallel executor for the RS encode fan-out and the buffer
+        #: pool recycling segio payloads; both wired by the array and
+        #: None-safe for standalone writers.
+        self.parallel = None
+        self.buffer_pool = None
         self._segment_ids = itertools.count(1)
         self._descriptor = None
         self._segio = None
@@ -104,7 +109,8 @@ class SegmentWriter:
         ):
             self._open_segment()
         self._segio = OpenSegio(
-            self.geometry, self._descriptor, self._next_segio_index
+            self.geometry, self._descriptor, self._next_segio_index,
+            buffer_pool=self.buffer_pool,
         )
         self._next_segio_index += 1
 
@@ -206,7 +212,7 @@ class SegmentWriter:
                 cp.hit("segwriter.pre-flush", descriptor=segio.descriptor)
             encode_span = obs.begin("rs-encode") if tracing else None
             with PERF.timer("segio-flush"):
-                write_units = segio.finalize(self.codec)
+                write_units = segio.finalize(self.codec, parallel=self.parallel)
             if encode_span is not None:
                 obs.end(encode_span, shards=len(write_units))
         except BaseException:
@@ -269,5 +275,9 @@ class SegmentWriter:
         self.segios_flushed += 1
         if self.on_segio_flushed is not None:
             self.on_segio_flushed(descriptor, segio)
+        # The write units hold their own copies now; recycle the
+        # accumulation buffer. (A crash above leaks it instead — the
+        # pool must never hand out a buffer a torn flush still holds.)
+        segio.release_buffer()
         self._segio = None
         return elapsed

@@ -8,6 +8,7 @@ from repro.lint.rules import (
     registry_sync,
     simclock,
     wallclock,
+    workers,
 )
 
 __all__ = [
@@ -18,4 +19,5 @@ __all__ = [
     "registry_sync",
     "simclock",
     "wallclock",
+    "workers",
 ]

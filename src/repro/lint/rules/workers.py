@@ -1,0 +1,143 @@
+"""no-unseeded-worker: pool-shipped functions are pure.
+
+``@pure_worker`` functions (see :mod:`repro.parallel.workers`) execute
+inside worker processes, where results must be a function of the
+arguments alone — the same-seed byte-identity contract covers any
+worker count, so nothing drawn from the host environment may leak into
+a worker's output. The executor enforces the marker at runtime; this
+rule enforces the marker's *meaning* statically: no ``random`` (module
+functions, ``numpy.random``, from-imports of the global draws), no wall
+clock (``time.*``, ``datetime.now/utcnow/today``), and no smuggling
+either in via an import inside the function body.
+
+Seeded :class:`~repro.sim.rand.RandomStream` draws are *not* exempted:
+worker inputs are plain data, so randomness has no business inside a
+worker at all — derive random inputs before the map, in the sim
+process, and ship the bytes.
+"""
+
+import ast
+
+from repro.lint.rule import Rule, register
+from repro.lint.rules.randomness import GLOBAL_DRAWS
+from repro.lint.rules.wallclock import DATETIME_ATTRS, WALL_CLOCK_ATTRS
+
+#: Modules a worker body may not import locally.
+BANNED_LOCAL_IMPORTS = frozenset({"random", "time", "datetime",
+                                  "numpy.random"})
+
+
+def _is_pure_worker_decorator(node):
+    if isinstance(node, ast.Call):
+        return _is_pure_worker_decorator(node.func)
+    if isinstance(node, ast.Name):
+        return node.id == "pure_worker"
+    if isinstance(node, ast.Attribute):
+        return node.attr == "pure_worker"
+    return False
+
+
+@register
+class NoUnseededWorker(Rule):
+
+    id = "no-unseeded-worker"
+    summary = ("@pure_worker functions ship to the process pool and must "
+               "not touch random or the wall clock")
+
+    def check(self, ctx):
+        imports = {
+            "time": ctx.imports.module_aliases("time"),
+            "datetime_mod": ctx.imports.module_aliases("datetime"),
+            "datetime_cls": set(ctx.imports.from_imports("datetime")),
+            "random": ctx.imports.module_aliases("random"),
+            "numpy": ctx.imports.module_aliases("numpy"),
+            "numpy_random": ctx.imports.module_aliases("numpy.random"),
+            "from_time_wall": {
+                local for local, original
+                in ctx.imports.from_imports("time").items()
+                if original in WALL_CLOCK_ATTRS
+            },
+            "from_random_draws": {
+                local for local, original
+                in ctx.imports.from_imports("random").items()
+                if original in GLOBAL_DRAWS
+            },
+        }
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not any(_is_pure_worker_decorator(decorator)
+                       for decorator in node.decorator_list):
+                continue
+            yield from self._check_worker(ctx, node, imports)
+
+    def _check_worker(self, ctx, func, imports):
+        for node in ast.walk(func):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] in BANNED_LOCAL_IMPORTS:
+                        yield self._impure(
+                            ctx, node, func,
+                            "imports %r inside the worker body" % alias.name)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module in BANNED_LOCAL_IMPORTS:
+                    yield self._impure(
+                        ctx, node, func,
+                        "imports from %r inside the worker body"
+                        % node.module)
+            elif isinstance(node, ast.Attribute):
+                yield from self._check_attribute(ctx, node, func, imports)
+            elif isinstance(node, ast.Name):
+                if node.id in imports["from_time_wall"]:
+                    yield self._impure(
+                        ctx, node, func,
+                        "reads the wall clock via %r" % node.id)
+                elif node.id in imports["from_random_draws"]:
+                    yield self._impure(
+                        ctx, node, func,
+                        "draws from the process-global RNG via %r" % node.id)
+
+    def _check_attribute(self, ctx, node, func, imports):
+        base = node.value
+        if isinstance(base, ast.Name):
+            if base.id in imports["time"] and node.attr in WALL_CLOCK_ATTRS:
+                yield self._impure(
+                    ctx, node, func,
+                    "reads the wall clock ('time.%s')" % node.attr)
+            elif base.id in imports["random"]:
+                yield self._impure(
+                    ctx, node, func,
+                    "touches the process-global RNG ('random.%s')"
+                    % node.attr)
+            elif base.id in imports["numpy_random"]:
+                yield self._impure(
+                    ctx, node, func,
+                    "touches numpy's global RNG ('%s.%s')"
+                    % (base.id, node.attr))
+            elif base.id in imports["numpy"] and node.attr == "random":
+                yield self._impure(
+                    ctx, node, func,
+                    "touches numpy's global RNG ('%s.random')" % base.id)
+            elif (base.id in imports["datetime_mod"]
+                    or base.id in imports["datetime_cls"]) \
+                    and node.attr in DATETIME_ATTRS:
+                yield self._impure(
+                    ctx, node, func,
+                    "reads the wall clock ('%s.%s')" % (base.id, node.attr))
+        elif isinstance(base, ast.Attribute) \
+                and isinstance(base.value, ast.Name) \
+                and base.value.id in imports["datetime_mod"] \
+                and node.attr in DATETIME_ATTRS:
+            # datetime.datetime.now / datetime.date.today
+            yield self._impure(
+                ctx, node, func,
+                "reads the wall clock ('datetime.%s.%s')"
+                % (base.attr, node.attr))
+
+    def _impure(self, ctx, node, func, what):
+        return self.finding(
+            ctx, node,
+            "@pure_worker function %r %s; workers must be pure functions "
+            "of their arguments (same seed, same bytes, any worker count)"
+            % (func.name, what),
+        )

@@ -9,9 +9,9 @@ when the tail spiked, which injected fault caused which latency cliff.
   pipeline stage, timestamped on the **simulated** clock, so the same
   seed replays to a byte-identical trace;
 * :mod:`repro.obs.metrics` — one registry of counters, gauges,
-  log-bucket latency histograms, and time series, absorbing the old
-  ``core.telemetry.LatencyRecorder`` and unifying with the
-  :mod:`repro.perf` hot-path counters under one namespace;
+  log-bucket latency histograms, and time series (the one source of
+  ``io.<op>.latency`` truth), unifying with the :mod:`repro.perf`
+  hot-path counters under one namespace;
 * :mod:`repro.obs.export` — deterministic JSONL snapshots of traces and
   metrics;
 * :mod:`repro.obs.report` — ``python -m repro.obs.report`` renders

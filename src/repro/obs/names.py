@@ -34,6 +34,8 @@ SPAN_NAMES = frozenset({
     "scrub.run",
     "recovery",
     "rebuild",
+    # parallel fan-out (one span per ordered map, any worker count)
+    "parallel.map",
 })
 
 #: Point-event names recorded into the span tree.
@@ -59,6 +61,13 @@ METRIC_NAMES = frozenset({
     "scrub.segments_scanned",
     "scrub.corrupt_shards",
     "rebuild.segments",
+    "parallel.maps",
+    "parallel.items",
+    "parallel.chunks",
+    "pool.segio.hits",
+    "pool.segio.misses",
+    "pool.read.hits",
+    "pool.read.misses",
     # gauges and sampled series
     "drives.alive",
     "device.queue_depth",

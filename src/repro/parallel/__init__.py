@@ -1,0 +1,37 @@
+"""repro.parallel: deterministic fan-out for CPU-bound pipeline stages.
+
+The executor partitions order-independent work (cblock compression, RS
+column encode, scrub verification) into worker-count-independent chunks,
+ships them to a shared process pool (or runs them serially at
+``workers=0``), and merges results in input order — so same-seed output
+is byte-identical at any worker count. :class:`BufferPool` rounds out
+the perf story by recycling the flush/read scratch buffers.
+"""
+
+from repro.parallel.executor import (
+    MODELED_WORKER_COUNTS,
+    ParallelExecutor,
+    StageStats,
+    resolve_workers,
+)
+from repro.parallel.names import STAGE_NAMES
+from repro.parallel.pools import BufferPool
+from repro.parallel.workers import (
+    compress_cblocks,
+    encode_rs_columns,
+    pure_worker,
+    verify_stripes,
+)
+
+__all__ = [
+    "MODELED_WORKER_COUNTS",
+    "STAGE_NAMES",
+    "BufferPool",
+    "ParallelExecutor",
+    "StageStats",
+    "compress_cblocks",
+    "encode_rs_columns",
+    "pure_worker",
+    "resolve_workers",
+    "verify_stripes",
+]

@@ -1,0 +1,294 @@
+"""Deterministic work-partitioning executor (the ``repro.parallel`` core).
+
+Purity's controllers fan inline reduction and RAID-3D encode out over
+many cores; the reproduction does the same for its three CPU-bound,
+order-independent stages (speculative cblock compression, column-
+partitioned Reed-Solomon encode, batched stripe scrub verification)
+without giving up the determinism contract: same seed, byte-identical
+output, at **any** worker count.
+
+The determinism argument has three legs:
+
+* **Worker-count-independent partitioning.** Inputs are chunked by a
+  fixed item count, never by the number of workers, so the task list is
+  a pure function of the input.
+* **Pure workers.** Functions shipped to the pool carry the
+  ``@pure_worker`` marker and depend only on their arguments — the
+  ``no-unseeded-worker`` lint rule bans randomness and wall clock
+  inside them, and :meth:`ParallelExecutor.map` refuses undecorated
+  callables at runtime.
+* **Ordered merge.** Chunk results are joined in submission order, so
+  the caller observes exactly the sequence the serial loop would have
+  produced. The sim clock never ticks inside a map; results are applied
+  to the sim timeline only after the join.
+
+``workers=0`` (the default) runs the same chunk plan serially
+in-process — same spans, same metrics, same bytes. The pool itself is
+process-global and lazy: one ``ProcessPoolExecutor`` per worker count,
+shared by every array in the process, shut down atexit. If the pool
+cannot be used at all (sandboxed fork, fd exhaustion, dead workers) the
+executor falls back to the serial path permanently and counts the event
+in ``perf_report``.
+
+Because this repo simulates time, wall-clock speedup on a laptop is
+not the gated signal. The executor also keeps a deterministic
+critical-path cost model per stage: chunk costs round-robin onto
+``MODELED_WORKER_COUNTS`` hypothetical workers, and
+``modeled_speedup(w) = total_cost / critical_path(w)``. That number is
+a pure function of the workload, identical on every machine, and is
+what ``bench_parallel`` gates.
+"""
+
+import atexit
+import concurrent.futures
+import multiprocessing
+import os
+
+import numpy as np
+
+from repro.parallel.names import STAGE_NAMES
+from repro.parallel.workers import encode_rs_columns
+from repro.perf import PERF
+
+#: Worker counts the critical-path cost model tracks.
+MODELED_WORKER_COUNTS = (1, 2, 4, 8)
+
+
+def resolve_workers(workers=None):
+    """Effective worker count: explicit value, else ``$REPRO_WORKERS``,
+    else 0 (serial)."""
+    if workers is None:
+        raw = os.environ.get("REPRO_WORKERS", "").strip()
+        if not raw:
+            return 0
+        workers = raw
+    count = int(workers)
+    if count < 0:
+        raise ValueError("workers must be >= 0, got %d" % count)
+    return count
+
+
+# One shared pool per worker count; arrays come and go, pools persist.
+_POOLS = {}
+
+
+def _process_pool(workers):
+    pool = _POOLS.get(workers)
+    if pool is None:
+        methods = multiprocessing.get_all_start_methods()
+        method = "fork" if "fork" in methods else methods[0]
+        pool = concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=multiprocessing.get_context(method),
+        )
+        _POOLS[workers] = pool
+    return pool
+
+
+def _discard_pool(workers):
+    pool = _POOLS.pop(workers, None)
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _shutdown_pools():
+    for workers in list(_POOLS):
+        _discard_pool(workers)
+
+
+atexit.register(_shutdown_pools)
+
+
+class StageStats:
+    """Deterministic per-stage accounting (map/item/chunk counts plus the
+    critical-path cost model)."""
+
+    __slots__ = ("maps", "items", "chunks", "cost", "critical")
+
+    def __init__(self):
+        self.maps = 0
+        self.items = 0
+        self.chunks = 0
+        self.cost = 0
+        self.critical = {count: 0 for count in MODELED_WORKER_COUNTS}
+
+    def note(self, item_count, chunk_costs):
+        self.maps += 1
+        self.items += item_count
+        self.chunks += len(chunk_costs)
+        self.cost += sum(chunk_costs)
+        for count in MODELED_WORKER_COUNTS:
+            loads = [0] * count
+            for index, chunk_cost in enumerate(chunk_costs):
+                loads[index % count] += chunk_cost
+            self.critical[count] += max(loads)
+
+    def modeled_speedup(self, count):
+        critical = self.critical.get(count, 0)
+        if not critical:
+            return 1.0
+        return self.cost / critical
+
+
+class ParallelExecutor:
+    """Ordered parallel map over pure workers, serial at ``workers=0``."""
+
+    def __init__(self, workers=None, chunk_items=2, min_items=4,
+                 rs_chunk_cols=128 * 1024):
+        self.workers = resolve_workers(workers)
+        self.chunk_items = max(1, int(chunk_items))
+        self.min_items = max(1, int(min_items))
+        self.rs_chunk_cols = max(1, int(rs_chunk_cols))
+        self.obs = None  # wired by the array
+        self._stats = {}
+        self._broken = False
+
+    # -- partition plan (worker-count independent) ----------------------
+
+    def partition(self, count, chunk_items=None):
+        """Fixed-size chunk bounds ``[(lo, hi), ...]`` covering ``count``
+        items. Depends only on the item count — never on workers."""
+        size = chunk_items if chunk_items else self.chunk_items
+        return [(lo, min(lo + size, count)) for lo in range(0, count, size)]
+
+    def should_speculate(self, item_count):
+        """Whether speculative fan-out is worth the shipping cost."""
+        return (self.workers > 0 and not self._broken
+                and item_count >= self.min_items)
+
+    # -- stats ----------------------------------------------------------
+
+    def stage_stats(self, stage):
+        stats = self._stats.get(stage)
+        if stats is None:
+            stats = self._stats[stage] = StageStats()
+        return stats
+
+    def stages(self):
+        return sorted(self._stats)
+
+    def modeled_speedup(self, count, stages=None):
+        """Aggregate critical-path speedup at ``count`` modeled workers
+        across ``stages`` (default: every stage seen so far)."""
+        names = self.stages() if stages is None else stages
+        cost = 0
+        critical = 0
+        for name in names:
+            stats = self._stats.get(name)
+            if stats is None:
+                continue
+            cost += stats.cost
+            critical += stats.critical.get(count, 0)
+        if not critical:
+            return 1.0
+        return cost / critical
+
+    # -- execution ------------------------------------------------------
+
+    def map(self, stage, func, items, chunk_items=None, costs=None,
+            record=True):
+        """Run ``func`` over fixed-size chunks of ``items``; results merge
+        back flattened, in input order.
+
+        ``costs`` (optional, one int per item) feeds the critical-path
+        model; it defaults to one unit per item. ``record=False`` skips
+        spans and metrics counters — for speculative work that must stay
+        invisible in traces so byte-identity holds across worker counts.
+        """
+        if stage not in STAGE_NAMES:
+            raise ValueError(
+                "unknown parallel stage %r; register it in "
+                "repro.parallel.names.STAGE_NAMES" % (stage,))
+        if not getattr(func, "__pure_worker__", False):
+            raise TypeError(
+                "%r is not marked @pure_worker; refusing to ship it to "
+                "the pool" % (func,))
+        if not isinstance(items, list):
+            items = list(items)
+        bounds = self.partition(len(items), chunk_items)
+        if costs is None:
+            chunk_costs = [hi - lo for lo, hi in bounds]
+        else:
+            chunk_costs = [sum(costs[lo:hi]) for lo, hi in bounds]
+        self.stage_stats(stage).note(len(items), chunk_costs)
+        obs = self.obs if record else None
+        span = None
+        if obs is not None and obs.tracing:
+            span = obs.begin("parallel.map", stage=stage, items=len(items),
+                             chunks=len(bounds))
+        chunk_results = self._run_chunks(func, [items[lo:hi]
+                                                for lo, hi in bounds])
+        merged = []
+        for chunk_result in chunk_results:
+            merged.extend(chunk_result)
+        if span is not None:
+            obs.end(span)
+        if obs is not None:
+            obs.metrics.counter("parallel.maps").inc()
+            obs.metrics.counter("parallel.items").inc(len(items))
+            obs.metrics.counter("parallel.chunks").inc(len(bounds))
+        return merged
+
+    def rs_encode(self, codec, matrix):
+        """Column-partitioned ``encode_stripes``: (k, L) in, (m, L) out.
+
+        Parity columns depend only on the matching data columns, so the
+        matrix splits into fixed-width column chunks that encode
+        independently and concatenate byte-identically to the serial
+        result. At ``workers=0`` (or a single chunk) the codec runs once
+        over the whole matrix — same bytes, no slice copies — while the
+        partition plan, span, and counters stay identical so traces
+        match across worker counts.
+        """
+        stage = "parallel.rs-encode"
+        data_shards = int(matrix.shape[0])
+        cols = int(matrix.shape[1])
+        bounds = self.partition(cols, self.rs_chunk_cols)
+        chunk_costs = [(hi - lo) * data_shards for lo, hi in bounds]
+        self.stage_stats(stage).note(len(bounds), chunk_costs)
+        obs = self.obs
+        span = None
+        if obs is not None and obs.tracing:
+            span = obs.begin("parallel.map", stage=stage, items=len(bounds),
+                             chunks=len(bounds), cols=cols)
+        if self.workers == 0 or self._broken or len(bounds) < 2:
+            parity = codec.encode_stripes(matrix)
+        else:
+            chunks = [[(data_shards, codec.parity_shards,
+                        matrix[:, lo:hi].tobytes(), hi - lo)]
+                      for lo, hi in bounds]
+            chunk_results = self._run_chunks(encode_rs_columns, chunks)
+            parity = np.empty((codec.parity_shards, cols), dtype=np.uint8)
+            for (lo, hi), chunk_result in zip(bounds, chunk_results):
+                piece = np.frombuffer(chunk_result[0], dtype=np.uint8)
+                parity[:, lo:hi] = piece.reshape(codec.parity_shards,
+                                                 hi - lo)
+        if span is not None:
+            obs.end(span)
+        if obs is not None:
+            obs.metrics.counter("parallel.maps").inc()
+            obs.metrics.counter("parallel.items").inc(len(bounds))
+            obs.metrics.counter("parallel.chunks").inc(len(bounds))
+        return parity
+
+    def _run_chunks(self, func, chunks):
+        """Execute chunks, returning per-chunk results in submission
+        order. Serial and pooled paths are interchangeable by
+        construction; a broken pool degrades to serial for good."""
+        if self.workers == 0 or self._broken or len(chunks) < 2:
+            PERF.incr("parallel-serial-chunks", len(chunks))
+            return [func(chunk) for chunk in chunks]
+        try:
+            pool = _process_pool(self.workers)
+            with PERF.timer("parallel-map"):
+                futures = [pool.submit(func, chunk) for chunk in chunks]
+                results = [future.result() for future in futures]
+        except (OSError, concurrent.futures.process.BrokenProcessPool):
+            # Pool unusable in this environment — results are identical
+            # by construction on the serial path, only wall time changes.
+            self._broken = True
+            PERF.incr("parallel-pool-fallback")
+            _discard_pool(self.workers)
+            return [func(chunk) for chunk in chunks]
+        PERF.incr("parallel-pool-chunks", len(chunks))
+        return results

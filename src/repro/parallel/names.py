@@ -1,0 +1,23 @@
+"""The central registry of parallel stage names.
+
+Every stage a call site fans out through
+:meth:`repro.parallel.ParallelExecutor.map` must appear here, exactly
+like span/metric names in :mod:`repro.obs.names`. The
+``name-registry-sync`` lint rule resolves the stage literal at
+``<executor>.map("...")`` call sites against this set, so a typo forks
+a stage name in a report instead of failing — unless it fails lint
+first, which is the point.
+
+The registry is data, not behaviour: nothing imports it on the hot
+path.
+"""
+
+#: Stage names, one per parallelized pipeline stage.
+STAGE_NAMES = frozenset({
+    # speculative per-cblock zlib compression (datapath write path)
+    "parallel.compress",
+    # column-partitioned Reed-Solomon encode (segio flush path)
+    "parallel.rs-encode",
+    # batched stripe parity verification (scrubber)
+    "parallel.scrub-verify",
+})

@@ -1,0 +1,88 @@
+"""Buffer pools: recycled scratch buffers for the flush and read paths.
+
+Every ``OpenSegio`` used to allocate a fresh multi-hundred-KiB payload
+bytearray, and every ``DataPath.read`` a fresh paint buffer — pure
+allocator churn, since both are dropped the moment the segio flushes or
+the read returns. A :class:`BufferPool` keeps a small size-classed free
+list instead, with hit/miss counters wired into the obs metrics
+registry (``pool.segio.*`` / ``pool.read.*``) so the bench gate can
+watch the flush path's allocation rate.
+
+Acquire returns a **zeroed** buffer: the segio payload contract is that
+unwritten gap bytes read as zeros, and the read path's paint buffer
+must start zeroed for unmapped ranges — recycling must be
+indistinguishable from fresh allocation, byte for byte. Zeroing is one
+``memcpy`` from a cached template, which is the whole point: reuse the
+allocation, not the contents.
+"""
+
+
+class BufferPool:
+    """Size-classed free list of reusable bytearrays."""
+
+    def __init__(self, max_buffers=8, metrics=None, name="pool"):
+        self.name = name
+        self.max_buffers = max(0, int(max_buffers))
+        self._free = {}   # size -> [bytearray, ...]
+        self._zeros = {}  # size -> immutable zero template for re-zeroing
+        self._held = 0
+        self.hits = 0
+        self.misses = 0
+        self.discards = 0
+        self._hit_counter = None
+        self._miss_counter = None
+        if metrics is not None:
+            self.bind_metrics(metrics)
+
+    def bind_metrics(self, metrics):
+        """Register hit/miss counters on an obs metrics registry."""
+        self._hit_counter = metrics.counter("%s.hits" % self.name)
+        self._miss_counter = metrics.counter("%s.misses" % self.name)
+        return self
+
+    def acquire(self, size):
+        """A zeroed bytearray of exactly ``size`` bytes."""
+        stack = self._free.get(size)
+        if stack:
+            buffer = stack.pop()
+            self._held -= 1
+            zeros = self._zeros.get(size)
+            if zeros is None:
+                zeros = self._zeros[size] = bytes(size)
+            buffer[:] = zeros
+            self.hits += 1
+            if self._hit_counter is not None:
+                self._hit_counter.inc()
+            return buffer
+        self.misses += 1
+        if self._miss_counter is not None:
+            self._miss_counter.inc()
+        return bytearray(size)
+
+    def release(self, buffer):
+        """Return ``buffer`` to the pool; full pools drop it instead."""
+        if not isinstance(buffer, bytearray) or not len(buffer):
+            return
+        if self._held >= self.max_buffers:
+            self.discards += 1
+            return
+        self._free.setdefault(len(buffer), []).append(buffer)
+        self._held += 1
+
+    @property
+    def allocations(self):
+        """Fresh allocations (pool misses) since construction."""
+        return self.misses
+
+    @property
+    def hit_rate(self):
+        looked = self.hits + self.misses
+        return self.hits / looked if looked else 0.0
+
+    def counters(self):
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "discards": self.discards,
+            "held": self._held,
+        }

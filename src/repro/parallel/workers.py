@@ -1,0 +1,88 @@
+"""Pure worker functions shipped to the process pool.
+
+Everything here is a deterministic function of its arguments: no
+randomness, no wall clock, no sim state (the ``no-unseeded-worker``
+lint rule enforces the first two statically). Workers are plain
+module-level functions so the pool pickles them by reference, and each
+keeps a per-process cache of its heavy construction (zlib compressor,
+Reed-Solomon codec) keyed by parameters — forked workers rebuild them
+once, then reuse.
+
+A worker takes a *chunk* (a list of items) and returns one result per
+item, in order. The executor's ordered merge relies on exactly that.
+"""
+
+import numpy as np
+
+from repro.compression.cblock import build_cblock
+from repro.compression.engine import ZlibCompressor
+from repro.erasure.reed_solomon import ReedSolomon
+
+
+def pure_worker(func):
+    """Mark ``func`` as safe to ship to the worker pool.
+
+    The marker is a contract: the function depends only on its
+    arguments (``ParallelExecutor.map`` refuses undecorated callables
+    at runtime, and the ``no-unseeded-worker`` lint rule bans
+    randomness and wall-clock reads inside decorated functions).
+    """
+    func.__pure_worker__ = True
+    return func
+
+
+#: Per-process caches: zlib level -> compressor, (k, m) -> codec.
+_COMPRESSORS = {}
+_CODECS = {}
+
+
+def _compressor(level):
+    compressor = _COMPRESSORS.get(level)
+    if compressor is None:
+        compressor = _COMPRESSORS[level] = ZlibCompressor(level)
+    return compressor
+
+
+def _codec(data_shards, parity_shards):
+    key = (data_shards, parity_shards)
+    codec = _CODECS.get(key)
+    if codec is None:
+        codec = _CODECS[key] = ReedSolomon(data_shards, parity_shards)
+    return codec
+
+
+@pure_worker
+def compress_cblocks(items):
+    """Compress whole cblocks: (data, zlib_level) -> (blob, codec_id).
+
+    Produces exactly the bytes :func:`repro.compression.cblock.
+    build_cblock` would — the datapath adopts a speculative blob only
+    when dedup left the whole chunk unique, so this *must* stay
+    byte-identical to the serial path.
+    """
+    return [build_cblock(data, _compressor(level)) for data, level in items]
+
+
+@pure_worker
+def encode_rs_columns(items):
+    """Encode column chunks: (k, m, data_bytes, cols) -> parity bytes.
+
+    ``data_bytes`` is a row-major (k, cols) uint8 matrix slice. Parity
+    columns depend only on the matching data columns, so chunk results
+    concatenate byte-identically to a whole-matrix encode.
+    """
+    results = []
+    for data_shards, parity_shards, data, cols in items:
+        matrix = np.frombuffer(data, dtype=np.uint8).reshape(data_shards, cols)
+        parity = _codec(data_shards, parity_shards).encode_stripes(matrix)
+        results.append(parity.tobytes())
+    return results
+
+
+@pure_worker
+def verify_stripes(items):
+    """Verify complete stripes: (k, m, shards) -> bool per stripe."""
+    return [
+        _codec(data_shards, parity_shards).verify(list(shards))
+        for data_shards, parity_shards, shards in items
+    ]

@@ -35,6 +35,7 @@ EXPECTED_BENCHES = {
     "raid_ablation",
     "chaos",
     "hotpath",
+    "parallel",
 }
 
 

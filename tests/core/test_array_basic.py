@@ -121,9 +121,10 @@ def test_write_after_unmap(array, volume, stream):
 def test_latencies_recorded(array, volume):
     array.write(volume, 0, compressible_bytes(4 * KIB))
     array.read(volume, 0, 4 * KIB)
-    assert array.latencies.count("write") == 1
-    assert array.latencies.count("read") == 1
-    assert array.latencies.mean("write") > 0
+    registry = array.obs.metrics
+    assert registry.histogram("io.write.latency").count == 1
+    assert registry.histogram("io.read.latency").count == 1
+    assert registry.histogram("io.write.latency").mean > 0
 
 
 def test_write_latency_is_nvram_commit_not_flush(array, volume):

@@ -4,7 +4,6 @@ the hot-path perf-counter layer (stage timers + cblock cache counters)."""
 import pytest
 
 from repro.core.telemetry import (
-    LatencyRecorder,
     PerfCounters,
     ReductionReport,
     format_perf_report,
@@ -13,29 +12,27 @@ from repro.core.telemetry import (
 )
 
 
-def test_latency_recorder_basics():
-    recorder = LatencyRecorder()
+def test_io_latency_lives_in_the_metrics_registry():
+    """The old LatencyRecorder shim is gone; io.<op>.latency histograms
+    in the unified registry are the one source of latency truth."""
+    from repro.obs.metrics import MetricsRegistry
+    from repro.sim.distributions import percentile
+
+    registry = MetricsRegistry()
+    histogram = registry.histogram("io.read.latency")
     for value in (0.001, 0.002, 0.003):
-        recorder.record("read", value)
-    recorder.record("write", 0.0001)
-    assert recorder.count("read") == 3
-    assert recorder.count("write") == 1
-    assert recorder.mean("read") == pytest.approx(0.002)
-    assert recorder.percentile("read", 0.5) == 0.002
-    assert set(recorder.operations()) == {"read", "write"}
+        histogram.record(value)
+    registry.histogram("io.write.latency").record(0.0001)
+    assert histogram.count == 3
+    assert registry.histogram("io.write.latency").count == 1
+    assert histogram.mean == pytest.approx(0.002)
+    assert percentile(histogram.samples, 0.5) == 0.002
 
 
-def test_latency_recorder_empty_mean_raises():
-    recorder = LatencyRecorder()
-    with pytest.raises(ValueError):
-        recorder.mean("read")
+def test_latency_recorder_shim_is_gone():
+    import repro.core.telemetry as telemetry
 
-
-def test_latency_recorder_clear():
-    recorder = LatencyRecorder()
-    recorder.record("read", 1.0)
-    recorder.clear()
-    assert recorder.count("read") == 0
+    assert not hasattr(telemetry, "LatencyRecorder")
 
 
 def make_report(logical=1000, unique=500, physical=250, provisioned=10000):

@@ -1,0 +1,10 @@
+"""Fixture: registered stage names and out-of-scope map calls (0 findings)."""
+
+
+def fan_out(parallel, worker, items, dynamic_stage):
+    results = parallel.map("parallel.compress", worker, items)
+    # A computed stage cannot be resolved statically; not flagged.
+    parallel.map(dynamic_stage, worker, items)
+    # Not an executor receiver: builtins and other .map(...) shapes pass.
+    tuple(map(str, results))
+    return results

@@ -1,0 +1,5 @@
+"""Fixture: a typo-drifted parallel stage name (1 finding)."""
+
+
+def fan_out(executor, worker, items):
+    return executor.map("parallel.compres", worker, items)

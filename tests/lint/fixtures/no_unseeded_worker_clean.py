@@ -1,0 +1,25 @@
+"""Fixture: pure workers, plus impure *non*-workers (0 findings)."""
+
+import random
+import time
+import zlib
+
+
+def pure_worker(func):
+    func.__pure_worker__ = True
+    return func
+
+
+@pure_worker
+def compress_chunks(items):
+    return [zlib.compress(bytes(data), level) for data, level in items]
+
+
+@pure_worker
+def double(items):
+    return [item * 2 for item in items]
+
+
+def jitter():
+    # Not a worker: the wall-clock/randomness rules own plain functions.
+    return random.random() + time.monotonic()

@@ -1,0 +1,15 @@
+"""Fixture: a deliberate wall-clock read in a worker, suppressed."""
+
+import time
+
+
+def pure_worker(func):
+    func.__pure_worker__ = True
+    return func
+
+
+@pure_worker
+def timed_noop(items):
+    started = time.perf_counter()  # lint: allow[no-unseeded-worker] local-only timing probe, never returned
+    del started
+    return list(items)

@@ -1,0 +1,31 @@
+"""Fixture: impure @pure_worker functions (4 findings)."""
+
+import datetime
+import random
+import time
+from time import monotonic
+
+
+def pure_worker(func):
+    func.__pure_worker__ = True
+    return func
+
+
+@pure_worker
+def jittered(items):
+    time.sleep(0)
+    return [item + random.random() for item in items]
+
+
+@pure_worker
+def stamped(items):
+    return [(item, monotonic()) for item in items]
+
+
+@pure_worker
+def dated(items):
+    return [(item, datetime.datetime.now()) for item in items]
+
+
+def helper(items):  # undecorated: out of scope for this rule
+    return sorted(items)

@@ -1,0 +1,38 @@
+"""no-unseeded-worker: violating, clean, and pragma-suppressed fixtures."""
+
+from tests.lint.conftest import assert_all_suppressed, assert_clean
+
+RULE = "no-unseeded-worker"
+
+
+def test_violations_cover_clock_random_and_from_imports(lint_fixture):
+    result = lint_fixture("no_unseeded_worker_violation.py", RULE)
+    assert len(result.findings) == 4
+    by_message = "\n".join(f.message for f in result.findings)
+    assert "'time.sleep'" in by_message
+    assert "'random.random'" in by_message
+    assert "'monotonic'" in by_message
+    assert "'datetime.datetime.now'" in by_message
+    # Every finding names the offending worker, never the helper.
+    assert "helper" not in by_message
+
+
+def test_clean_ignores_undecorated_functions(lint_fixture):
+    assert_clean(lint_fixture("no_unseeded_worker_clean.py", RULE))
+
+
+def test_pragma_suppressed(lint_fixture):
+    assert_all_suppressed(lint_fixture("no_unseeded_worker_pragma.py", RULE))
+
+
+def test_shipped_workers_are_pure():
+    """The real worker module passes its own rule (belt to the CI
+    self-lint's braces)."""
+    import repro.parallel.workers as workers_module
+
+    from repro.lint import get_rule, run_lint
+
+    result = run_lint(
+        [workers_module.__file__], rules=[get_rule(RULE)]
+    )
+    assert result.findings == []

@@ -82,11 +82,6 @@ def test_registry_still_records_with_tracing_off():
     registry = array.obs.metrics
     assert registry.histogram("io.write.latency").count > 0
     assert registry.histogram("io.read.latency").count > 0
-    # The deprecated LatencyRecorder shim reads the same histograms.
-    assert array.latencies.count("write") == (
-        registry.histogram("io.write.latency").count
-    )
-    assert sorted(array.latencies.operations()) == ["read", "write"]
 
 
 @pytest.mark.slow

@@ -1,0 +1,153 @@
+"""Differential determinism: workers=0 and workers=2 produce the same
+bytes — per stage, end to end, and under chaos.
+
+The executor's contract is that worker count changes wall time only:
+stored segments, read-back data, and the obs trace JSONL must be
+byte-identical for the same seed. (Metrics snapshots are compared only
+run-to-run at a fixed worker count elsewhere — they merge process-global
+perf counters, which legitimately see different execution placement.)
+"""
+
+import hashlib
+
+import pytest
+
+from repro.compression.cblock import build_cblock
+from repro.compression.engine import ZlibCompressor
+from repro.core.array import PurityArray
+from repro.core.config import ArrayConfig
+from repro.faults.chaos import ChaosHarness
+from repro.obs.export import trace_text
+from repro.parallel import ParallelExecutor, compress_cblocks, verify_stripes
+from repro.perf import reset_perf_counters
+from repro.sim.rand import RandomStream
+from repro.units import KIB
+
+SEED = 23
+
+#: Small RS chunk so the tiny test geometry still fans out (>1 chunk).
+RS_CHUNK_COLS = 4 * KIB
+
+
+def _config(workers):
+    return ArrayConfig.small(
+        seed=SEED, workers=workers, parallel_rs_chunk_cols=RS_CHUNK_COLS
+    )
+
+
+def _drive_fingerprint(array):
+    """Hash of every stored byte run on every drive, in a fixed order."""
+    digest = hashlib.sha256()
+    for name in sorted(array.drives):
+        store = array.drives[name].store
+        digest.update(name.encode())
+        for start, length in store.extents():
+            digest.update(b"%d:%d:" % (start, length))
+            digest.update(store.read(start, length))
+    return digest.hexdigest()
+
+
+def _run_workload(workers):
+    array = PurityArray.create(_config(workers))
+    array.obs.enable_tracing()
+    array.create_volume("v0", 1024 * KIB)
+    stream = RandomStream(SEED).fork("differential")
+    for op in range(18):
+        offset = (op % 5) * 128 * KIB
+        if op % 4 == 3:
+            array.read("v0", offset, 32 * KIB)
+        else:
+            array.write("v0", offset, stream.randbytes(128 * KIB))
+    array.run_gc()
+    array.scrub()
+    reads = [array.read("v0", index * 128 * KIB, 128 * KIB)[0]
+             for index in range(5)]
+    return array, reads
+
+
+# ----------------------------------------------------------------------
+# Per-stage differentials
+
+
+def test_compress_stage_matches_serial_compression():
+    stream = RandomStream(SEED).fork("stage-compress")
+    items = [(stream.randbytes(2 * KIB) + b"\x00" * (2 * KIB), 1)
+             for _index in range(8)]
+    serial = [build_cblock(data, ZlibCompressor(level))
+              for data, level in items]
+    executor = ParallelExecutor(workers=2, chunk_items=2)
+    assert executor.map(
+        "parallel.compress", compress_cblocks, items
+    ) == serial
+
+
+def test_scrub_verify_stage_matches_serial_verify():
+    from repro.erasure.reed_solomon import ReedSolomon
+    import numpy as np
+
+    codec = ReedSolomon(7, 2)
+    stream = RandomStream(SEED).fork("stage-verify")
+    stripes = []
+    for index in range(6):
+        matrix = np.frombuffer(
+            stream.randbytes(7 * 512), dtype=np.uint8
+        ).reshape(7, 512)
+        shards = [matrix[row].tobytes() for row in range(7)]
+        shards.extend(
+            row.tobytes() for row in codec.encode_stripes(matrix)
+        )
+        if index % 3 == 2:  # corrupt one shard: verify must say no
+            shards[4] = bytes(512)
+        stripes.append((7, 2, tuple(shards)))
+    serial = [codec.verify(list(shards)) for _k, _m, shards in stripes]
+    assert serial.count(False) == 2  # the corrupted stripes
+    executor = ParallelExecutor(workers=2, chunk_items=2)
+    assert executor.map(
+        "parallel.scrub-verify", verify_stripes, stripes
+    ) == serial
+
+
+# (The rs-encode per-stage differential lives in test_executor.py:
+# test_rs_encode_is_byte_identical_across_worker_counts.)
+
+
+# ----------------------------------------------------------------------
+# End-to-end differential
+
+
+def test_e2e_same_seed_same_bytes_any_worker_count():
+    serial_array, serial_reads = _run_workload(workers=0)
+    pooled_array, pooled_reads = _run_workload(workers=2)
+    # Client-visible bytes, stored media bytes, and the trace all match.
+    assert serial_reads == pooled_reads
+    assert _drive_fingerprint(serial_array) == _drive_fingerprint(
+        pooled_array
+    )
+    serial_trace = trace_text(serial_array.obs)
+    assert serial_trace
+    assert serial_trace == trace_text(pooled_array.obs)
+    # The pooled run genuinely fanned out (the differential is not
+    # comparing two serial runs).
+    stats = pooled_array.parallel.stage_stats("parallel.rs-encode")
+    assert stats.maps > 0 and stats.chunks > stats.maps
+    assert pooled_array.segwriter.buffer_pool.hits > 0
+
+
+@pytest.mark.slow
+def test_chaos_run_trace_is_byte_identical_across_worker_counts(tmp_path):
+    def run(workers, directory):
+        reset_perf_counters()
+        harness = ChaosHarness(
+            seed=SEED, config=_config(workers), total_ops=60,
+            maintenance_every=20, tracing=True,
+        )
+        harness.run()
+        trace_path, _metrics_path = harness.export_obs(str(directory))
+        with open(trace_path, "rb") as handle:
+            return handle.read(), harness.report
+
+    serial_trace, serial_report = run(0, tmp_path / "w0")
+    pooled_trace, pooled_report = run(2, tmp_path / "w2")
+    assert serial_trace and serial_trace == pooled_trace
+    assert serial_report.trace == pooled_report.trace
+    assert not serial_report.violations and not pooled_report.violations

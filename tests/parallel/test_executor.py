@@ -1,0 +1,116 @@
+"""Executor mechanics: partitioning, ordered merge, purity enforcement,
+the serial fallback, and the deterministic cost model."""
+
+import numpy as np
+import pytest
+
+from repro.erasure.reed_solomon import ReedSolomon
+from repro.parallel import (
+    MODELED_WORKER_COUNTS,
+    ParallelExecutor,
+    compress_cblocks,
+    pure_worker,
+    resolve_workers,
+)
+from repro.sim.rand import RandomStream
+
+
+def test_partition_is_worker_count_independent():
+    for workers in (0, 1, 2, 4, 8):
+        executor = ParallelExecutor(workers=workers, chunk_items=3)
+        assert executor.partition(10) == [(0, 3), (3, 6), (6, 9), (9, 10)]
+    assert ParallelExecutor(workers=0).partition(0) == []
+
+
+def test_resolve_workers_env_and_explicit(monkeypatch):
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    assert resolve_workers() == 0
+    assert resolve_workers(3) == 3
+    monkeypatch.setenv("REPRO_WORKERS", "2")
+    assert resolve_workers() == 2
+    assert resolve_workers(0) == 0  # explicit beats the env
+    with pytest.raises(ValueError):
+        resolve_workers(-1)
+
+
+def test_map_refuses_undecorated_callables():
+    executor = ParallelExecutor(workers=0)
+    with pytest.raises(TypeError):
+        executor.map("parallel.compress", sorted, [[3, 1]])
+
+
+def test_map_refuses_unregistered_stages():
+    executor = ParallelExecutor(workers=0)
+    with pytest.raises(ValueError):
+        executor.map("parallel.frobnicate", compress_cblocks, [])
+
+
+def _compress_items(count, seed=13):
+    stream = RandomStream(seed).fork("executor-items")
+    # Half-compressible payloads so both codec branches appear.
+    return [
+        (stream.randbytes(512) + b"\x00" * 1536, 1) for _index in range(count)
+    ]
+
+
+@pytest.mark.parametrize("workers", [0, 2])
+def test_map_merge_matches_the_serial_loop(workers):
+    items = _compress_items(9)
+    executor = ParallelExecutor(workers=workers, chunk_items=2)
+    results = executor.map("parallel.compress", compress_cblocks, items)
+    assert results == compress_cblocks(items)
+    stats = executor.stage_stats("parallel.compress")
+    assert (stats.maps, stats.items, stats.chunks) == (1, 9, 5)
+
+
+def test_broken_pool_falls_back_to_identical_serial_results():
+    items = _compress_items(8)
+    executor = ParallelExecutor(workers=2, chunk_items=2)
+    executor._broken = True  # as if the pool died mid-run
+    assert executor.map(
+        "parallel.compress", compress_cblocks, items
+    ) == compress_cblocks(items)
+
+
+def test_rs_encode_is_byte_identical_across_worker_counts():
+    codec = ReedSolomon(7, 2)
+    stream = RandomStream(29).fork("rs-matrix")
+    matrix = np.frombuffer(
+        stream.randbytes(7 * 1024), dtype=np.uint8
+    ).reshape(7, 1024)
+    expected = codec.encode_stripes(matrix).tobytes()
+    for workers in (0, 2):
+        executor = ParallelExecutor(workers=workers, rs_chunk_cols=100)
+        parity = executor.rs_encode(codec, matrix)
+        assert parity.tobytes() == expected
+        stats = executor.stage_stats("parallel.rs-encode")
+        assert stats.chunks == 11  # ceil(1024 / 100), any worker count
+
+
+def test_cost_model_round_robins_to_the_critical_path():
+    executor = ParallelExecutor(workers=0, chunk_items=1)
+    executor.map(
+        "parallel.compress", compress_cblocks, _compress_items(4),
+        costs=[4, 3, 2, 1],
+    )
+    stats = executor.stage_stats("parallel.compress")
+    assert stats.cost == 10
+    # Chunks land round-robin: w=2 -> loads (4+2, 3+1) -> critical 6.
+    assert stats.critical[2] == 6
+    assert stats.modeled_speedup(2) == pytest.approx(10 / 6)
+    assert stats.critical[4] == 4
+    assert executor.modeled_speedup(4) == pytest.approx(10 / 4)
+    assert set(stats.critical) == set(MODELED_WORKER_COUNTS)
+
+
+def test_modeled_speedup_defaults_to_unity():
+    executor = ParallelExecutor(workers=0)
+    assert executor.modeled_speedup(4) == 1.0
+
+
+def test_pure_worker_marks_functions():
+    @pure_worker
+    def sample(items):
+        return items
+
+    assert sample.__pure_worker__ is True
