@@ -85,6 +85,8 @@ SEEDS = {
     "chaos.sweep": (0, 3, 7, 9, 11),
     "chaos.throughput": 21,
     "chaos.traced": 9,
+    "chaos.stall_storm": 33,
+    "chaos.rebuild_throttle": 34,
     # Hot-path kernels (the paper's year, historically).
     "hotpath.kernels": 2015,
     # Parallel pipeline: one seeded workload drives both worker counts.

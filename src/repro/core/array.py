@@ -19,6 +19,7 @@ from repro.core.scrubber import Scrubber
 from repro.core.tables import TableSet
 from repro.core.telemetry import ReductionReport
 from repro.core.volume import VolumeManager
+from repro.degrade import DegradeEngine, HedgePolicy, RebuildGovernor
 from repro.erasure.reed_solomon import ReedSolomon
 from repro.layout.allocation import Allocator
 from repro.layout.bootregion import BootRegion
@@ -81,6 +82,7 @@ class PurityArray:
             self.drives,
             avoid_policy=self._avoid_policy,
             health=self.health,
+            config=self.config,
         )
         self.tables = TableSet(fanout=self.config.pyramid_fanout)
         self.pipeline = CommitPipeline(
@@ -143,6 +145,35 @@ class PurityArray:
         )
         self._write_latency = self.obs.metrics.histogram("io.write.latency")
         self._read_latency = self.obs.metrics.histogram("io.read.latency")
+        # Degraded-mode policy layer (see :mod:`repro.degrade`): the
+        # ladder/ledger engine, the hedged-read policy, and the rebuild
+        # governor. The hedge policy is wired unconditionally so the
+        # reconstruction candidate ordering is identical with hedging
+        # on or off; ``enabled`` only controls whether hedges fire.
+        self.degrade = DegradeEngine(self.clock, obs=self.obs)
+        self.datapath.degrade = self.degrade
+        self.segwriter.degrade = self.degrade
+        self.segreader.hedge = HedgePolicy(
+            self.clock,
+            self.config.hedge_deadline,
+            health=self.health,
+            obs=self.obs,
+            enabled=self.config.hedge_reads,
+        )
+        self.rebuild_governor = RebuildGovernor(
+            self.clock,
+            slo_p99=self.config.rebuild_slo_p99,
+            full_rate=self.config.rebuild_rate_full,
+            throttled_rate=self.config.rebuild_rate_throttled,
+            burst=self.config.rebuild_burst,
+            window=self.config.slo_window_reads,
+            obs=self.obs,
+        )
+        # A controller booting onto substrate evidence of damage starts
+        # on the matching rung (recovery adds the replay-debt numbers).
+        if getattr(shelf.nvram, "degraded", False):
+            self.degrade.note_nvram_tear()
+        self._note_drive_failures()
         self.crashed = False
         self._rebuild_pending = False
 
@@ -217,6 +248,7 @@ class PurityArray:
         if span is not None:
             obs.end(span, lat=latency)
         self._read_latency.record(latency)
+        self.rebuild_governor.observe_read_latency(latency)
         if advance_clock:
             self.clock.advance(latency)
         return data, latency
@@ -258,10 +290,21 @@ class PurityArray:
         return self.pipeline.drain()
 
     def checkpoint(self):
-        """Write a boot-region checkpoint (also refills the frontier)."""
+        """Write a boot-region checkpoint (also refills the frontier).
+
+        A checkpoint persists everything a torn NVRAM mirror put at
+        risk, so it also completes the ``nvram-degraded`` repair: the
+        ladder descends and write-through mode ends.
+        """
         self._check_alive()
         self.pipeline.drain()
-        return self.pipeline.checkpoint()
+        result = self.pipeline.checkpoint()
+        if self.degrade.nvram_degraded:
+            self.degrade.note_nvram_repaired()
+            mark = getattr(self.shelf.nvram, "mark_repaired", None)
+            if mark is not None:
+                mark()
+        return result
 
     def run_gc(self, max_segments=4):
         """One background garbage-collection pass."""
@@ -284,6 +327,7 @@ class PurityArray:
         self.allocator.drop_drive(drive_name)
         self.frontier.drop_drive(drive_name)
         self.health.note_failed(drive_name)
+        self._note_drive_failures()
 
     def _auto_fail_drive(self, drive_name):
         """Health-monitor callback: a chronically suspect drive is
@@ -295,6 +339,26 @@ class PurityArray:
         self.allocator.drop_drive(drive_name)
         self.frontier.drop_drive(drive_name)
         self._rebuild_pending = True
+        self._note_drive_failures()
+
+    def _note_drive_failures(self):
+        """Feed current drive-failure evidence to the degrade engine.
+
+        More failures than parity shards is *detected* unsurvivable
+        damage: the ladder pins the array read-only (reads keep being
+        served and report loss honestly; writes are refused).
+        """
+        failed = sorted(
+            name for name, drive in self.drives.items() if drive.failed
+        )
+        for name in failed:
+            self.degrade.note_drive_failed(name)
+        parity = self.config.segment_geometry.parity_shards
+        if len(failed) > parity:
+            self.degrade.note_unsurvivable(
+                "%d concurrent drive failures exceed the parity budget (%d)"
+                % (len(failed), parity)
+            )
 
     def service_health(self):
         """Run the rebuild owed to auto-failed drives; returns segments
@@ -333,8 +397,10 @@ class PurityArray:
         """
         self._check_alive()
         obs = self.obs
+        governor = self.rebuild_governor
         span = obs.begin("rebuild") if obs.tracing else None
         rebuilt = 0
+        deferred = 0
         try:
             for fact in list(self.tables.segments.scan()):
                 segment_id = fact.key[0]
@@ -344,13 +410,31 @@ class PurityArray:
                     or self.drives[drive_name].failed
                     for drive_name, _au in placements
                 )
-                if degraded and self.gc.collect_segment(segment_id):
+                if not degraded:
+                    continue
+                self.degrade.note_degraded_stripe(segment_id)
+                if not governor.grant():
+                    deferred += 1
+                    continue
+                if self.gc.collect_segment(segment_id):
                     rebuilt += 1
+                    self.degrade.note_segment_reprotected(segment_id)
+                elif self.tables.segments.get((segment_id,)) is None:
+                    # The segment vanished under us (already collected);
+                    # nothing is left to repair.
+                    self.degrade.note_segment_reprotected(segment_id)
         finally:
             if span is not None:
-                obs.end(span, segments=rebuilt)
+                obs.end(span, segments=rebuilt, deferred=deferred)
         if rebuilt:
             obs.metrics.counter("rebuild.segments").inc(rebuilt)
+        if deferred:
+            obs.metrics.counter("rebuild.deferred_segments").inc(deferred)
+        elif not any(drive.failed for drive in self.drives.values()):
+            if not self.degrade.degraded_segments:
+                # A full pass saw nothing degraded and nothing was
+                # deferred: parity protection is fully restored.
+                self.degrade.note_parity_restored()
         return rebuilt
 
     def crash(self):

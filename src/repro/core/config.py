@@ -9,9 +9,34 @@ identical code paths.
 
 from dataclasses import dataclass, field
 
-from repro.layout.segment import SegmentGeometry
-from repro.ssd.geometry import SSDGeometry
-from repro.units import GIB, KIB, MIB
+from repro.units import GIB, KIB, MIB, MICROSECOND, MILLISECOND
+
+# Degraded-mode knobs are defined BEFORE the geometry imports below:
+# importing repro.layout pulls in segreader, which reads these constants
+# back out of this (then partially initialised) module.
+
+#: Device-level re-reads of a corrupted page before falling back to
+#: parity reconstruction.
+READ_RETRY_LIMIT = 2
+#: Fail-fast retry budget once a drive is already suspect: retrying a
+#: sick drive mostly burns latency, reconstruction is cheaper.
+SUSPECT_RETRY_LIMIT = 1
+#: Base host-side backoff before a read retry; doubles per attempt.
+READ_RETRY_BACKOFF = 250 * MICROSECOND
+#: Predicted direct-read wait beyond which a hedged read fires. Sits
+#: above the natural program-interference stall (2.5 ms) so fault-free
+#: runs never hedge, and well below an injected stall storm (10 ms).
+HEDGE_DEADLINE = 5 * MILLISECOND
+#: Rebuild governor token rates, in segment evacuations per sim second.
+REBUILD_RATE_FULL = 64.0
+REBUILD_RATE_THROTTLED = 4.0
+#: Token-bucket burst: evacuations a single pass may front-load.
+REBUILD_BURST = 8
+#: Foreground read latencies kept in the governor's sliding SLO window.
+SLO_WINDOW_READS = 128
+
+from repro.layout.segment import SegmentGeometry  # noqa: E402
+from repro.ssd.geometry import SSDGeometry  # noqa: E402
 
 
 @dataclass(frozen=True)
@@ -68,6 +93,26 @@ class ArrayConfig:
     segio_buffer_pool: int = 4
     #: Recycled read paint buffers kept by the read-path pool.
     read_buffer_pool: int = 8
+    #: Device re-reads of a corrupted page before reconstruction.
+    read_retry_limit: int = READ_RETRY_LIMIT
+    #: Retry budget once the target drive is suspect.
+    suspect_retry_limit: int = SUSPECT_RETRY_LIMIT
+    #: Base backoff before a read retry (doubles per attempt).
+    read_retry_backoff: float = READ_RETRY_BACKOFF
+    #: Race parity reconstruction against slow/suspect direct reads.
+    hedge_reads: bool = True
+    #: Predicted direct-read wait that triggers a hedged read.
+    hedge_deadline: float = HEDGE_DEADLINE
+    #: Foreground read p99 SLO for rebuild backpressure. ``None``
+    #: disables the governor (rebuild runs at full rate, untouched).
+    rebuild_slo_p99: float | None = None
+    #: Governor token rates (segment evacuations per sim second).
+    rebuild_rate_full: float = REBUILD_RATE_FULL
+    rebuild_rate_throttled: float = REBUILD_RATE_THROTTLED
+    #: Token-bucket burst allowance.
+    rebuild_burst: int = REBUILD_BURST
+    #: Sliding window of foreground read latencies for the SLO check.
+    slo_window_reads: int = SLO_WINDOW_READS
     #: Random seed namespace for the array's stochastic models.
     seed: int = 0
 
@@ -88,6 +133,18 @@ class ArrayConfig:
             raise ValueError("parallel chunk knobs must be >= 1")
         if min(self.segio_buffer_pool, self.read_buffer_pool) < 0:
             raise ValueError("buffer pool sizes must be >= 0")
+        if min(self.read_retry_limit, self.suspect_retry_limit) < 0:
+            raise ValueError("retry limits must be >= 0")
+        if self.read_retry_backoff < 0:
+            raise ValueError("read_retry_backoff must be >= 0")
+        if self.hedge_deadline <= 0:
+            raise ValueError("hedge_deadline must be > 0")
+        if self.rebuild_slo_p99 is not None and self.rebuild_slo_p99 <= 0:
+            raise ValueError("rebuild_slo_p99 must be > 0 (or None)")
+        if min(self.rebuild_rate_full, self.rebuild_rate_throttled) <= 0:
+            raise ValueError("rebuild rates must be > 0")
+        if self.rebuild_burst < 1 or self.slo_window_reads < 1:
+            raise ValueError("rebuild_burst and slo_window_reads must be >= 1")
 
     @property
     def aus_per_drive(self):

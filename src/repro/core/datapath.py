@@ -148,6 +148,10 @@ class DataPath:
         self.parallel = None
         #: Recycled read paint buffers; None-safe (fresh bytearrays).
         self.read_pool = None
+        #: Optional :class:`repro.degrade.DegradeEngine`; wired by the
+        #: array. Gates writes (read-only rung) and forces write-through
+        #: flushing while the NVRAM mirror is torn.
+        self.degrade = None
         self.logical_bytes_written = 0
         self.dedup_bytes_saved = 0
 
@@ -255,6 +259,9 @@ class DataPath:
             raise VolumeError("zero-length write")
         if offset % SECTOR or len(data) % SECTOR:
             raise VolumeError("writes must be 512 B aligned")
+        degrade = self.degrade
+        if degrade is not None:
+            degrade.check_writable()
         cp = self.crashpoints
         if cp is not None:
             cp.hit("datapath.write-start", medium_id=medium_id, offset=offset)
@@ -281,6 +288,13 @@ class DataPath:
         if cp is not None:
             cp.hit("datapath.post-process", medium_id=medium_id, offset=offset)
         self.pipeline.after_raw_write_processed()
+        if degrade is not None and degrade.write_through:
+            # nvram-degraded rung: the mirror is torn, so an ack backed
+            # only by NVRAM is not durable enough. Push the commit all
+            # the way to flash before returning; the replay debt this
+            # write would have carried is settled by reaching media.
+            self.pipeline.drain()
+            degrade.note_write_through_drain()
         return latency
 
     def process_write(self, medium_id, offset, data):

@@ -84,6 +84,17 @@ class DualControllerArray:
     def clone(self, volume, snapshot_name, new_volume):
         return self.active.clone(volume, snapshot_name, new_volume)
 
+    @property
+    def degraded_mode(self):
+        """The serving controller's degradation-ladder state.
+
+        This is the client-visible operating mode, and it survives
+        failovers: the ladder is rebuilt from substrate evidence (failed
+        drives, a torn NVRAM mirror) when the standby boots, not copied
+        from the dead controller's memory.
+        """
+        return self.active.degrade.state
+
     # ------------------------------------------------------------------
     # Failure handling
 

@@ -202,3 +202,19 @@ class DriveHealthMonitor:
             for record in self._drives.values()
             if record.state == SUSPECT
         ]
+
+    def stall_pressure(self, drive_name):
+        """Stalled reads recorded inside the sliding window (0 = calm).
+
+        A support-facing signal: telemetry surfaces it next to the
+        hedge counters so "which drive is stalling right now" is one
+        lookup. Deliberately *not* a hedge trigger — stalls happen on
+        perfectly healthy drives during ordinary segment flushes, so
+        hedging on this would fire in fault-free runs and break the
+        hedging-on/off trace-identity guarantee.
+        """
+        record = self._drives.get(drive_name)
+        if record is None:
+            return 0
+        horizon = self.clock.now - self.window_seconds
+        return sum(1 for stamp in record.stall_events if stamp >= horizon)

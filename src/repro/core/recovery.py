@@ -86,6 +86,12 @@ def recover_array(cls, config, shelf, boot_region, clock,
         if span is not None:
             obs.end(span, crashed=True)
         raise
+    # Degraded-mode intake: the array constructor already re-detected
+    # substrate evidence (failed drives, torn NVRAM); the replay count
+    # is only known now, so charge it as nvram-replay debt — it stays
+    # outstanding until a checkpoint (or write-through drain) settles it.
+    if array.degrade.nvram_degraded and report.raw_writes_replayed:
+        array.degrade.debt.charge("nvram-replay", report.raw_writes_replayed)
     if span is not None:
         obs.end(
             span,

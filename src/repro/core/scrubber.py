@@ -30,6 +30,8 @@ class ScrubReport:
     corrupt_shards: int = 0
     parity_mismatches: int = 0
     segments_rewritten: int = 0
+    #: Rewrites the rebuild governor deferred to protect foreground SLO.
+    segments_deferred: int = 0
     details: list = field(default_factory=list)
 
 
@@ -56,9 +58,17 @@ class Scrubber:
             segment_ids = [fact.key[0] for fact in array.tables.segments.scan()]
             if max_segments is not None:
                 segment_ids = segment_ids[:max_segments]
+            governor = getattr(array, "rebuild_governor", None)
             for segment_id in segment_ids:
                 needs_rewrite = self._scrub_segment(segment_id, geometry, report)
-                if needs_rewrite and array.gc.collect_segment(segment_id):
+                if not needs_rewrite:
+                    continue
+                if governor is not None and not governor.grant():
+                    # Foreground p99 is over the SLO: leave the rewrite
+                    # for a later pass rather than piling on repair I/O.
+                    report.segments_deferred += 1
+                    continue
+                if array.gc.collect_segment(segment_id):
                     report.segments_rewritten += 1
         except BaseException:
             if span is not None:
@@ -79,6 +89,10 @@ class Scrubber:
             obs.metrics.counter("scrub.corrupt_shards").inc(
                 report.corrupt_shards
             )
+            if report.segments_deferred:
+                obs.metrics.counter("rebuild.deferred_segments").inc(
+                    report.segments_deferred
+                )
         return report
 
     def _scrub_segment(self, segment_id, geometry, report):

@@ -56,13 +56,14 @@ def degraded_mode_report(array):
     stall counters — the numbers a support engineer would pull first
     when a chaos run (or a real array) misbehaves.
     """
-    return {
+    report = {
         "retries": array.segreader.retry_report(),
         "health": array.health.report(),
         "devices": {
             name: {
                 "corrupted_reads": drive.counters.corrupted_reads,
                 "stalled_reads": drive.counters.stalled_reads,
+                "stall_pressure": array.health.stall_pressure(name),
                 "failed": drive.failed,
             }
             for name, drive in sorted(array.drives.items())
@@ -70,6 +71,17 @@ def degraded_mode_report(array):
         "reconstructed_reads": array.segreader.reconstructed_reads,
         "direct_reads": array.segreader.direct_reads,
     }
+    engine = getattr(array, "degrade", None)
+    if engine is not None:
+        report["ladder"] = engine.report()
+        report["repair_debt"] = engine.debt.snapshot()
+    hedge = getattr(array.segreader, "hedge", None)
+    if hedge is not None:
+        report["hedge"] = hedge.report()
+    governor = getattr(array, "rebuild_governor", None)
+    if governor is not None:
+        report["rebuild_governor"] = governor.report()
+    return report
 
 
 @dataclass

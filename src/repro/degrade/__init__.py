@@ -1,0 +1,59 @@
+"""Degraded-mode operation layer.
+
+Purity's availability story (PAPER.md §reads/§availability) is that the
+array *reacts* to component trouble instead of waiting it out: reads
+reconstruct around busy or sick drives, writes keep flowing at reduced
+protection through failures, and background repair is throttled so it
+never ruins foreground latency. This package is that reaction layer:
+
+- :mod:`repro.degrade.ladder` — the explicit write-path degradation
+  state machine (``normal → nvram-degraded → reduced-parity →
+  read-only``) plus the repair-debt ledger that tracks what must be
+  burned down before a rung can be descended.
+- :mod:`repro.degrade.hedge` — the deadline-aware hedged-read policy
+  consulted by ``segreader`` before every direct device read.
+- :mod:`repro.degrade.backpressure` — the token-bucket rebuild governor
+  that throttles segment evacuation when foreground p99 crosses the
+  configured SLO.
+- :mod:`repro.degrade.engine` — :class:`DegradeEngine`, the façade the
+  array wires through datapath/segwriter/recovery/rebuild.
+
+Everything here runs on the sim clock and is deterministic: policies
+only *read* device state (never mutate it), so same-seed traces are
+byte-identical with hedging on or off when no hedge fires.
+"""
+
+from repro.degrade.backpressure import RebuildGovernor, TokenBucket
+from repro.degrade.engine import DegradeEngine
+from repro.degrade.hedge import HedgePolicy
+from repro.degrade.ladder import (
+    COND_LOSS,
+    COND_NVRAM,
+    COND_PARITY,
+    LADDER_STATES,
+    NORMAL,
+    NVRAM_DEGRADED,
+    READ_ONLY,
+    REDUCED_PARITY,
+    DegradationLadder,
+    LadderTransition,
+    RepairDebtLedger,
+)
+
+__all__ = [
+    "COND_LOSS",
+    "COND_NVRAM",
+    "COND_PARITY",
+    "DegradationLadder",
+    "DegradeEngine",
+    "HedgePolicy",
+    "LADDER_STATES",
+    "LadderTransition",
+    "NORMAL",
+    "NVRAM_DEGRADED",
+    "READ_ONLY",
+    "REDUCED_PARITY",
+    "RebuildGovernor",
+    "RepairDebtLedger",
+    "TokenBucket",
+]

@@ -31,6 +31,16 @@ class DataLossError(PurityError):
     """
 
 
+class ReadOnlyModeError(PurityError):
+    """The degradation ladder has pinned the array read-only.
+
+    Raised by the write path once detected, beyond-parity damage makes
+    further writes unsafe to acknowledge. Reads stay served (and report
+    loss honestly via :class:`UncorrectableError`); background repair
+    keeps running. See :mod:`repro.degrade`.
+    """
+
+
 class InjectedCrashError(PurityError):
     """A fault-injection plan crashed the controller at a crashpoint.
 

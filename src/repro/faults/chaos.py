@@ -31,7 +31,12 @@ from dataclasses import dataclass, field
 from repro.core.array import PurityArray
 from repro.core.config import ArrayConfig
 from repro.core.ha import CLIENT_TIMEOUT_SECONDS
-from repro.errors import DataLossError, InjectedCrashError, UncorrectableError
+from repro.errors import (
+    DataLossError,
+    InjectedCrashError,
+    ReadOnlyModeError,
+    UncorrectableError,
+)
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.perf import PERF
@@ -73,6 +78,12 @@ class ChaosReport:
     violations: list = field(default_factory=list)
     #: The comparable fault trace (same seed → identical list).
     trace: list = field(default_factory=list)
+    #: Degradation-ladder state -> byte-exact read checks performed
+    #: while the array was in that state (the "detected loss is never
+    #: wrong bytes" invariant is asserted per state, not just overall).
+    reads_by_state: dict = field(default_factory=dict)
+    #: Every ladder state any controller of this run ever visited.
+    ladder_states: list = field(default_factory=list)
 
     @property
     def max_downtime(self):
@@ -140,14 +151,23 @@ class ChaosHarness:
         return values
 
     def _check_read(self, where, slot, data):
-        """Byte-exact invariant; pins crash-ambiguous slots."""
+        """Byte-exact invariant; pins crash-ambiguous slots.
+
+        Tagged with the current degradation-ladder state so the report
+        proves the invariant held in *every* mode the run visited, not
+        just in aggregate.
+        """
+        state = self.array.degrade.state
+        self.report.reads_by_state[state] = (
+            self.report.reads_by_state.get(state, 0) + 1
+        )
         possible = self._slot_possible(slot)
         if data not in possible:
             self._violate(
                 "byte-exact-read",
                 "%s slot %d returned %d bytes matching none of the %d "
-                "acknowledged candidates" % (where, slot, len(data),
-                                             len(possible)),
+                "acknowledged candidates (ladder state %s)"
+                % (where, slot, len(data), len(possible), state),
             )
         self._possible[slot] = {data}
 
@@ -159,10 +179,27 @@ class ChaosHarness:
     # ------------------------------------------------------------------
     # Crash / recovery
 
+    def _collect_ladder_states(self):
+        """Fold the current controller's ladder history into the report.
+
+        Called before each failover and at run end: each controller has
+        its own ladder (rebuilt from substrate evidence at boot), so the
+        run-wide "states visited" set is the union over controllers.
+        """
+        seen = set(self.report.ladder_states)
+        ladder = self.array.degrade.ladder
+        seen.add(ladder.state)
+        seen.update(t.to_state for t in ladder.transitions)
+        seen.update(t.from_state for t in ladder.transitions)
+        from repro.degrade.ladder import RUNG
+
+        self.report.ladder_states = sorted(seen, key=RUNG.__getitem__)
+
     def _recover(self):
         """Fail the controller over the surviving substrate."""
         self.report.crashes += 1
         PERF.incr("chaos-crash")
+        self._collect_ladder_states()
         shelf, boot_region, clock = self.array.crash()
         before = clock.now
         with PERF.timer("chaos-recovery"):
@@ -356,7 +393,11 @@ class ChaosHarness:
                     "final-verify-convergence",
                     "final verification crashed on three attempts",
                 )
-        except (DataLossError, UncorrectableError) as exc:
+        except (DataLossError, UncorrectableError, ReadOnlyModeError) as exc:
+            # ReadOnlyModeError is the write-path face of detected
+            # loss: beyond-budget damage pinned the ladder read-only
+            # and a client write was refused instead of being accepted
+            # into an unprotectable stripe.
             self.report.data_loss = str(exc)
             PERF.incr("chaos-data-loss-detected")
             if not self.expect_data_loss:
@@ -364,6 +405,7 @@ class ChaosHarness:
                     "survivable-schedule-survived",
                     "data loss on an in-budget schedule: %s" % exc,
                 )
+        self._collect_ladder_states()
         self.report.faults_fired = self.injector.faults_fired
         self.report.kinds_used = self.plan.kinds_used()
         self.report.trace = self.injector.trace_keys()

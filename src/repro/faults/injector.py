@@ -240,6 +240,17 @@ class FaultInjector:
             PERF.incr("fault-stalled-read")
         return corrupted, stall
 
+    def peek_stall(self, drive, now):
+        """Pure preview of :meth:`on_read`'s stall term.
+
+        The hedged-read policy calls this through
+        :meth:`SimulatedSSD.estimated_read_wait`; it must not count as
+        a fault firing or mutate any armed state.
+        """
+        if now < self._stall_until.get(drive.name, 0.0):
+            return drive.timing.write_interference_stall * 4
+        return 0.0
+
     def on_write(self, drive, offset, nbytes):
         """A successful program heals any torn marks it overwrites."""
         self._heal_torn(drive.name, offset, nbytes)
@@ -316,7 +327,10 @@ class FaultInjector:
             self._nvram_torn = False
             nvram = context["nvram"]
             record_id = context["record_id"]
-            nvram.drop_tail(record_id)
+            dropped = nvram.drop_tail(record_id)
+            note = getattr(nvram, "note_tear", None)
+            if note is not None:
+                note(dropped)
             self._record(P.NVRAM_TORN, name, (record_id,))
             self.crashes_fired += 1
             PERF.incr("fault-crash")

@@ -13,10 +13,14 @@ unit yields the self-describing segio headers, from which segments, log
 records, and sequence bounds are rediscovered.
 """
 
+from repro.core.config import (
+    READ_RETRY_BACKOFF,
+    READ_RETRY_LIMIT,
+    SUSPECT_RETRY_LIMIT,
+)
 from repro.errors import DeviceFailedError, UncorrectableError
 from repro.layout.segment import SegioHeader
 from repro.perf import PERF
-from repro.units import MICROSECOND
 
 
 class DriveRetryStats:
@@ -38,7 +42,8 @@ class DriveRetryStats:
 class SegmentReader:
     """Read path over striped segments."""
 
-    def __init__(self, geometry, codec, drives, avoid_policy=None, health=None):
+    def __init__(self, geometry, codec, drives, avoid_policy=None, health=None,
+                 config=None):
         self.geometry = geometry
         self.codec = codec
         self.drives = drives  # name -> SimulatedSSD
@@ -49,18 +54,23 @@ class SegmentReader:
         #: Observability handle (see :mod:`repro.obs`); wired by the
         #: array, None-safe for standalone readers.
         self.obs = None
+        #: Optional :class:`repro.degrade.HedgePolicy`; wired by the
+        #: array. When set, slow/suspect direct reads race parity
+        #: reconstruction and adopt whichever finishes first.
+        self.hedge = None
+        # Retry/backoff knobs come from ArrayConfig (documented there);
+        # standalone readers without a config get the same defaults.
+        if config is not None:
+            self.corruption_retries = config.read_retry_limit
+            self.suspect_retries = config.suspect_retry_limit
+            self.retry_backoff = config.read_retry_backoff
+        else:
+            self.corruption_retries = READ_RETRY_LIMIT
+            self.suspect_retries = SUSPECT_RETRY_LIMIT
+            self.retry_backoff = READ_RETRY_BACKOFF
         self.direct_reads = 0
         self.reconstructed_reads = 0
         self.retry_stats = {}  # drive name -> DriveRetryStats
-
-    #: Re-read attempts on a corrupted page before giving up on a shard
-    #: (device-level ECC retries; each attempt re-samples the media).
-    CORRUPTION_RETRIES = 2
-    #: Suspect drives get one fail-fast retry: reconstruction from the
-    #: healthy shards beats waiting on a rotting drive.
-    SUSPECT_RETRIES = 1
-    #: Base host-side backoff before a retry; doubles per attempt.
-    RETRY_BACKOFF = 250 * MICROSECOND
 
     def _drive_for(self, descriptor, shard):
         drive_name, _au = descriptor.placements[shard]
@@ -102,9 +112,9 @@ class SegmentReader:
         total_latency = result.latency
         if health is not None and result.stalled:
             health.note_stalled(drive.name)
-        budget = self.CORRUPTION_RETRIES
+        budget = self.corruption_retries
         if health is not None and health.is_suspect(drive.name):
-            budget = self.SUSPECT_RETRIES
+            budget = self.suspect_retries
         attempts = 0
         while result.corrupted and attempts < budget:
             if health is not None:
@@ -113,7 +123,7 @@ class SegmentReader:
                 break  # the health monitor auto-failed it under us
             self.stats_for(drive.name).attempts += 1
             PERF.incr("segread-retry")
-            backoff = self.RETRY_BACKOFF * (2 ** attempts)
+            backoff = self.retry_backoff * (2 ** attempts)
             attempts += 1
             result = drive.read(offset, length)
             total_latency += backoff + result.latency
@@ -159,9 +169,13 @@ class SegmentReader:
         drive = self._drive_for(descriptor, shard)
         avoided = drive is not None and self._should_avoid(drive)
         if drive is not None and not avoided:
-            result = self._read_with_retry(
-                drive, self._body_offset(descriptor, shard, segio, within), length
-            )
+            offset = self._body_offset(descriptor, shard, segio, within)
+            hedge = self.hedge
+            if hedge is not None and hedge.should_hedge(drive, offset):
+                return self._hedged_read(
+                    descriptor, segio, shard, within, length, drive, offset
+                )
+            result = self._read_with_retry(drive, offset, length)
             if not result.corrupted:
                 self.direct_reads += 1
                 return result.data, result.latency
@@ -180,11 +194,66 @@ class SegmentReader:
             self.direct_reads += 1
             return result.data, result.latency
 
+    def _hedged_read(self, descriptor, segio, shard, within, length, drive,
+                     offset):
+        """Race a direct read against parity reconstruction (§4.4).
+
+        Both arms issue; the arm with the lower simulated completion
+        latency is adopted (reconstruction also wins outright when the
+        direct read comes back corrupted). Results are byte-identical
+        either way — the differential test in ``tests/degrade``
+        guarantees it — so hedging only ever trades extra device reads
+        for bounded tail latency. The losing arm's device reads are
+        charged to ``hedge.wasted``.
+        """
+        hedge = self.hedge
+        hedge.note_fired()
+        obs = self.obs
+        span = None
+        if obs is not None and obs.tracing:
+            span = obs.begin(
+                "segread.hedge",
+                segment=descriptor.segment_id,
+                segio=segio,
+                shard=shard,
+            )
+        direct = self._read_with_retry(drive, offset, length)
+        try:
+            data, reconstruct_latency = self._reconstruct_chunk(
+                descriptor, segio, shard, within, length
+            )
+        except UncorrectableError:
+            # Too few calm survivors to race: the direct arm is all we
+            # have, and it must be clean to serve the read.
+            if direct.corrupted:
+                if span is not None:
+                    obs.end(span, failed=True)
+                raise
+            hedge.note_outcome(won=False, wasted=self.geometry.data_shards)
+            if span is not None:
+                obs.end(span, won=False, lat=direct.latency)
+            self.direct_reads += 1
+            return direct.data, direct.latency
+        if direct.corrupted or reconstruct_latency <= direct.latency:
+            hedge.note_outcome(won=True, wasted=0 if direct.corrupted else 1)
+            if span is not None:
+                obs.end(span, won=True, lat=reconstruct_latency)
+            return data, reconstruct_latency
+        hedge.note_outcome(won=False, wasted=self.geometry.data_shards)
+        if span is not None:
+            obs.end(span, won=False, lat=direct.latency)
+        self.direct_reads += 1
+        return direct.data, direct.latency
+
     def _reconstruct_chunk(self, descriptor, segio, target_shard, within, length):
         """Rebuild one shard slice from the others via Reed-Solomon.
 
-        Prefers shards on drives the avoidance policy likes; avoided
-        drives are read only when nothing else can complete the stripe.
+        Prefers shards on drives the avoidance policy likes — and, when
+        a hedge policy is wired, drives whose predicted wait is under
+        the hedge deadline. Disliked drives are read only when nothing
+        else can complete the stripe. The ordering is independent of
+        whether hedging is *enabled* (it uses the pure deadline check),
+        so hedge-on and hedge-off runs reconstruct identically.
         """
         obs = self.obs
         span = None
@@ -202,12 +271,18 @@ class SegmentReader:
             shard for shard in range(self.geometry.total_shards)
             if shard != target_shard
         ]
-        candidates.sort(
-            key=lambda shard: (
-                self._drive_for(descriptor, shard) is not None
-                and self._should_avoid(self._drive_for(descriptor, shard))
+        hedge = self.hedge
+
+        def _reluctance(shard):
+            drive = self._drive_for(descriptor, shard)
+            if drive is None:
+                return (False, False)
+            stalling = hedge is not None and hedge.would_wait(
+                drive, self._body_offset(descriptor, shard, segio, within)
             )
-        )
+            return (self._should_avoid(drive), stalling)
+
+        candidates.sort(key=_reluctance)
         for shard in candidates:
             if available >= self.geometry.data_shards:
                 break  # k survivors suffice; skip further reads

@@ -60,6 +60,10 @@ class SegmentWriter:
         #: pool recycling segio payloads; both wired by the array and
         #: None-safe for standalone writers.
         self.parallel = None
+        #: Optional :class:`repro.degrade.DegradeEngine`; wired by the
+        #: array. Flushes that skip failed drives charge the stripe to
+        #: the repair-debt ledger so rebuild knows what it owes.
+        self.degrade = None
         self.buffer_pool = None
         self._segment_ids = itertools.count(1)
         self._descriptor = None
@@ -222,10 +226,12 @@ class SegmentWriter:
         descriptor = segio.descriptor
         try:
             pending = []
+            skipped_shards = 0
             for shard_index, unit in enumerate(write_units):
                 drive_name, au_index = descriptor.placements[shard_index]
                 drive = self.drives.get(drive_name)
                 if drive is None or drive.failed:
+                    skipped_shards += 1
                     continue  # degraded write: parity still protects the data
                 device_offset = self.geometry.device_offset(
                     au_index * self.geometry.au_size, segio.segio_index, 0
@@ -272,6 +278,10 @@ class SegmentWriter:
             obs.end(flush_span, lat=elapsed, shards=len(pending))
         if obs is not None:
             obs.metrics.histogram("segio.flush.latency").record(elapsed)
+        if skipped_shards and self.degrade is not None:
+            # Written at reduced stripe width: count the repair debt so
+            # rebuild burns it down instead of rediscovering it.
+            self.degrade.note_degraded_stripe(descriptor.segment_id)
         self.segios_flushed += 1
         if self.on_segio_flushed is not None:
             self.on_segio_flushed(descriptor, segio)

@@ -7,6 +7,7 @@ from repro.lint.rules import (
     randomness,
     registry_sync,
     simclock,
+    timeouts,
     wallclock,
     workers,
 )
@@ -18,6 +19,7 @@ __all__ = [
     "randomness",
     "registry_sync",
     "simclock",
+    "timeouts",
     "wallclock",
     "workers",
 ]

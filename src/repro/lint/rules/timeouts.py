@@ -1,0 +1,186 @@
+"""no-inline-timeout: timing knobs live in config, not at call sites.
+
+Retry counts, backoffs, deadlines, and SLO thresholds shape every
+latency number this repo reports; a literal buried at a call site
+(``backoff = 0.25``, ``connect(deadline=5 * MICROSECOND)``) is a knob
+nobody can find, document, or sweep. All such knobs belong in
+``src/repro/core/config.py`` — either as :class:`ArrayConfig` fields or
+as documented module constants — and call sites read them from there.
+
+Flagged, in ``src/repro`` outside ``config.py``: assignments inside
+classes or functions whose target name smells like a timing knob
+(``*timeout*``, ``*deadline*``, ``*backoff*``, ``*retry*/``*retries*``,
+``*slo*``) bound to a *pure literal* timing expression; call keywords
+and function-parameter defaults with the same shape. A pure literal is
+a numeric constant, possibly combined with unit constants
+(``250 * MICROSECOND``) — expressions involving runtime values
+(``self.retry_backoff * (2 ** attempts)``) are derived, not inline,
+and stay legal. Module-level ``UPPER_CASE`` assignments are exempt:
+a named, documented module constant is exactly the alternative this
+rule pushes toward.
+"""
+
+import ast
+
+from repro.lint.rule import Rule, register
+
+#: Words that mark a name as a timing knob. Matched against whole
+#: ``_``-separated tokens so ``slo`` does not catch ``slots``.
+KNOB_WORDS = frozenset({
+    "timeout", "deadline", "backoff", "retry", "retries", "slo",
+})
+
+
+def _is_knob_name(name):
+    return any(token in KNOB_WORDS for token in name.lower().split("_"))
+
+
+#: The sanctioned home for timing literals.
+ALLOWED_FILES = frozenset({
+    "src/repro/core/config.py",
+})
+
+
+def _is_numeric_constant(node):
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, (int, float))
+        and not isinstance(node.value, bool)
+    )
+
+
+def _is_unit_name(node):
+    """An UPPER_CASE name or attribute: a unit/module constant."""
+    if isinstance(node, ast.Name):
+        return node.id.isupper()
+    if isinstance(node, ast.Attribute):
+        return node.attr.isupper()
+    return False
+
+
+def _literal_shape(node):
+    """(is_pure_literal, contains_numeric) for a candidate expression."""
+    if _is_numeric_constant(node):
+        return True, True
+    if _is_unit_name(node):
+        return True, False
+    if isinstance(node, ast.UnaryOp):
+        return _literal_shape(node.operand)
+    if isinstance(node, ast.BinOp):
+        left_pure, left_num = _literal_shape(node.left)
+        right_pure, right_num = _literal_shape(node.right)
+        return left_pure and right_pure, left_num or right_num
+    return False, False
+
+
+def _is_inline_timing_literal(node):
+    """True for ``30``, ``0.25``, ``250 * MICROSECOND``, ``5 * KIB * 2``
+    — but not for ``config.hedge_deadline`` or derived expressions."""
+    pure, numeric = _literal_shape(node)
+    return pure and numeric
+
+
+def _target_names(target):
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, ast.Attribute):
+        return [target.attr]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names = []
+        for element in target.elts:
+            names.extend(_target_names(element))
+        return names
+    return []
+
+
+@register
+class NoInlineTimeout(Rule):
+
+    id = "no-inline-timeout"
+    summary = ("timeout/retry/backoff/deadline literals belong in "
+               "core/config.py, not at call sites")
+
+    def applies_to(self, ctx):
+        return ctx.in_src and ctx.rel_path not in ALLOWED_FILES
+
+    def check(self, ctx):
+        yield from self._scan(ctx, ctx.tree.body, module_level=True)
+
+    def _scan(self, ctx, body, module_level):
+        for node in body:
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                yield from self._check_assign(ctx, node, module_level)
+            elif isinstance(node, ast.ClassDef):
+                yield from self._scan(ctx, node.body, module_level=False)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_defaults(ctx, node)
+                yield from self._scan(ctx, node.body, module_level=False)
+            elif hasattr(node, "body"):
+                # if/for/while/with/try keep the enclosing scope.
+                for block in ("body", "orelse", "finalbody"):
+                    yield from self._scan(
+                        ctx, getattr(node, block, []), module_level
+                    )
+                for handler in getattr(node, "handlers", []):
+                    yield from self._scan(ctx, handler.body, module_level)
+        # Call keywords can hide anywhere in the scanned statements.
+        if module_level:
+            for node in ast.walk(ctx.tree):
+                if isinstance(node, ast.keyword):
+                    yield from self._check_keyword(ctx, node)
+
+    def _check_assign(self, ctx, node, module_level):
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        else:
+            targets, value = [node.target], node.value
+        if value is None or not _is_inline_timing_literal(value):
+            return
+        if _is_numeric_constant(value) and value.value == 0:
+            # ``exhausted_retries = 0`` is a counter being zeroed, not a
+            # timing knob — no real deadline/backoff is ever literal 0.
+            return
+        for target in targets:
+            for name in _target_names(target):
+                if not _is_knob_name(name):
+                    continue
+                if module_level and name.isupper():
+                    # A named, documented module constant — the pattern
+                    # this rule steers code toward (cf. ha.py's
+                    # CLIENT_TIMEOUT_SECONDS).
+                    continue
+                yield self.finding(
+                    ctx, node,
+                    "inline timing literal assigned to %r; hoist it into "
+                    "core/config.py (ArrayConfig field or module "
+                    "constant)" % name,
+                )
+
+    def _check_keyword(self, ctx, node):
+        if node.arg is None or not _is_knob_name(node.arg):
+            return
+        if _is_inline_timing_literal(node.value):
+            yield self.finding(
+                ctx, node.value,
+                "inline timing literal for keyword %r; pass a config "
+                "value or a core/config.py constant instead" % node.arg,
+            )
+
+    def _check_defaults(self, ctx, node):
+        args = node.args
+        positional = args.posonlyargs + args.args
+        defaults = args.defaults
+        for arg, default in zip(positional[len(positional) - len(defaults):],
+                                defaults):
+            yield from self._check_one_default(ctx, arg, default)
+        for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+            if default is not None:
+                yield from self._check_one_default(ctx, arg, default)
+
+    def _check_one_default(self, ctx, arg, default):
+        if _is_knob_name(arg.arg) and _is_inline_timing_literal(default):
+            yield self.finding(
+                ctx, default,
+                "inline timing literal as default for parameter %r; "
+                "default it from core/config.py" % arg.arg,
+            )

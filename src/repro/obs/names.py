@@ -28,6 +28,7 @@ SPAN_NAMES = frozenset({
     # read-path stages
     "cblock-read",
     "segread.reconstruct",
+    "segread.hedge",
     # background service roots
     "gc.run",
     "gc.collect",
@@ -42,6 +43,8 @@ SPAN_NAMES = frozenset({
 EVENT_NAMES = frozenset({
     "fault",
     "drive.replace",
+    "degrade.transition",
+    "parallel.pool_broken",
 })
 
 #: Metric names: dotted ``<subsystem>.<thing>[.<unit>]`` (see
@@ -61,6 +64,16 @@ METRIC_NAMES = frozenset({
     "scrub.segments_scanned",
     "scrub.corrupt_shards",
     "rebuild.segments",
+    "rebuild.deferred_segments",
+    # hedged reads (see repro.degrade.hedge)
+    "hedge.fired",
+    "hedge.won",
+    "hedge.lost",
+    "hedge.wasted",
+    # degradation ladder / repair debt (see repro.degrade.ladder)
+    "degrade.transitions",
+    "degrade.write_through",
+    "parallel.pool_broken",
     "parallel.maps",
     "parallel.items",
     "parallel.chunks",
@@ -70,6 +83,9 @@ METRIC_NAMES = frozenset({
     "pool.read.misses",
     # gauges and sampled series
     "drives.alive",
+    "degrade.ladder_state",
+    "degrade.repair_debt",
+    "rebuild.throttle_rate",
     "device.queue_depth",
     "cache.cblock_hit_rate",
     "dedup.savings_fraction",

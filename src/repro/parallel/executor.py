@@ -283,12 +283,25 @@ class ParallelExecutor:
             with PERF.timer("parallel-map"):
                 futures = [pool.submit(func, chunk) for chunk in chunks]
                 results = [future.result() for future in futures]
-        except (OSError, concurrent.futures.process.BrokenProcessPool):
+        except (OSError, concurrent.futures.process.BrokenProcessPool) as exc:
             # Pool unusable in this environment — results are identical
             # by construction on the serial path, only wall time changes.
+            # The degradation is permanent, so it must also be loud:
+            # one counter bump and one warning event, exactly once per
+            # executor (every later map short-circuits on _broken).
             self._broken = True
             PERF.incr("parallel-pool-fallback")
             _discard_pool(self.workers)
+            obs = self.obs
+            if obs is not None:
+                obs.metrics.counter("parallel.pool_broken").inc()
+                if obs.tracing:
+                    obs.event(
+                        "parallel.pool_broken",
+                        workers=self.workers,
+                        chunks=len(chunks),
+                        error=type(exc).__name__,
+                    )
             return [func(chunk) for chunk in chunks]
         PERF.incr("parallel-pool-chunks", len(chunks))
         return results

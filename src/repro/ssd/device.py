@@ -137,6 +137,42 @@ class SimulatedSSD:
         ]
         return any(start <= now < end for start, end in self._writing_windows)
 
+    def estimated_read_wait(self, offset, now=None):
+        """Predicted queueing/stall delay for a read at ``offset``.
+
+        The hedged-read policy consults this before issuing a direct
+        read, so it must be *pure*: same-seed traces with hedging on
+        and off have to stay byte-identical when no hedge fires. It
+        therefore recomputes the busy-window overlap without the cache
+        pruning :meth:`busy_writing` performs, never touches the RNG
+        stream, and asks the fault model for a stall *preview* rather
+        than firing :meth:`on_read` side effects.
+        """
+        if now is None:
+            now = self.clock.now
+        wait = 0.0
+        if any(start <= now < end for start, end in self._writing_windows):
+            wait += self.timing.write_interference_stall
+        die = self.geometry.die_of(offset)
+        started_until = max(
+            (
+                end
+                for begin, end in self._die_windows.get(die, ())
+                if begin <= now
+            ),
+            default=0.0,
+        )
+        queued = max(self._die_reads_until.get(die, 0.0), started_until)
+        if queued > now:
+            wait += queued - now
+        if self._bus_busy_until > now:
+            wait += self._bus_busy_until - now
+        if self.fault_model is not None:
+            peek = getattr(self.fault_model, "peek_stall", None)
+            if peek is not None:
+                wait += peek(self, now)
+        return wait
+
     def queue_depth(self, now=None):
         """Number of dies with work scheduled past ``now``.
 

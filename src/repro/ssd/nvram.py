@@ -43,6 +43,9 @@ class NVRAMDevice:
         self._busy_until = 0.0
         self.appends = 0
         self.trims = 0
+        #: Torn commits observed over the device's lifetime.
+        self.tears = 0
+        self._torn_since_repair = False
 
     def _check_alive(self):
         if self.failed:
@@ -62,6 +65,25 @@ class NVRAMDevice:
     def record_count(self):
         """Number of live records."""
         return len(self._records)
+
+    @property
+    def degraded(self):
+        """True between a torn commit and the repairing checkpoint.
+
+        The degradation ladder reads this at array construction so a
+        controller that boots onto a torn mirror starts in
+        ``nvram-degraded`` (write-through) mode.
+        """
+        return self._torn_since_repair
+
+    def note_tear(self, dropped=0):
+        """Record that a torn commit damaged the mirror."""
+        self.tears += 1
+        self._torn_since_repair = True
+
+    def mark_repaired(self):
+        """A checkpoint persisted everything the tear put at risk."""
+        self._torn_since_repair = False
 
     def fail(self):
         """Mark the device failed; contents are lost."""

@@ -34,6 +34,7 @@ EXPECTED_BENCHES = {
     "worn_flash",
     "raid_ablation",
     "chaos",
+    "chaos_degraded",
     "hotpath",
     "parallel",
 }
@@ -69,9 +70,10 @@ def test_quick_subset_is_a_nonempty_proper_subset(registry):
 
 def test_group_filter_accepts_str_and_list(registry):
     chaos = registry.specs(group="chaos")
-    assert [spec.name for spec in chaos] == ["chaos"]
+    assert [spec.name for spec in chaos] == ["chaos", "chaos_degraded"]
     both = registry.specs(group=["chaos", "hotpath"])
-    assert {spec.name for spec in both} == {"chaos", "hotpath"}
+    assert {spec.name for spec in both} == {"chaos", "chaos_degraded",
+                                            "hotpath"}
 
 
 def test_every_pinned_seed_belongs_to_a_registered_bench(registry):

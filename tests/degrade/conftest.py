@@ -1,0 +1,29 @@
+"""Fixtures for the degraded-mode suite: small arrays, same as core."""
+
+import pytest
+
+from repro.core.array import PurityArray
+from repro.core.config import ArrayConfig
+from repro.sim.rand import RandomStream
+from repro.units import MIB
+
+
+@pytest.fixture
+def config():
+    return ArrayConfig.small()
+
+
+@pytest.fixture
+def array(config):
+    return PurityArray.create(config)
+
+
+@pytest.fixture
+def stream():
+    return RandomStream(42)
+
+
+@pytest.fixture
+def volume(array):
+    array.create_volume("vol0", 2 * MIB)
+    return "vol0"

@@ -1,0 +1,80 @@
+"""Differential determinism: hedging on and off produce the same run.
+
+The hedge trigger is pure (it reads device state, draws no randomness,
+mutates nothing), so in a fault-free run — where no hedge ever fires —
+stored media bytes, client-visible reads, and the obs trace JSONL must
+be byte-identical with ``hedge_reads=True`` and ``False``. This is the
+acceptance differential from ISSUE 7: hedging must be a strict no-op
+until a fault makes it matter.
+"""
+
+import hashlib
+
+from repro.core.array import PurityArray
+from repro.core.config import ArrayConfig
+from repro.obs.export import trace_text
+from repro.sim.rand import RandomStream
+from repro.units import KIB
+
+SEED = 31
+
+
+def _drive_fingerprint(array):
+    """Hash of every stored byte run on every drive, in a fixed order."""
+    digest = hashlib.sha256()
+    for name in sorted(array.drives):
+        store = array.drives[name].store
+        digest.update(name.encode())
+        for start, length in store.extents():
+            digest.update(b"%d:%d:" % (start, length))
+            digest.update(store.read(start, length))
+    return digest.hexdigest()
+
+
+def _run_workload(hedge_reads):
+    config = ArrayConfig.small(seed=SEED, hedge_reads=hedge_reads)
+    array = PurityArray.create(config)
+    array.obs.enable_tracing()
+    array.create_volume("v0", 1024 * KIB)
+    stream = RandomStream(SEED).fork("hedge-differential")
+    for op in range(24):
+        offset = (op % 5) * 128 * KIB
+        if op % 4 == 3:
+            array.read("v0", offset, 32 * KIB)
+        else:
+            array.write("v0", offset, stream.randbytes(128 * KIB))
+    array.run_gc()
+    array.scrub()
+    array.rebuild()
+    reads = [array.read("v0", index * 128 * KIB, 128 * KIB)[0]
+             for index in range(5)]
+    return array, reads
+
+
+def test_fault_free_run_is_byte_identical_with_hedging_on_or_off():
+    on_array, on_reads = _run_workload(hedge_reads=True)
+    off_array, off_reads = _run_workload(hedge_reads=False)
+
+    # No fault was injected, so the enabled policy never fired ...
+    assert on_array.segreader.hedge.fired == 0
+
+    # ... and all three faces of the run are identical.
+    assert on_reads == off_reads
+    assert _drive_fingerprint(on_array) == _drive_fingerprint(off_array)
+    on_trace = trace_text(on_array.obs)
+    assert on_trace  # the comparison is not between two empty traces
+    assert on_trace == trace_text(off_array.obs)
+
+    # Metric snapshots match too: no hedge counter was ever created.
+    on_metrics = on_array.obs.metrics.snapshot()
+    off_metrics = off_array.obs.metrics.snapshot()
+    assert on_metrics == off_metrics
+    assert "hedge.fired" not in on_metrics["counters"]
+
+
+def test_same_seed_same_run_with_hedging_enabled():
+    first_array, first_reads = _run_workload(hedge_reads=True)
+    second_array, second_reads = _run_workload(hedge_reads=True)
+    assert first_reads == second_reads
+    assert _drive_fingerprint(first_array) == _drive_fingerprint(second_array)
+    assert trace_text(first_array.obs) == trace_text(second_array.obs)

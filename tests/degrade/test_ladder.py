@@ -1,0 +1,158 @@
+"""Ladder mechanics plus the property test over seeded fault schedules.
+
+The two load-bearing invariants (DESIGN.md "Degraded modes"):
+
+* the ladder moves one adjacent rung at a time — observers see every
+  intermediate state, in both directions;
+* the ladder never descends except through ``clear_condition`` — no
+  amount of *additional* damage moves it toward ``normal``.
+"""
+
+import pytest
+
+from repro.degrade.ladder import (
+    COND_LOSS,
+    COND_NVRAM,
+    COND_PARITY,
+    LADDER_STATES,
+    NORMAL,
+    NVRAM_DEGRADED,
+    READ_ONLY,
+    REDUCED_PARITY,
+    RUNG,
+    DegradationLadder,
+    RepairDebtLedger,
+)
+from repro.sim.clock import SimClock
+from repro.sim.rand import RandomStream
+
+CONDITIONS = (COND_NVRAM, COND_PARITY, COND_LOSS)
+
+
+def make_ladder():
+    return DegradationLadder(SimClock())
+
+
+def test_starts_normal_with_no_conditions():
+    ladder = make_ladder()
+    assert ladder.state == NORMAL
+    assert ladder.rung == 0
+    assert ladder.transitions == []
+    assert ladder.active_conditions() == []
+
+
+def test_single_condition_pins_its_rung():
+    ladder = make_ladder()
+    assert ladder.raise_condition(COND_NVRAM, "tear") is True
+    assert ladder.state == NVRAM_DEGRADED
+    assert ladder.raise_condition(COND_NVRAM, "tear-again") is False
+    assert ladder.condition_reason(COND_NVRAM) == "tear"
+
+
+def test_escalation_walks_every_intermediate_state():
+    ladder = make_ladder()
+    ladder.raise_condition(COND_LOSS, "three drives down")
+    assert ladder.state == READ_ONLY
+    # normal -> nvram-degraded -> reduced-parity -> read-only: 3 steps.
+    assert [t.to_state for t in ladder.transitions] == [
+        NVRAM_DEGRADED, REDUCED_PARITY, READ_ONLY,
+    ]
+    assert all(t.upward for t in ladder.transitions)
+
+
+def test_descent_walks_every_intermediate_state():
+    ladder = make_ladder()
+    ladder.raise_condition(COND_LOSS, "loss")
+    ladder.clear_condition(COND_LOSS, "operator-verified")
+    assert ladder.state == NORMAL
+    down = ladder.transitions[3:]
+    assert [t.to_state for t in down] == [REDUCED_PARITY, NVRAM_DEGRADED, NORMAL]
+    assert not any(t.upward for t in down)
+
+
+def test_clearing_one_of_two_conditions_settles_at_the_survivor():
+    ladder = make_ladder()
+    ladder.raise_condition(COND_NVRAM, "tear")
+    ladder.raise_condition(COND_PARITY, "drive down")
+    assert ladder.state == REDUCED_PARITY
+    ladder.clear_condition(COND_PARITY, "rebuilt")
+    assert ladder.state == NVRAM_DEGRADED  # the tear still pins rung 1
+    ladder.clear_condition(COND_NVRAM, "checkpointed")
+    assert ladder.state == NORMAL
+
+
+def test_more_damage_never_descends():
+    ladder = make_ladder()
+    ladder.raise_condition(COND_LOSS, "loss")
+    ladder.raise_condition(COND_NVRAM, "tear")  # lower-rung damage
+    assert ladder.state == READ_ONLY
+    ladder.clear_condition(COND_LOSS, "restored")
+    assert ladder.state == NVRAM_DEGRADED  # tear still outstanding
+
+
+def test_unknown_condition_rejected():
+    ladder = make_ladder()
+    with pytest.raises(ValueError):
+        ladder.raise_condition("cosmic-rays", "zap")
+    with pytest.raises(ValueError):
+        ladder.clear_condition("cosmic-rays", "zap")
+    assert ladder.clear_condition(COND_PARITY, "nothing to clear") is False
+
+
+def test_ledger_charge_settle_clamps_at_zero():
+    ledger = RepairDebtLedger()
+    ledger.charge("segments", 3)
+    ledger.charge("nvram-replay", 2)
+    assert ledger.outstanding() == 5
+    assert ledger.outstanding("segments") == 3
+    assert ledger.settle("segments", 5) == 3  # clamps, never negative
+    assert ledger.outstanding("segments") == 0
+    assert ledger.settle_all("nvram-replay") == 2
+    assert ledger.snapshot() == {}
+    ledger.charge("segments", 0)  # no-op
+    ledger.charge("segments", -1)  # no-op
+    assert ledger.outstanding() == 0
+
+
+# ----------------------------------------------------------------------
+# Property test: 200 seeded raise/clear schedules
+
+
+def _expected_rung(active):
+    from repro.degrade.ladder import _CONDITION_RUNG
+
+    return max((_CONDITION_RUNG[c] for c in active), default=0)
+
+
+@pytest.mark.parametrize("seed_base", [0, 1000])
+def test_ladder_never_skips_or_descends_uninvited(seed_base):
+    """200 random raise/clear schedules: every transition is one rung,
+    and every downward step happens during an explicit clear."""
+    for seed in range(seed_base, seed_base + 100):
+        stream = RandomStream(seed).fork("ladder-schedule")
+        ladder = make_ladder()
+        active = set()
+        for _op in range(40):
+            condition = stream.choice(CONDITIONS)
+            clearing = stream.randint(0, 1) == 1
+            seen = len(ladder.transitions)
+            if clearing:
+                ladder.clear_condition(condition, "repair s%d" % seed)
+                active.discard(condition)
+            else:
+                ladder.raise_condition(condition, "damage s%d" % seed)
+                active.add(condition)
+            fresh = ladder.transitions[seen:]
+            for transition in fresh:
+                step = RUNG[transition.to_state] - RUNG[transition.from_state]
+                assert abs(step) == 1, (
+                    "seed %d skipped a state: %r" % (seed, transition)
+                )
+                if step < 0:
+                    assert clearing, (
+                        "seed %d descended without a repair: %r"
+                        % (seed, transition)
+                    )
+            # The settled state always matches the active-condition set.
+            assert ladder.state == LADDER_STATES[_expected_rung(active)]
+            assert set(ladder.active_conditions()) == active

@@ -100,7 +100,12 @@ def test_beyond_budget_schedule_reports_data_loss():
         maintenance_every=1000, expect_data_loss=True,
     )
     assert report.data_loss is not None
-    assert "shards readable" in report.data_loss
+    # Loss surfaces either on the read path (not enough shards) or on
+    # the write path (the degradation ladder pinned the array
+    # read-only) — both are *detected* loss, never wrong bytes.
+    assert ("shards readable" in report.data_loss
+            or "read-only" in report.data_loss)
+    assert report.ladder_states[-1] == "read-only"
     assert report.violations == []  # loss was detected, nothing lied
 
 
@@ -131,3 +136,56 @@ def test_ten_plus_seeded_schedules_mixing_four_fault_kinds():
         traces.add(tuple(report.trace))
     # Distinct seeds produced genuinely distinct schedules.
     assert len(traces) == len(qualifying)
+
+
+# ----------------------------------------------------------------------
+# Degraded-mode coverage: the byte-exactness oracle must hold in every
+# ladder state the schedule visits, and the report must prove which
+# states were actually exercised (a run that never leaves "normal"
+# would vacuously pass).
+
+
+def test_invariants_hold_across_ladder_states():
+    from repro.faults.plan import STALL_STORM
+
+    plan = FaultPlan()
+    plan.add(FaultSpec(10, DRIVE_FAIL, DRIVE_NAMES[0]))
+    plan.add(FaultSpec(25, STALL_STORM, DRIVE_NAMES[3], (0.05,)))
+    report = run_seed(11, plan=plan, total_ops=120, maintenance_every=30)
+    assert_clean(report)
+    # The run visited reduced-parity and came back via rebuild.
+    assert "reduced-parity" in report.ladder_states
+    assert "normal" in report.ladder_states
+    # Reads were byte-checked while degraded, not just while healthy.
+    assert report.reads_by_state.get("reduced-parity", 0) > 0
+    assert report.reads_by_state.get("normal", 0) > 0
+    # The oracle also byte-checks RMW reads and recovery sweeps, so the
+    # per-state counts at least cover every client read.
+    assert sum(report.reads_by_state.values()) >= report.reads
+
+
+def test_generated_schedules_tag_reads_with_their_ladder_state():
+    """Every read a chaos run issues is attributed to exactly one
+    ladder state, whatever the schedule does."""
+    for seed in range(6):
+        plan = FaultPlan.generate(seed, 150, DRIVE_NAMES, crash_budget=2)
+        report = run_seed(seed, plan=plan, total_ops=150)
+        assert_clean(report)
+        assert sum(report.reads_by_state.values()) >= report.reads
+        assert set(report.reads_by_state) <= set(report.ladder_states)
+
+
+def test_stall_storm_schedule_fires_hedges_and_stays_clean():
+    from repro.faults.plan import STALL_STORM
+
+    plan = FaultPlan()
+    for at_op in range(10, 70, 15):
+        drive = DRIVE_NAMES[(at_op // 15) % len(DRIVE_NAMES)]
+        plan.add(FaultSpec(at_op, STALL_STORM, drive, (0.05,)))
+    harness = ChaosHarness(seed=19, plan=plan, total_ops=100,
+                           maintenance_every=50)
+    report = harness.run()
+    assert_clean(report)
+    hedge = harness.array.segreader.hedge
+    assert hedge.fired > 0
+    assert hedge.won + hedge.lost == hedge.fired

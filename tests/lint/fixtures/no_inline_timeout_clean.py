@@ -1,0 +1,30 @@
+"""Fixture: legal timing-knob shapes the rule must not flag."""
+
+MICROSECOND = 1e-6
+
+#: Module-level UPPER_CASE constants are the sanctioned alternative.
+CLIENT_TIMEOUT_SECONDS = 30
+READ_RETRY_BACKOFF = 250 * MICROSECOND
+
+
+class Reader:
+
+    def __init__(self, config):
+        # Reading a knob from config is the point of the rule.
+        self.retry_backoff = config.read_retry_backoff
+        self.retry_limit = config.read_retry_limit
+
+    def wait(self, attempts):
+        # Derived expressions contain runtime values, not raw literals.
+        backoff = self.retry_backoff * (2 ** attempts)
+        return backoff
+
+    def fetch(self, client):
+        return client.get(deadline=CLIENT_TIMEOUT_SECONDS)
+
+
+def poll(clock, interval):
+    # Counters whose names merely contain "retry" are not knobs.
+    exhausted_retries = 0
+    exhausted_retries += 1
+    return clock.now() + interval + exhausted_retries

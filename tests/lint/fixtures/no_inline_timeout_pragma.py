@@ -1,0 +1,8 @@
+"""Fixture: one inline timing literal, suppressed with a reasoned pragma."""
+
+
+class Prober:
+
+    def __init__(self):
+        # lint: allow[no-inline-timeout] probe deadline is fixture-local
+        self.probe_deadline = 0.25

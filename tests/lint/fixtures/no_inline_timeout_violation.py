@@ -1,0 +1,18 @@
+"""Fixture: inline timing literals that must be hoisted into config."""
+
+MICROSECOND = 1e-6
+
+
+class Reader:
+
+    RETRY_BACKOFF = 250 * MICROSECOND  # class-level knob: violation
+
+    def __init__(self):
+        self.read_timeout = 0.5  # instance knob: violation
+
+    def fetch(self, client):
+        return client.get(deadline=30)  # call-keyword knob: violation
+
+
+def poll(interval, retry_limit=3):  # parameter-default knob: violation
+    return interval + retry_limit

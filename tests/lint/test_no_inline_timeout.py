@@ -1,0 +1,41 @@
+"""no-inline-timeout: violating, clean, and pragma-suppressed fixtures."""
+
+from tests.lint.conftest import assert_all_suppressed, assert_clean
+
+RULE = "no-inline-timeout"
+
+
+def test_violations(lint_fixture):
+    result = lint_fixture("no_inline_timeout_violation.py", RULE)
+    assert len(result.findings) == 4
+    assert all(f.rule == RULE for f in result.findings)
+    messages = "\n".join(f.message for f in result.findings)
+    assert "'RETRY_BACKOFF'" in messages
+    assert "'read_timeout'" in messages
+    assert "'deadline'" in messages
+    assert "'retry_limit'" in messages
+    assert not result.ok and result.exit_code() == 1
+
+
+def test_clean(lint_fixture):
+    assert_clean(lint_fixture("no_inline_timeout_clean.py", RULE))
+
+
+def test_pragma_suppressed(lint_fixture):
+    assert_all_suppressed(lint_fixture("no_inline_timeout_pragma.py", RULE))
+
+
+def test_out_of_scope_in_tests_tree(lint_fixture):
+    """The rule only polices shipped source, not the test tree."""
+    result = lint_fixture(
+        "no_inline_timeout_violation.py", RULE, dest="tests/test_thing.py"
+    )
+    assert_clean(result)
+
+
+def test_config_module_is_allowlisted(lint_fixture):
+    """core/config.py is the sanctioned home for timing literals."""
+    result = lint_fixture(
+        "no_inline_timeout_violation.py", RULE, dest="src/repro/core/config.py"
+    )
+    assert_clean(result)

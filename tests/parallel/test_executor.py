@@ -114,3 +114,42 @@ def test_pure_worker_marks_functions():
         return items
 
     assert sample.__pure_worker__ is True
+
+
+def test_pool_break_degrades_loudly_exactly_once(monkeypatch):
+    """A dead pool falls back to serial forever — with one counter bump
+    and one warning event, not silence and not a storm."""
+    import repro.parallel.executor as executor_module
+    from repro.obs.trace import Observability
+    from repro.sim.clock import SimClock
+
+    factory_calls = []
+
+    def exploding_pool(workers):
+        factory_calls.append(workers)
+        raise OSError("sandbox refuses to fork")
+
+    monkeypatch.setattr(executor_module, "_process_pool", exploding_pool)
+    obs = Observability(SimClock()).enable_tracing()
+    executor = ParallelExecutor(workers=2, chunk_items=2)
+    executor.obs = obs
+    items = _compress_items(8)
+
+    # First map: the break is detected, results still match serial.
+    assert executor.map(
+        "parallel.compress", compress_cblocks, items
+    ) == compress_cblocks(items)
+    assert executor._broken
+    assert factory_calls == [2]
+    assert obs.metrics.counter("parallel.pool_broken").value == 1
+    events = obs.events("parallel.pool_broken")
+    assert len(events) == 1
+    assert events[0]["attrs"]["error"] == "OSError"
+
+    # Second map: stays serial, never re-touches the pool, counts once.
+    assert executor.map(
+        "parallel.compress", compress_cblocks, items
+    ) == compress_cblocks(items)
+    assert factory_calls == [2]
+    assert obs.metrics.counter("parallel.pool_broken").value == 1
+    assert len(obs.events("parallel.pool_broken")) == 1
