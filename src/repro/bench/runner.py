@@ -34,6 +34,7 @@ GROUP_FILES = {
     "hotpath": "BENCH_hotpath.json",
     "chaos": "BENCH_chaos.json",
     "parallel": "BENCH_parallel.json",
+    "cluster": "BENCH_cluster.json",
 }
 
 

@@ -1,0 +1,71 @@
+"""The simulated cluster network: reachability, not latency.
+
+The fabric models exactly one failure mode — a timed partition that
+isolates a whole array node — because that is what the cluster-level
+invariants are about (does the client reroute? does the MDM declare
+death on the sim clock?). Message latency stays folded into the array
+device models, as everywhere else in the simulator.
+
+Partitions heal by simulated time alone: :meth:`isolate` records an
+``until`` timestamp and :meth:`deliver` consults the shared clock, so
+replaying a seed replays every partition window exactly.
+"""
+
+from repro.errors import UnreachableError
+
+#: The metadata manager's well-known address on the fabric.
+MDM_ADDRESS = "mdm"
+#: The routing client's well-known address on the fabric.
+CLIENT_ADDRESS = "client"
+
+
+class NetworkFabric:
+    """Reachability oracle for cluster messages on the sim clock."""
+
+    def __init__(self, clock):
+        self.clock = clock
+        #: node id -> simulated timestamp the isolation ends at.
+        self._isolated_until = {}
+
+    def isolate(self, node_id, seconds):
+        """Partition ``node_id`` off the fabric for ``seconds`` from now.
+
+        Overlapping isolations extend rather than shorten the window.
+        Returns the healing timestamp.
+        """
+        until = self.clock.now + seconds
+        current = self._isolated_until.get(node_id, 0.0)
+        self._isolated_until[node_id] = max(current, until)
+        return self._isolated_until[node_id]
+
+    def heal(self, node_id):
+        """Administratively end ``node_id``'s partition early."""
+        self._isolated_until.pop(node_id, None)
+
+    def isolated(self, node_id):
+        """Is ``node_id`` partitioned off right now?"""
+        until = self._isolated_until.get(node_id)
+        if until is None:
+            return False
+        if self.clock.now >= until:
+            # Lazy healing: the window elapsed on the sim clock.
+            del self._isolated_until[node_id]
+            return False
+        return True
+
+    def active_isolations(self):
+        """Node ids currently partitioned (sorted, for determinism)."""
+        return sorted(n for n in list(self._isolated_until)
+                      if self.isolated(n))
+
+    def deliver(self, src, dst):
+        """Assert a message can travel ``src`` → ``dst`` right now.
+
+        Raises :class:`~repro.errors.UnreachableError` if either
+        endpoint is inside a partition window. The MDM and the client
+        live on the quorum side and are never isolated themselves.
+        """
+        if self.isolated(src):
+            raise UnreachableError(src, dst)
+        if self.isolated(dst):
+            raise UnreachableError(src, dst)

@@ -1,0 +1,281 @@
+"""Volume→array placement: capacity-capped rendezvous hashing + epochs.
+
+The metadata manager owns one :class:`PlacementMap`. Placement follows
+rendezvous (highest-random-weight) hashing — every (volume, array)
+pair gets a deterministic score from a keyed SHA-256, and a volume
+prefers the highest-scoring alive array — with one refinement: primary
+assignment is **capacity-capped** at ``ceil(volumes / arrays)``. The
+cap is what turns rendezvous's probabilistic balance into the hard
+bounds the cluster test battery asserts:
+
+* a single join moves at most ``ceil(V / N)`` volumes (the steal list
+  is explicitly capped there) and never admits the newcomer above the
+  cap;
+* a single leave moves at most the leaver's load — itself bounded by
+  the pre-leave cap — and refills respect the post-leave cap;
+* fresh placements (``add_volume``) never push a primary above the cap.
+
+The cap is *not* re-enforced globally on every epoch: after a shrink
+the per-member cap grows, and a later join only steals up to the new
+cap, so an incumbent can transiently sit above ``ceil(V / N)`` until
+volume churn or further joins drain it. Restoring it in one step would
+require moving more than ``ceil(V / N)`` volumes, which the movement
+bound forbids — bounded data motion wins over instantaneous balance.
+
+Every mutation bumps :attr:`PlacementMap.epoch`. Replaying the same
+membership-event sequence over the same volumes reproduces the same
+map at every epoch — placement is a pure function of history, which is
+what lets nodes reject stale-epoch operations instead of guessing.
+
+Replica lists are ordered: ``replicas[0]`` is the primary (serves
+reads, defines the copy source for rebuilds), the rest are synchronous
+secondaries. Promotion of a surviving secondary is free (it already
+holds the bytes); only *refills* — a replica slot handed to an array
+that does not hold the volume yet — cost a data copy, and those are
+what the movement bounds count.
+"""
+
+import hashlib
+import math
+
+
+def placement_score(volume, member):
+    """Deterministic rendezvous score of placing ``volume`` on ``member``.
+
+    Keyed SHA-256 truncated to 64 bits: stable across processes and
+    platforms (``hash()`` is salted per process and never used here).
+    """
+    digest = hashlib.sha256(b"%s|%s" % (
+        volume.encode("utf-8"), member.encode("utf-8")
+    )).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def ranked_members(volume, members):
+    """Members ranked best-first for ``volume`` (score desc, name asc)."""
+    return sorted(members, key=lambda m: (-placement_score(volume, m), m))
+
+
+def primary_cap(num_volumes, num_members):
+    """The hard per-array primary-load bound: ``ceil(V / N)``."""
+    if num_members <= 0:
+        return 0
+    return math.ceil(num_volumes / num_members)
+
+
+class PlacementMap:
+    """Epoch-stamped volume→replica-list assignments.
+
+    Mutations (``add_volume``, ``join``, ``leave``) each bump
+    :attr:`epoch`; readers carry the epoch they observed and nodes
+    reject operations stamped with an older one.
+    """
+
+    def __init__(self, replication=2):
+        if replication < 1:
+            raise ValueError("replication must be >= 1")
+        self.replication = replication
+        self.epoch = 0
+        #: volume -> tuple of array ids, primary first.
+        self.assignments = {}
+        #: Alive members the map currently places onto.
+        self.members = ()
+
+    # ------------------------------------------------------------------
+    # Views
+
+    def replicas(self, volume):
+        return self.assignments.get(volume, ())
+
+    def primary(self, volume):
+        replicas = self.assignments.get(volume)
+        return replicas[0] if replicas else None
+
+    def volumes_on(self, member, primary_only=False):
+        """Volumes with any replica (or just the primary) on ``member``."""
+        held = []
+        for volume in sorted(self.assignments):
+            replicas = self.assignments[volume]
+            if primary_only:
+                if replicas and replicas[0] == member:
+                    held.append(volume)
+            elif member in replicas:
+                held.append(volume)
+        return held
+
+    def primary_load(self, member):
+        return sum(1 for replicas in self.assignments.values()
+                   if replicas and replicas[0] == member)
+
+    def cap(self):
+        return primary_cap(len(self.assignments), len(self.members))
+
+    # ------------------------------------------------------------------
+    # Mutation
+
+    def _bump(self):
+        self.epoch += 1
+        return self.epoch
+
+    def set_members(self, members):
+        """Install the initial member set (no volumes placed yet)."""
+        self.members = tuple(sorted(members))
+        return self._bump()
+
+    def _pick_primary(self, volume, cap, loads):
+        for member in ranked_members(volume, self.members):
+            if loads.get(member, 0) < cap:
+                return member
+        # Every member is at the cap (only possible transiently while a
+        # cap computed against a smaller member set is in force); fall
+        # back to the best-ranked member rather than failing placement.
+        return ranked_members(volume, self.members)[0]
+
+    def _fill_secondaries(self, volume, chosen):
+        want = min(self.replication, len(self.members))
+        for member in ranked_members(volume, self.members):
+            if len(chosen) >= want:
+                break
+            if member not in chosen:
+                chosen.append(member)
+        return chosen
+
+    def add_volume(self, volume):
+        """Place a new volume; returns (epoch, replicas)."""
+        if volume in self.assignments:
+            raise ValueError("volume %r is already placed" % volume)
+        if not self.members:
+            raise ValueError("no members to place %r on" % volume)
+        loads = {m: self.primary_load(m) for m in self.members}
+        cap = primary_cap(len(self.assignments) + 1, len(self.members))
+        primary = self._pick_primary(volume, cap, loads)
+        replicas = self._fill_secondaries(volume, [primary])
+        self.assignments[volume] = tuple(replicas)
+        return self._bump(), tuple(replicas)
+
+    def drop_volume(self, volume):
+        self.assignments.pop(volume, None)
+        return self._bump()
+
+    def join(self, member):
+        """Admit ``member``; returns (epoch, moved) where ``moved`` maps
+        volume -> (old_replicas, new_replicas) for every changed volume.
+
+        The steal list — volumes whose primary hands over to the new
+        member — is capped at ``ceil(V / N)`` computed over the
+        *post-join* member count, which is the movement bound the
+        placement property tests assert. The displaced primary stays on
+        as a secondary (it still holds the bytes), so a bounced volume
+        never loses redundancy while the copy to the newcomer runs.
+        """
+        if member in self.members:
+            raise ValueError("member %r already present" % member)
+        self.members = tuple(sorted(self.members + (member,)))
+        moved = {}
+        cap = self.cap()
+        loads = {m: self.primary_load(m) for m in self.members}
+        by_incumbent = {}
+        for volume in sorted(self.assignments):
+            replicas = self.assignments[volume]
+            if not replicas:
+                continue
+            incumbent = replicas[0]
+            gain = placement_score(volume, member) \
+                - placement_score(volume, incumbent)
+            by_incumbent.setdefault(incumbent, []).append((-gain, volume))
+        for offers in by_incumbent.values():
+            offers.sort()
+        steals = []
+        # Phase 1 — drain overload: incumbents above the post-join cap
+        # hand volumes over first (most-loaded donor each round, its
+        # best-gain volume first). This is what keeps a future leaver's
+        # load — and therefore a single leave's movement — bounded by
+        # the post-leave cap even across shrink/grow cycles.
+        while len(steals) < cap:
+            donors = [m for m in by_incumbent
+                      if loads[m] > cap and by_incumbent[m]]
+            if not donors:
+                break
+            donor = max(donors, key=lambda m: (loads[m], m))
+            _neg_gain, volume = by_incumbent[donor].pop(0)
+            steals.append(volume)
+            loads[donor] -= 1
+        # Phase 2 — rendezvous affinity: remaining budget goes to the
+        # volumes the newcomer genuinely scores best on.
+        gainful = sorted(
+            (neg_gain, volume)
+            for offers in by_incumbent.values()
+            for neg_gain, volume in offers
+            if neg_gain < 0
+        )
+        for _neg_gain, volume in gainful:
+            if len(steals) >= cap:
+                break
+            steals.append(volume)
+        for volume in steals:
+            old = self.assignments[volume]
+            replicas = [member] + [m for m in old if m != member]
+            replicas = replicas[:max(self.replication,
+                                     min(len(replicas), self.replication))]
+            new = tuple(self._fill_secondaries(volume, replicas))
+            self.assignments[volume] = new
+            moved[volume] = (old, new)
+        # Volumes still under-replicated (cluster smaller than the
+        # replication factor until now) pick the newcomer up as a
+        # secondary for free placement-wise (the copy is the cost).
+        want = min(self.replication, len(self.members))
+        for volume in sorted(self.assignments):
+            old = self.assignments[volume]
+            if len(old) < want:
+                new = tuple(self._fill_secondaries(volume, list(old)))
+                if new != old:
+                    self.assignments[volume] = new
+                    moved[volume] = (old, new)
+        return self._bump(), moved
+
+    def leave(self, member, preferred_primaries=None):
+        """Remove ``member``; returns (epoch, moved) as in :meth:`join`.
+
+        Surviving secondaries are promoted in place — free, they hold
+        the bytes — with ``preferred_primaries`` (volume -> array id,
+        the MDM's clean-replica choice) able to override the default
+        order. Refill targets respect the post-leave primary cap.
+        """
+        if member not in self.members:
+            raise ValueError("member %r not present" % member)
+        self.members = tuple(m for m in self.members if m != member)
+        preferred = preferred_primaries or {}
+        moved = {}
+        if not self.members:
+            # Last member gone: every volume is orphaned; keep the
+            # assignments empty rather than pointing at a dead array.
+            for volume in sorted(self.assignments):
+                old = self.assignments[volume]
+                if old:
+                    self.assignments[volume] = ()
+                    moved[volume] = (old, ())
+            return self._bump(), moved
+        cap = self.cap()
+        loads = {m: 0 for m in self.members}
+        for replicas in self.assignments.values():
+            if replicas and replicas[0] != member \
+                    and replicas[0] in loads:
+                loads[replicas[0]] += 1
+        for volume in sorted(self.assignments):
+            old = self.assignments[volume]
+            if member not in old:
+                continue
+            survivors = [m for m in old if m != member]
+            choice = preferred.get(volume)
+            if choice in survivors:
+                survivors = [choice] + [m for m in survivors if m != choice]
+            if not survivors:
+                primary = self._pick_primary(volume, cap, loads)
+                loads[primary] = loads.get(primary, 0) + 1
+                survivors = [primary]
+            elif old and old[0] == member:
+                loads[survivors[0]] = loads.get(survivors[0], 0) + 1
+            new = tuple(self._fill_secondaries(volume, survivors))
+            self.assignments[volume] = new
+            moved[volume] = (old, new)
+        return self._bump(), moved

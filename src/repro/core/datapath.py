@@ -300,6 +300,16 @@ class DataPath:
     def process_write(self, medium_id, offset, data):
         """Run the dedup/compress/segment pipeline (also recovery replay)."""
         self.logical_bytes_written += len(data)
+        self._ingest(medium_id, offset, data)
+
+    def _ingest(self, medium_id, offset, data):
+        # Address-map entries are keyed by (medium, start offset), so a
+        # write that starts where a longer extent starts replaces that
+        # extent wholesale. Capture the soon-to-be-shadowed tail bytes
+        # first and re-ingest them after the write — the read-modify-
+        # write half of a partial overwrite. Uniform-size rewrites never
+        # displace a tail, so the common path is untouched.
+        tail = self._displaced_tail(medium_id, offset, len(data))
         chunks = list(split_write(offset, data))
         blobs = self._speculate_compress(chunks)
         for index, (cblock_offset, chunk) in enumerate(chunks):
@@ -307,6 +317,30 @@ class DataPath:
                 medium_id, cblock_offset, chunk,
                 precompressed=None if blobs is None else blobs[index],
             )
+        if tail is not None:
+            tail_offset, tail_bytes = tail
+            self._ingest(medium_id, tail_offset, tail_bytes)
+
+    def _displaced_tail(self, medium_id, offset, length):
+        """Visible bytes past ``offset+length`` that this write's extent
+        inserts would orphan: any existing extent starting inside the
+        write span may be replaced at its key, and if it extends past
+        the write it carries bytes the new extents do not. Returns
+        (offset, bytes) to re-ingest, or None when nothing is at risk.
+        """
+        end = offset + length
+        tail_end = end
+        for fact in self.tables.address_map.scan(
+            (medium_id, offset), (medium_id, end - 1)
+        ):
+            extent_end = fact.key[1] + self._extent_logical_length(fact.value)
+            if extent_end > tail_end:
+                tail_end = extent_end
+        if tail_end == end:
+            return None
+        buffer = bytearray(tail_end - end)
+        self._paint(medium_id, end, tail_end - end, buffer, 0, 0, [0.0])
+        return end, bytes(buffer)
 
     def _speculate_compress(self, chunks):
         """Precompress whole cblocks in the worker pool, ahead of dedup.

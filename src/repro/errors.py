@@ -91,3 +91,41 @@ class EncodingError(PurityError):
 
 class ReplicationError(PurityError):
     """Asynchronous replication failure."""
+
+
+class ClusterError(PurityError):
+    """Base class for multi-array cluster failures (see repro.cluster)."""
+
+
+class StaleEpochError(ClusterError):
+    """An operation carried a placement epoch older than the node's.
+
+    The node rejects rather than serving: the client's placement map is
+    out of date and the volume may have moved. Carries the node's
+    current epoch so the client knows how far to refresh.
+    """
+
+    def __init__(self, node_epoch, message=None):
+        super().__init__(
+            message or "placement epoch is stale (node is at %d)" % node_epoch
+        )
+        self.node_epoch = node_epoch
+
+
+class ArrayDownError(ClusterError):
+    """The addressed array node is killed/crashed and serving nothing."""
+
+    def __init__(self, node_id, message=None):
+        super().__init__(message or "array node %s is down" % node_id)
+        self.node_id = node_id
+
+
+class UnreachableError(ClusterError):
+    """A network partition blocks the message from reaching its target."""
+
+    def __init__(self, src, dst, message=None):
+        super().__init__(
+            message or "network partition: %s cannot reach %s" % (src, dst)
+        )
+        self.src = src
+        self.dst = dst

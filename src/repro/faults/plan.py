@@ -33,6 +33,12 @@ STALL_STORM = "stall-storm"
 TORN_FLUSH = "torn-flush"
 NVRAM_TORN = "nvram-torn"
 CRASH = "crash"
+# Cluster-level kinds (fired by the cluster chaos harness, see
+# repro.cluster.chaos): a whole-array controller kill, the matching
+# revive, and a timed network partition isolating one array.
+ARRAY_KILL = "array-kill"
+ARRAY_REVIVE = "array-revive"
+NET_PARTITION = "net-partition"
 
 FAULT_KINDS = (
     DRIVE_FAIL,
@@ -41,7 +47,15 @@ FAULT_KINDS = (
     TORN_FLUSH,
     NVRAM_TORN,
     CRASH,
+    ARRAY_KILL,
+    ARRAY_REVIVE,
+    NET_PARTITION,
 )
+
+#: Kinds a cluster-level plan may schedule. ``drive-fail`` rides along
+#: with an ``<array>:<drive>`` target so a cluster schedule also pushes
+#: individual member arrays onto their degradation ladders.
+CLUSTER_FAULT_KINDS = (ARRAY_KILL, NET_PARTITION, DRIVE_FAIL)
 
 #: Crashpoints a generated plan may crash at. Every entry is a named
 #: hook instrumented through the write/flush/GC paths; see
@@ -180,4 +194,65 @@ class FaultPlan:
                     plan.add(FaultSpec(at_op, CRASH, point))
                 else:
                     plan.add(FaultSpec(at_op, NVRAM_TORN, None))
+        return plan
+
+    @classmethod
+    def generate_cluster(cls, seed, total_ops, array_ids, drive_names=(),
+                         maintenance_every=40, kinds=CLUSTER_FAULT_KINDS,
+                         partition_seconds=2.5):
+        """Generate a survivable cluster-level disruption schedule.
+
+        The grid is pairs of maintenance slots: a disruption lands in
+        the first slot of each pair, and the second slot is left clear
+        so the cluster's detect→reroute→rebuild cycle completes before
+        the next event — the cluster-level analogue of the single-array
+        rule that a scrub pass separates two shard-destroying faults.
+        Constraints that keep every schedule inside the cluster's
+        replication budget (one array-sized failure domain at a time):
+
+        * at most one array is down (killed or partitioned) at any op;
+        * every ``array-kill`` is paired with an ``array-revive`` one
+          maintenance slot later, so rebuild has a rejoin target;
+        * partitions are timed (``params[0]`` sim seconds) and heal on
+          their own, always inside the clear slot.
+
+        ``drive-fail`` specs target ``<array>:<drive>`` so member arrays
+        also visit their degradation-ladder states mid-schedule.
+        Same (seed, total_ops, array_ids, drive_names) → identical plan.
+        """
+        stream = RandomStream(seed).fork("cluster-fault-plan")
+        plan = cls(seed=seed)
+        array_ids = list(array_ids)
+        if len(array_ids) < 2:
+            # A 1-array cluster has no survivable array-sized faults;
+            # fall back to intra-array drive faults only.
+            kinds = tuple(k for k in kinds if k == DRIVE_FAIL)
+        pairs = max(1, total_ops // (2 * maintenance_every))
+        usable = [k for k in kinds if k in CLUSTER_FAULT_KINDS]
+        if DRIVE_FAIL in usable and not drive_names:
+            usable = [k for k in usable if k != DRIVE_FAIL]
+        for pair in range(pairs):
+            if not usable:
+                break
+            slot_start = pair * 2 * maintenance_every
+            at_op = slot_start + stream.randint(
+                2, max(3, maintenance_every - 4)
+            )
+            kind = stream.choice(usable)
+            if kind == ARRAY_KILL:
+                target = stream.choice(array_ids)
+                plan.add(FaultSpec(at_op, ARRAY_KILL, target))
+                plan.add(FaultSpec(
+                    min(at_op + maintenance_every, total_ops - 1),
+                    ARRAY_REVIVE, target,
+                ))
+            elif kind == NET_PARTITION:
+                target = stream.choice(array_ids)
+                duration = round(stream.uniform(
+                    0.5 * partition_seconds, partition_seconds), 3)
+                plan.add(FaultSpec(at_op, NET_PARTITION, target, (duration,)))
+            elif kind == DRIVE_FAIL:
+                target = "%s:%s" % (stream.choice(array_ids),
+                                    stream.choice(list(drive_names)))
+                plan.add(FaultSpec(at_op, DRIVE_FAIL, target))
         return plan

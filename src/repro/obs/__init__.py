@@ -25,7 +25,7 @@ instrumented site (no allocation); enable it with
 """
 
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, Series
-from repro.obs.trace import NULL_OBS, Observability, Span
+from repro.obs.trace import NULL_OBS, Observability, Span, TraceBuffer
 
 __all__ = [
     "Counter",
@@ -36,4 +36,5 @@ __all__ = [
     "Observability",
     "Series",
     "Span",
+    "TraceBuffer",
 ]

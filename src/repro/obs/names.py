@@ -37,6 +37,12 @@ SPAN_NAMES = frozenset({
     "rebuild",
     # parallel fan-out (one span per ordered map, any worker count)
     "parallel.map",
+    # cluster layer (see repro.cluster): client-operation roots; the
+    # wrapped array's io.* spans nest under these via the shared
+    # TraceBuffer, so one trace crosses the client→MDM→node hop.
+    "cluster.write",
+    "cluster.read",
+    "cluster.failover",
 })
 
 #: Point-event names recorded into the span tree.
@@ -45,6 +51,13 @@ EVENT_NAMES = frozenset({
     "drive.replace",
     "degrade.transition",
     "parallel.pool_broken",
+    # cluster layer: membership transitions (alive/suspect/dead/
+    # rejoin), stale-epoch rejections seen by the client, timed
+    # partitions, and per-volume replica-refresh copy completions.
+    "cluster.membership",
+    "cluster.stale-epoch",
+    "cluster.partition",
+    "cluster.copy",
 })
 
 #: Metric names: dotted ``<subsystem>.<thing>[.<unit>]`` (see
@@ -81,6 +94,19 @@ METRIC_NAMES = frozenset({
     "pool.segio.misses",
     "pool.read.hits",
     "pool.read.misses",
+    # cluster layer (cluster-scoped registry; node registries keep the
+    # per-array namespace above)
+    "cluster.writes",
+    "cluster.reads",
+    "cluster.stale_retries",
+    "cluster.failovers",
+    "cluster.heartbeats",
+    "cluster.heartbeats_dropped",
+    "cluster.reroute.latency",
+    "cluster.rebalance.volumes_moved",
+    "cluster.rebalance.bytes_copied",
+    "cluster.epoch",
+    "cluster.members_alive",
     # gauges and sampled series
     "drives.alive",
     "degrade.ladder_state",

@@ -42,25 +42,57 @@ class Span:
         self.attrs.update(attrs)
 
 
+class TraceBuffer:
+    """The mutable trace state: finished records, open stack, id counter.
+
+    Split out of :class:`Observability` so several instances can share
+    one buffer while keeping separate metric registries — the cluster
+    layer gives every array node its own ``Observability`` (per-node
+    metrics scoping) but threads one ``TraceBuffer`` through the
+    client, the metadata manager, and every node, so a single trace
+    follows an I/O across the client→MDM→node hop and through a
+    failover. Span ids come from the shared counter, which keeps the
+    interleaved multi-node trace deterministic.
+    """
+
+    __slots__ = ("records", "stack", "next_id")
+
+    def __init__(self):
+        #: Finished spans and fired events, in completion order.
+        self.records = []
+        self.stack = []
+        self.next_id = 1
+
+    def reset(self):
+        self.records.clear()
+        self.stack.clear()
+        self.next_id = 1
+
+
 class Observability:
     """Trace collector + metrics registry for one simulated system.
 
     One instance follows a system across controller failovers (pass it
     back through ``PurityArray.recover``), so a chaos run's whole
-    timeline lands in a single trace.
+    timeline lands in a single trace. Passing an existing ``buffer``
+    (see :class:`TraceBuffer`) joins this instance onto another's
+    trace while keeping its metrics registry private — the per-node
+    scoping the cluster layer relies on.
     """
 
-    def __init__(self, clock, registry=None):
+    def __init__(self, clock, registry=None, buffer=None):
         from repro.obs.metrics import MetricsRegistry
 
         self.clock = clock
         #: The single flag every instrumented site checks.
         self.tracing = False
         self.metrics = registry if registry is not None else MetricsRegistry()
-        #: Finished spans and fired events, in completion order.
-        self.records = []
-        self._stack = []
-        self._next_id = 1
+        self.buffer = buffer if buffer is not None else TraceBuffer()
+
+    @property
+    def records(self):
+        """Finished spans and fired events, in completion order."""
+        return self.buffer.records
 
     # -- switches -------------------------------------------------------
 
@@ -74,15 +106,14 @@ class Observability:
 
     def reset(self):
         """Drop collected records and restart span numbering."""
-        self.records = []
-        self._stack = []
-        self._next_id = 1
+        self.buffer.reset()
 
     # -- spans ----------------------------------------------------------
 
     @property
     def current_span_id(self):
-        return self._stack[-1].span_id if self._stack else 0
+        stack = self.buffer.stack
+        return stack[-1].span_id if stack else 0
 
     def begin(self, name, **attrs):
         """Open a child of the current span; returns the :class:`Span`.
@@ -91,10 +122,11 @@ class Observability:
         injected crashes can unwind through the stage).
         """
         PERF.incr("obs-span")
-        span = Span(self._next_id, self.current_span_id, name,
+        buffer = self.buffer
+        span = Span(buffer.next_id, self.current_span_id, name,
                     self.clock.now, attrs)
-        self._next_id += 1
-        self._stack.append(span)
+        buffer.next_id += 1
+        buffer.stack.append(span)
         return span
 
     def end(self, span, **attrs):
@@ -102,12 +134,12 @@ class Observability:
         skipped their ``end``) are discarded, keeping replay exact."""
         if attrs:
             span.attrs.update(attrs)
-        stack = self._stack
+        stack = self.buffer.stack
         while stack:
             top = stack.pop()
             if top is span:
                 break
-        self.records.append({
+        self.buffer.records.append({
             "type": "span",
             "id": span.span_id,
             "parent": span.parent_id,
@@ -120,16 +152,17 @@ class Observability:
     def event(self, name, **attrs):
         """Record a point event (fault firings, crashes) in the tree."""
         PERF.incr("obs-event")
+        buffer = self.buffer
         record = {
             "type": "event",
-            "id": self._next_id,
+            "id": buffer.next_id,
             "parent": self.current_span_id,
             "name": name,
             "time": self.clock.now,
             "attrs": attrs,
         }
-        self._next_id += 1
-        self.records.append(record)
+        buffer.next_id += 1
+        buffer.records.append(record)
         return record
 
     # -- views ----------------------------------------------------------

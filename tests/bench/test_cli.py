@@ -26,7 +26,7 @@ def test_list_shows_the_registry(capsys):
     out = capsys.readouterr().out
     assert "raid_ablation" in out and "hotpath" in out
     assert "[quick]" in out
-    assert len(out.strip().splitlines()) == 22
+    assert len(out.strip().splitlines()) == 23
 
 
 def test_no_selection_runs_nothing(tmp_path, capsys):

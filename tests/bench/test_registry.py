@@ -37,6 +37,7 @@ EXPECTED_BENCHES = {
     "chaos_degraded",
     "hotpath",
     "parallel",
+    "cluster",
 }
 
 
@@ -115,6 +116,22 @@ def test_same_source_reregistration_replaces_silently():
 
     assert len(registry) == 1
     assert registry.get("re").func is collect_v2
+
+
+def test_shared_engine_factory_hosts_independent_engines():
+    """Engine construction goes through ``tests.conftest.make_engine``
+    everywhere (fixtures and bench smoke paths alike), and two engines
+    built in one process share nothing — the per-node scoping the
+    cluster layer's N-engines-per-process split depends on."""
+    from tests.conftest import make_engine
+
+    first = make_engine(seed=1, volume="v", size=64 * 1024)
+    second = make_engine(seed=2, volume="v", size=64 * 1024)
+    first.write("v", 0, b"a" * 4096)
+    assert second.read("v", 0, 4096)[0] == bytes(4096)
+    assert first.clock is not second.clock
+    assert first.obs.metrics is not second.obs.metrics
+    assert first.config.seed != second.config.seed
 
 
 def test_register_rejects_unknown_group():

@@ -1,0 +1,36 @@
+"""Fixtures for the cluster suite: small multi-array clusters.
+
+Per-node engines come from the same construction path as every other
+suite (``tests.conftest.make_engine`` builds the configs the cluster
+derives per node), so the N-engines-per-process split is exercised by
+the exact factory the single-array suites pin down.
+"""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.units import KIB
+
+#: Small volumes keep refresh copies cheap: 8 slots of 2 KiB.
+RECORD_SIZE = 2 * KIB
+RECORD_SLOTS = 8
+VOLUME_SIZE = RECORD_SIZE * RECORD_SLOTS
+
+
+def make_cluster(num_arrays, seed=0, volumes=("vol0",), **overrides):
+    """A running cluster with ``volumes`` provisioned on every replica."""
+    cluster = Cluster(ClusterConfig(num_arrays=num_arrays, seed=seed,
+                                    **overrides))
+    for volume in volumes:
+        cluster.create_volume(volume, VOLUME_SIZE)
+    return cluster
+
+
+@pytest.fixture
+def cluster3():
+    return make_cluster(3, seed=42)
+
+
+@pytest.fixture
+def cluster2():
+    return make_cluster(2, seed=42)

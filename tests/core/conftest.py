@@ -6,10 +6,11 @@ code paths to paper scale, sized so tests run in milliseconds.
 
 import pytest
 
-from repro.core.array import PurityArray
 from repro.core.config import ArrayConfig
 from repro.sim.rand import RandomStream
 from repro.units import MIB
+
+from tests.conftest import make_engine
 
 
 @pytest.fixture
@@ -19,7 +20,7 @@ def config():
 
 @pytest.fixture
 def array(config):
-    return PurityArray.create(config)
+    return make_engine(config)
 
 
 @pytest.fixture

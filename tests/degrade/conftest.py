@@ -2,10 +2,11 @@
 
 import pytest
 
-from repro.core.array import PurityArray
 from repro.core.config import ArrayConfig
 from repro.sim.rand import RandomStream
 from repro.units import MIB
+
+from tests.conftest import make_engine
 
 
 @pytest.fixture
@@ -15,7 +16,7 @@ def config():
 
 @pytest.fixture
 def array(config):
-    return PurityArray.create(config)
+    return make_engine(config)
 
 
 @pytest.fixture

@@ -189,3 +189,51 @@ def test_stall_storm_schedule_fires_hedges_and_stays_clean():
     hedge = harness.array.segreader.hedge
     assert hedge.fired > 0
     assert hedge.won + hedge.lost == hedge.fired
+
+
+# ----------------------------------------------------------------------
+# Cluster-level chaos: whole-array kills and partitions under the zipf
+# workload. The single-array ladder oracle extends across nodes — every
+# byte check is attributed to the serving node's ladder state, and
+# detected loss (never wrong bytes) is itself a violation under the
+# generated one-failure-at-a-time schedules.
+
+
+@pytest.mark.slow
+def test_cluster_array_kill_sweep_zero_acked_write_loss():
+    from repro.cluster import ClusterChaosHarness
+
+    kill_schedules = 0
+    for seed in range(8):
+        report = ClusterChaosHarness(
+            seed, num_arrays=3, total_ops=240, maintenance_every=40
+        ).run()
+        assert report.violations == []
+        assert report.data_loss is None
+        assert sum(report.reads_by_state.values()) >= report.reads
+        if report.kills:
+            kill_schedules += 1
+            assert report.revives == report.kills
+            assert report.failovers >= 1
+            assert report.volumes_moved > 0
+    # The sweep genuinely exercised whole-array failure, repeatedly.
+    assert kill_schedules >= 3
+
+
+@pytest.mark.slow
+def test_cluster_fault_kinds_replay_deterministically():
+    from repro.cluster import ClusterChaosHarness
+    from repro.faults.plan import ARRAY_KILL, ARRAY_REVIVE, NET_PARTITION
+
+    kinds = set()
+    for seed in (1, 2):
+        first = ClusterChaosHarness(
+            seed, num_arrays=3, total_ops=240, maintenance_every=40
+        ).run()
+        second = ClusterChaosHarness(
+            seed, num_arrays=3, total_ops=240, maintenance_every=40
+        ).run()
+        assert first.trace == second.trace
+        assert first.trace
+        kinds.update(kind for _op, _t, kind, _tgt, _d in first.trace)
+    assert {ARRAY_KILL, ARRAY_REVIVE, NET_PARTITION} <= kinds
