@@ -1,0 +1,67 @@
+"""The incremental analysis cache for the whole-program pass.
+
+Building the project graph means parsing and walking every module under
+``src/repro`` — cheap enough once, too slow to repeat on every lint
+invocation in the fast lane. The cache stores one JSON-serializable
+:mod:`~repro.lint.graph` module summary per file, keyed by the SHA-256
+of the file's bytes, so a warm run replaces parse-and-walk with
+hash-and-load for every unchanged file. Editing a file invalidates
+exactly that file's entry; bumping :data:`~repro.lint.graph.
+GRAPH_FORMAT` invalidates everything (the summary shape changed, so
+stale summaries must never be trusted).
+
+The cache file itself (default ``<root>/.lint-cache.json``) is a local
+artifact, not a committed one — it is in ``.gitignore``, and a missing
+or corrupt cache silently degrades to a cold build.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, Optional
+
+
+def source_hash(source: str) -> str:
+    """The cache key for one file: SHA-256 of its text."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def load_cache(path: Optional[str], expected_format: int) -> Dict[str, Any]:
+    """Load the cache at ``path``; wrong-format or broken files are empty.
+
+    Returns the ``files`` mapping: ``rel_path -> {"hash": ..., "summary":
+    ...}``.
+    """
+    if path is None or not os.path.exists(path):
+        return {}
+    try:
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError):
+        return {}
+    if not isinstance(data, dict) or data.get("format") != expected_format:
+        return {}
+    files = data.get("files")
+    return files if isinstance(files, dict) else {}
+
+
+def save_cache(path: Optional[str], files: Dict[str, Any],
+               format_version: int) -> bool:
+    """Write ``files`` (rel_path -> entry) at ``path``; False on failure.
+
+    The dump is sorted and newline-terminated so identical trees produce
+    byte-identical cache files (the cache is as deterministic as the
+    reports).
+    """
+    if path is None:
+        return False
+    document = {"format": format_version, "files": files}
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, sort_keys=True, indent=1)
+            handle.write("\n")
+    except OSError:
+        return False
+    return True

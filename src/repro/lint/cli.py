@@ -5,22 +5,28 @@ Usage::
     python -m repro.lint src tests              # human output, exit 0/1
     python -m repro.lint src --format json      # stable JSON report
     python -m repro.lint --list-rules           # the rule catalogue
+    python -m repro.lint --explain worker-transitive-purity
     python -m repro.lint src --rules wall-clock-purity,no-bare-except
     python -m repro.lint src --write-baseline   # freeze current findings
 
 The baseline defaults to ``lint-baseline.json`` at the repo root when
 that file exists; pass ``--baseline PATH`` to point elsewhere or
-``--no-baseline`` to ignore it. Exit codes: 0 clean, 1 error findings,
-2 usage errors. Advice-severity findings never affect the exit code.
+``--no-baseline`` to ignore it. The whole-program pass keeps an
+incremental summary cache at ``<root>/.lint-cache.json`` (``--cache
+PATH`` to relocate, ``--no-cache`` to build cold). Exit codes: 0
+clean, 1 error findings, 2 usage errors. Advice-severity findings
+never affect the exit code.
 """
 
 import argparse
 import os
 import sys
 
-from repro.lint.baseline import load_baseline, write_baseline
-from repro.lint.engine import find_root, lint_file, run_lint
-from repro.lint.report import render_human, render_json, render_rule_list
+from repro.lint.baseline import empty_baseline, load_baseline, \
+    write_baseline
+from repro.lint.engine import find_root, run_lint
+from repro.lint.report import render_explain, render_human, render_json, \
+    render_rule_list
 from repro.lint.rule import all_rules, rule_ids
 
 
@@ -57,6 +63,19 @@ def build_parser():
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit",
     )
+    parser.add_argument(
+        "--explain", default=None, metavar="RULE_ID",
+        help="print one rule's rationale and a violating example, then exit",
+    )
+    parser.add_argument(
+        "--cache", default=None, metavar="PATH",
+        help="incremental analysis cache file "
+             "(default: <root>/.lint-cache.json)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="build the whole-program graph cold (no cache read/write)",
+    )
     return parser
 
 
@@ -89,6 +108,19 @@ def main(argv=None, stdout=None):
         stdout.write(render_rule_list(all_rules()))
         return 0
 
+    if options.explain is not None:
+        from repro.lint.rule import get_rule
+
+        try:
+            rule = get_rule(options.explain)
+        except KeyError:
+            parser.error(
+                "unknown rule id %r (known: %s)"
+                % (options.explain, ", ".join(rule_ids()))
+            )
+        stdout.write(render_explain(rule))
+        return 0
+
     paths = options.paths or ["src", "tests"]
     missing = [path for path in paths if not os.path.exists(path)]
     if missing:
@@ -96,6 +128,9 @@ def main(argv=None, stdout=None):
 
     root = find_root(paths[0])
     rules = select_rules(options.rules, parser)
+    cache_path = None
+    if not options.no_cache:
+        cache_path = options.cache or os.path.join(root, ".lint-cache.json")
 
     baseline_path = options.baseline
     if baseline_path is None and not options.no_baseline:
@@ -108,18 +143,17 @@ def main(argv=None, stdout=None):
         baseline = load_baseline(baseline_path)
 
     if options.write_baseline:
-        findings = []
-        from repro.lint.engine import iter_python_files
-
-        for path in iter_python_files(paths, root=root):
-            file_findings, _ = lint_file(path, root=root, rules=rules)
-            findings.extend(file_findings)
+        # Run the full pipeline (file AND project rules, post-pragma)
+        # with no grandfathering, then freeze what survives.
+        result = run_lint(paths, root=root, rules=rules,
+                          baseline=empty_baseline(), cache_path=cache_path)
         target = baseline_path or os.path.join(root, "lint-baseline.json")
-        count = write_baseline(target, findings)
+        count = write_baseline(target, result.findings)
         stdout.write("baseline: %d finding(s) written to %s\n" % (count, target))
         return 0
 
-    result = run_lint(paths, root=root, rules=rules, baseline=baseline)
+    result = run_lint(paths, root=root, rules=rules, baseline=baseline,
+                      cache_path=cache_path)
     if options.format == "json":
         stdout.write(render_json(result))
     else:

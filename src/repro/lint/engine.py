@@ -156,39 +156,65 @@ class LintResult:
         return 0 if self.ok else 1
 
 
-def lint_file(path, root=None, rules=None):
-    """Lint one file; returns (findings, suppressed_count).
+def load_context(path, root):
+    """Build a :class:`FileContext`; returns ``(ctx, parse_error)``.
 
-    A file that fails to parse yields a single ``parse-error`` finding —
-    syntactically broken source can't be vouched for.
+    Exactly one of the pair is None: a file that fails to parse yields
+    a single ``parse-error`` finding — syntactically broken source
+    can't be vouched for.
     """
-    root = root or find_root()
-    rules = rules if rules is not None else all_rules()
     rel = _rel_path(path, root)
     with open(path, encoding="utf-8") as handle:
         source = handle.read()
     try:
         tree = ast.parse(source, filename=rel)
     except SyntaxError as exc:
-        return [
-            Finding(
-                path=rel,
-                line=exc.lineno or 1,
-                col=(exc.offset or 1) - 1,
-                rule="parse-error",
-                message="file does not parse: %s" % exc.msg,
-                severity=ERROR,
-            )
-        ], 0
-    ctx = FileContext(path, rel, source, tree)
+        return None, Finding(
+            path=rel,
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            rule="parse-error",
+            message="file does not parse: %s" % exc.msg,
+            severity=ERROR,
+        )
+    return FileContext(path, rel, source, tree), None
+
+
+def check_context(ctx, rules):
+    """Raw findings for one context: per-file rules + pragma hygiene.
+
+    Project rules are skipped here (they run once over the graph);
+    malformed pragmas and pragmas naming unknown rule ids are findings
+    regardless of which rules were selected — a pragma that could never
+    suppress anything is drift, not a suppression.
+    """
     raw = []
     for rule in rules:
-        if rule.applies_to(ctx):
+        if not rule.project and rule.applies_to(ctx):
             raw.extend(rule.check(ctx))
     raw.extend(pragma_mod.malformed_findings(ctx, ctx.malformed_pragmas))
+    raw.extend(pragma_mod.unknown_rule_findings(ctx, known_pragma_ids()))
+    return raw
+
+
+def known_pragma_ids():
+    """Every rule id a pragma may legitimately name."""
+    from repro.lint.rule import rule_ids
+
+    return frozenset(rule_ids()) | {"parse-error", "bad-pragma",
+                                    "unknown-pragma-rule"}
+
+
+def lint_file(path, root=None, rules=None):
+    """Lint one file with the per-file rules; (findings, suppressed)."""
+    root = root or find_root()
+    rules = rules if rules is not None else all_rules()
+    ctx, parse_error = load_context(path, root)
+    if parse_error is not None:
+        return [parse_error], 0
     findings = []
     suppressed = 0
-    for finding in raw:
+    for finding in check_context(ctx, rules):
         if pragma_mod.suppressed(ctx.pragmas, finding):
             suppressed += 1
         else:
@@ -196,11 +222,17 @@ def lint_file(path, root=None, rules=None):
     return findings, suppressed
 
 
-def run_lint(paths, root=None, rules=None, baseline=None):
+def run_lint(paths, root=None, rules=None, baseline=None, cache_path=None):
     """Lint ``paths`` with ``rules`` (default: all) against ``baseline``.
 
     ``baseline`` is a loaded baseline dict (see :mod:`repro.lint.baseline`)
-    or None for no grandfathering. Returns a :class:`LintResult`.
+    or None for no grandfathering. When any selected rule is a
+    :class:`~repro.lint.rule.ProjectRule`, the whole-program graph is
+    built over every linted file (``cache_path`` points at the
+    incremental summary cache; None builds cold) and the project rules
+    run once over it. Pragma suppression applies uniformly: a project
+    finding is suppressed by a pragma at its reported line, same as a
+    per-file finding. Returns a :class:`LintResult`.
     """
     from repro.lint.baseline import empty_baseline, split_by_baseline, \
         stale_entries
@@ -208,13 +240,38 @@ def run_lint(paths, root=None, rules=None, baseline=None):
     root = root or find_root()
     rules = rules if rules is not None else all_rules()
     baseline = baseline if baseline is not None else empty_baseline()
+    project_rules = [rule for rule in rules if rule.project]
+    files = iter_python_files(paths, root=root)
+
+    contexts = {}
+    raw = []
+    for path in files:
+        ctx, parse_error = load_context(path, root)
+        if parse_error is not None:
+            raw.append(parse_error)
+            continue
+        contexts[ctx.rel_path] = ctx
+        raw.extend(check_context(ctx, rules))
+
+    if project_rules:
+        from repro.lint.graph import build_graph_from_sources
+
+        graph = build_graph_from_sources(
+            {rel: ctx.source for rel, ctx in contexts.items()},
+            trees={rel: ctx.tree for rel, ctx in contexts.items()},
+            cache_path=cache_path,
+        )
+        for rule in project_rules:
+            raw.extend(rule.check_project(graph))
+
     findings = []
     suppressed = 0
-    files = iter_python_files(paths, root=root)
-    for path in files:
-        file_findings, file_suppressed = lint_file(path, root=root, rules=rules)
-        findings.extend(file_findings)
-        suppressed += file_suppressed
+    for finding in raw:
+        ctx = contexts.get(finding.path)
+        if ctx is not None and pragma_mod.suppressed(ctx.pragmas, finding):
+            suppressed += 1
+        else:
+            findings.append(finding)
     findings.sort()
     new, grandfathered = split_by_baseline(findings, baseline)
     return LintResult(

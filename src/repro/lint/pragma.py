@@ -61,6 +61,37 @@ def suppressed(pragmas, finding):
     return entry is not None and finding.rule in entry
 
 
+def unknown_rule_findings(ctx, known_ids):
+    """Pragmas naming rule ids that do not exist are findings.
+
+    A pragma with a typo'd id (``allow[wall-clock-pruity]``) suppresses
+    nothing today and — worse — *looks* like an audit trail. Validation
+    runs over pragma declaration sites (not the propagated per-line
+    map, which would double-report comment-only pragmas) against the
+    full rule registry, regardless of which rules this run selected.
+    """
+    findings = []
+    for lineno, line in enumerate(ctx.lines, start=1):
+        match = PRAGMA.search(line)
+        if match is None or not match.group("reason").strip():
+            continue  # reason-less pragmas are bad-pragma findings
+        for rule_id in match.group("rules").split(","):
+            rule_id = rule_id.strip()
+            if rule_id and rule_id not in known_ids:
+                findings.append(Finding(
+                    path=ctx.rel_path,
+                    line=lineno,
+                    col=0,
+                    rule="unknown-pragma-rule",
+                    message="pragma names unknown rule id %r; it can "
+                            "never suppress anything (see --list-rules "
+                            "for the catalogue)" % rule_id,
+                    severity=ERROR,
+                    snippet=line.strip(),
+                ))
+    return findings
+
+
 def malformed_findings(ctx, malformed):
     """Turn reason-less pragmas into findings of their own."""
     return [
@@ -70,7 +101,7 @@ def malformed_findings(ctx, malformed):
             col=0,
             rule="bad-pragma",
             message="pragma has no reason string; write "
-                    "'# lint: allow[rule-id] why this is intentional'",
+                    "'# lint: allow[<rule-id>] why this is intentional'",
             severity=ERROR,
             snippet=text,
         )

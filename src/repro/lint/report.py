@@ -58,6 +58,30 @@ def render_human(result):
     return "\n".join(lines) + "\n"
 
 
+def render_explain(rule):
+    """``--explain <rule-id>`` output: rationale plus a fixture example."""
+    lines = [
+        "%s (%s%s)" % (rule.id, rule.severity,
+                       ", whole-program" if rule.project else ""),
+        "",
+        rule.summary,
+    ]
+    if rule.rationale:
+        lines.append("")
+        lines.append("Why:")
+        for raw in rule.rationale.splitlines():
+            lines.append("  %s" % raw if raw else "")
+    if rule.example:
+        lines.append("")
+        lines.append("Example (violates the rule):")
+        for raw in rule.example.splitlines():
+            lines.append("  %s" % raw if raw else "")
+    lines.append("")
+    lines.append("Suppress with: # lint: allow[%s] <one-line reason>"
+                 % rule.id)
+    return "\n".join(lines) + "\n"
+
+
 def render_rule_list(rules):
     """``--list-rules`` output: id, severity, one-line summary."""
     lines = []

@@ -57,11 +57,21 @@ class Rule:
     Subclasses set ``id`` (kebab-case), ``summary`` (one line for
     ``--list-rules``), ``severity``, and implement :meth:`check`.
     :meth:`applies_to` gates whole files cheaply before any AST walk.
+    ``rationale`` and ``example`` feed ``--explain <rule-id>``: the
+    rationale says why the invariant exists, the example is a minimal
+    violating snippet (mirroring the rule's fixture pack).
     """
 
     id = None
     summary = ""
     severity = ERROR
+    #: Whole-program rule? Project rules run once over the graph, not
+    #: per file (see :class:`ProjectRule`).
+    project = False
+    #: Multi-line prose for ``--explain``: why this invariant matters.
+    rationale = ""
+    #: A minimal violating snippet for ``--explain``.
+    example = ""
 
     def applies_to(self, ctx):
         """Whether this rule should look at ``ctx`` at all."""
@@ -85,6 +95,38 @@ class Rule:
             message=message,
             severity=severity if severity is not None else self.severity,
             snippet=ctx.snippet(line),
+        )
+
+
+class ProjectRule(Rule):
+    """Base class for whole-program rules.
+
+    Project rules see the :class:`~repro.lint.graph.ProjectGraph`
+    instead of one file at a time: they run once per lint invocation,
+    after every file context is built, and may report findings in any
+    file. Pragma suppression still applies at the reported line.
+    """
+
+    project = True
+
+    def check(self, ctx):  # pragma: no cover - project rules never run here
+        return iter(())
+
+    def check_project(self, graph):
+        """Yield :class:`Finding`s for the whole project graph."""
+        raise NotImplementedError
+
+    def project_finding(self, graph, rel_path, lineno, message,
+                        col=0, severity=None):
+        """Build a Finding anchored in any file the graph covers."""
+        return Finding(
+            path=rel_path,
+            line=lineno,
+            col=col,
+            rule=self.id,
+            message=message,
+            severity=severity if severity is not None else self.severity,
+            snippet=graph.snippet(rel_path, lineno),
         )
 
 

@@ -4,8 +4,12 @@ from repro.lint.rules import (
     excepts,
     exports,
     hotpath,
+    iteration,
+    purity,
     randomness,
     registry_sync,
+    registry_usage,
+    sharedstate,
     simclock,
     timeouts,
     wallclock,
@@ -16,8 +20,12 @@ __all__ = [
     "excepts",
     "exports",
     "hotpath",
+    "iteration",
+    "purity",
     "randomness",
     "registry_sync",
+    "registry_usage",
+    "sharedstate",
     "simclock",
     "timeouts",
     "wallclock",

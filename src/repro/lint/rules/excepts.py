@@ -36,6 +36,20 @@ class NoBareExcept(Rule):
     id = "no-bare-except"
     summary = ("no 'except:' and no handlers whose whole body is pass "
                "in src/repro")
+    rationale = (
+        "A bare except (or a handler whose whole body is pass) swallows\n"
+        "the invariant violations this repo exists to surface — a\n"
+        "determinism divergence caught and discarded is worse than a\n"
+        "crash, because the run keeps going with silently wrong state.\n"
+        "Catch the narrowest exception the code can actually handle,\n"
+        "and do something observable with it."
+    )
+    example = (
+        "try:\n"
+        "    shard = drive.read(lba)\n"
+        "except:          # swallows SimCorruption, KeyboardInterrupt...\n"
+        "    pass         # ...and hides the data-loss signal entirely\n"
+    )
 
     def applies_to(self, ctx):
         return ctx.in_src

@@ -58,6 +58,18 @@ class StableExport(Rule):
     id = "stable-export"
     summary = ("json.dump(s) needs sort_keys=True; dict/set iteration "
                "feeding exports must be sorted")
+    rationale = (
+        "Exports (trace JSONL, metrics JSONL, reports) are diffed\n"
+        "byte-for-byte in CI and between runs: an unsorted json.dumps\n"
+        "or a hash-ordered iteration feeding an export makes identical\n"
+        "runs produce different bytes. Every serialization boundary\n"
+        "sorts: sort_keys=True on dumps, sorted() on the iterations\n"
+        "that feed them."
+    )
+    example = (
+        "def export(metrics, out):\n"
+        "    out.write(json.dumps(metrics))   # missing sort_keys=True\n"
+    )
 
     def applies_to(self, ctx):
         return ctx.in_src

@@ -57,6 +57,18 @@ class HotPathCopy(Rule):
     summary = ("advisory: bytes(memoryview) copies in layout/erasure/"
                "compression hot paths")
     severity = ADVICE
+    rationale = (
+        "layout/erasure/compression run per-I/O; a bytes(memoryview)\n"
+        "there materializes a copy of data that was sliced zero-copy on\n"
+        "purpose, and the bench gate sees it as allocation-rate drift.\n"
+        "Advisory only: sometimes the copy is the point (e.g. detaching\n"
+        "from a buffer about to be recycled) — say so in a pragma."
+    )
+    example = (
+        "def shard(view):\n"
+        "    return bytes(view[a:b])   # copies the slice on the hot path\n"
+        "    # often fine: view[a:b]   (zero-copy memoryview)\n"
+    )
 
     def applies_to(self, ctx):
         return ctx.in_subsystem("layout", "erasure", "compression")

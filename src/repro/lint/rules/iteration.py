@@ -1,0 +1,68 @@
+"""nondeterministic-iteration: never iterate hash-ordered collections.
+
+Sets (and ``frozenset``s) iterate in hash order, and hash order is the
+one thing ``PYTHONHASHSEED`` is allowed to change between runs. Any
+``for`` loop, comprehension, ``list()``/``tuple()``/``enumerate()``
+call, or ``"".join()`` over a set therefore produces run-dependent
+order — poison for a simulator whose contract is byte-identical traces
+and exports. ``dict`` iteration is insertion-ordered and fine.
+
+The per-file half of this rule flags inline set expressions
+(``for x in {…}``, ``set(…)``, ``vars()``/``globals()``). The
+whole-program half resolves *names* being iterated against the graph's
+module-level constants — catching ``for name in SPAN_NAMES`` in a
+module that imported ``SPAN_NAMES`` from two hops away. Wrapping the
+iterable in ``sorted(...)`` is the fix and is exempt by construction
+(the extractor never records sorted iterables).
+"""
+
+from repro.lint.graph import SET_KINDS
+from repro.lint.rule import ProjectRule, register
+
+
+@register
+class NondeterministicIteration(ProjectRule):
+
+    id = "nondeterministic-iteration"
+    summary = ("iterating a set/frozenset (inline or via a resolved "
+               "module constant) has hash order; wrap it in sorted()")
+    rationale = (
+        "Set iteration order is hash order, and hash order moves with\n"
+        "PYTHONHASHSEED. Anything that iterates a set and lets the order\n"
+        "reach placement scores, trace lines, or exported JSONL breaks\n"
+        "byte-identity between two runs of the same seed. The fix is\n"
+        "one word: sorted(). The rule resolves iterated names through\n"
+        "the project graph, so a frozenset imported via a package\n"
+        "re-export is still caught at its iteration site."
+    )
+    example = (
+        "NAMES = frozenset({\"a\", \"b\"})\n"
+        "\n"
+        "def export(out):\n"
+        "    for name in NAMES:       # hash order -> run-dependent file\n"
+        "        out.write(name)      # fix: for name in sorted(NAMES)\n"
+    )
+
+    def check_project(self, graph):
+        for module, qualname, info in graph.iter_functions():
+            rel_path = graph.by_module[module]["rel_path"]
+            for kind, detail, lineno in info["set_iterations"]:
+                if kind == "inline":
+                    yield self.project_finding(
+                        graph, rel_path, lineno,
+                        "%r iterates %s — set iteration is hash order "
+                        "and varies with PYTHONHASHSEED; wrap the "
+                        "iterable in sorted()" % (qualname, detail))
+                    continue
+                resolved = graph.resolve_constant(module, detail)
+                if resolved is None:
+                    continue
+                res_module, symbol, const = resolved
+                if const["kind"] not in SET_KINDS:
+                    continue
+                yield self.project_finding(
+                    graph, rel_path, lineno,
+                    "%r iterates %s.%s, a %s — iteration order is hash "
+                    "order and varies with PYTHONHASHSEED; wrap it in "
+                    "sorted()" % (qualname, res_module, symbol,
+                                  const["kind"]))

@@ -1,0 +1,93 @@
+"""worker-transitive-purity: the whole worker closure is pure.
+
+``no-unseeded-worker`` polices the bodies of ``@pure_worker`` functions
+directly; it cannot see that a worker calls a helper two modules away
+that reads ``os.environ`` or appends to a module-level list. This rule
+walks the resolved call graph from every worker root and checks the
+*closure*:
+
+* no function reachable from a worker root may write module-level
+  state (a write in a forked pool process mutates the child's copy —
+  silently diverging from the serial run's shared module);
+* no reachable callee may read the wall clock or the process-global
+  RNG (the roots themselves are covered by ``no-unseeded-worker``; this
+  rule extends the same ban transitively);
+* no reachable function may read ``os.environ`` or touch the obs
+  singletons (``PERF``, ``NULL_OBS``) — host-side state that differs
+  between the sim process and pool children.
+
+Findings name the call path back to the worker root so "why is this
+function in the worker domain?" is answered in the message itself.
+"""
+
+from repro.lint.domains import build_domains
+from repro.lint.rule import ProjectRule, register
+
+_IMPURITY_VERBS = {
+    "wall-clock": "reads the wall clock via",
+    "rng": "draws from process-global randomness via",
+    "env": "reads the host environment via",
+    "obs-singleton": "touches the obs singleton",
+}
+
+
+@register
+class WorkerTransitivePurity(ProjectRule):
+
+    id = "worker-transitive-purity"
+    summary = ("everything reachable from a @pure_worker root must be "
+               "free of module-state writes, RNG, wall clock, and env")
+    rationale = (
+        "@pure_worker functions fan out to forked pool processes, and the\n"
+        "determinism contract says the result bytes are identical at any\n"
+        "worker count. A worker is only pure if its transitive callees\n"
+        "are: a helper that mutates a module-level dict mutates the\n"
+        "child's copy in pooled runs but the shared module in serial\n"
+        "runs, and a callee that reads the clock, the global RNG, or\n"
+        "os.environ folds host state into 'pure' results. The per-file\n"
+        "no-unseeded-worker rule checks worker bodies; this rule extends\n"
+        "the same ban over the resolved project call graph."
+    )
+    example = (
+        "_CACHE = {}\n"
+        "\n"
+        "def lookup(level):\n"
+        "    if level not in _CACHE:\n"
+        "        _CACHE[level] = build(level)   # write reachable from a\n"
+        "    return _CACHE[level]               # worker root -> finding\n"
+        "\n"
+        "@pure_worker\n"
+        "def compress(chunk):\n"
+        "    return lookup(chunk.level).compress(chunk.data)\n"
+    )
+
+    def check_project(self, graph):
+        domains = build_domains(graph)
+        for module, qualname in domains.worker_members():
+            summary = graph.by_module[module]
+            info = summary["functions"][qualname]
+            rel_path = summary["rel_path"]
+            path = domains.worker_path(module, qualname) or qualname
+            is_root = (module, qualname) in domains.worker_roots
+
+            for target_module, name, lineno in info["writes"]:
+                where = ("%s.%s" % (target_module, name)
+                         if target_module else name)
+                yield self.project_finding(
+                    graph, rel_path, lineno,
+                    "%r writes module-level state %r but is reachable "
+                    "from a @pure_worker root (%s); pooled runs mutate "
+                    "the fork's copy and diverge from serial runs"
+                    % (qualname, where, path))
+
+            for kind, detail, lineno in info["impurities"]:
+                if is_root and kind in ("wall-clock", "rng"):
+                    # The root's own clock/RNG use is no-unseeded-worker's
+                    # finding; do not report it twice.
+                    continue
+                yield self.project_finding(
+                    graph, rel_path, lineno,
+                    "%r %s %r but is reachable from a @pure_worker root "
+                    "(%s); worker results must be a function of the "
+                    "arguments alone"
+                    % (qualname, _IMPURITY_VERBS[kind], detail, path))

@@ -35,6 +35,21 @@ class SeededRandomness(Rule):
     id = "seeded-randomness"
     summary = ("no module-level random.* draws or seedless Random()/"
                "RandomStream()/default_rng()")
+    rationale = (
+        "Every random draw in the simulator must trace back to the run\n"
+        "seed: the process-global RNG (random.random() and friends) and\n"
+        "seedless generator constructions produce values that differ\n"
+        "between runs of the same seed, which silently breaks the\n"
+        "byte-identity contract. Derive streams from the run seed\n"
+        "(repro.sim.rand.RandomStream) instead."
+    )
+    example = (
+        "import random\n"
+        "\n"
+        "def jitter(base):\n"
+        "    return base * random.random()   # process-global RNG\n"
+        "    # fix: base * stream.uniform()  (seeded RandomStream)\n"
+    )
 
     def check(self, ctx):
         random_aliases = ctx.imports.module_aliases("random")

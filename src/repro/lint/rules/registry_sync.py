@@ -49,6 +49,19 @@ class NameRegistrySync(Rule):
     id = "name-registry-sync"
     summary = ("span/event/metric/crashpoint string literals must appear "
                "in repro.obs.names / repro.faults.plan registries")
+    rationale = (
+        "Instrumentation names are join keys: reports group trace spans\n"
+        "and metric series by exact string. A typo at a call site never\n"
+        "crashes — it forks the name, and the report joining on the\n"
+        "real one quietly renders an empty table. Resolving literals\n"
+        "against the committed registries turns that silent drift into\n"
+        "a lint failure with a nearest-name hint."
+    )
+    example = (
+        "def flush(self, obs):\n"
+        "    with obs.begin(\"segio-flsuh\"):   # typo: not in SPAN_NAMES\n"
+        "        ...                            # hint: 'segio.flush'\n"
+    )
 
     def __init__(self, registries=None):
         #: Overridable for fixture tests; defaults to the live modules.

@@ -38,6 +38,21 @@ class SimClockMonotonic(Rule):
     id = "sim-clock-monotonic"
     summary = ("generator callbacks must not cache clock.now across a "
                "yield; re-read after resume")
+    rationale = (
+        "A generator scheduled on the event loop suspends at every\n"
+        "yield, and simulated time advances while it sleeps. A local\n"
+        "variable holding clock.now from before the yield is a stale\n"
+        "timestamp afterwards; durations computed from it are negative\n"
+        "or wrong and poison latency histograms. Re-read the clock\n"
+        "after every resume."
+    )
+    example = (
+        "def service(clock):\n"
+        "    started = clock.now\n"
+        "    yield wait(1.0)\n"
+        "    record(clock.now - started)  # 'started' is pre-yield time;\n"
+        "                                 # re-read clock.now after resume\n"
+    )
 
     def applies_to(self, ctx):
         return ctx.in_src

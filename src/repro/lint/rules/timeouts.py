@@ -99,6 +99,19 @@ class NoInlineTimeout(Rule):
     id = "no-inline-timeout"
     summary = ("timeout/retry/backoff/deadline literals belong in "
                "core/config.py, not at call sites")
+    rationale = (
+        "Timing knobs scattered as call-site literals drift apart: two\n"
+        "sites meant to share a deadline get tuned independently, and\n"
+        "experiments can't sweep a knob that has no name. Every\n"
+        "timeout/retry/backoff value lives as a named constant (module\n"
+        "UPPER_CASE or core/config.py) so it is greppable, sweepable,\n"
+        "and consistent."
+    )
+    example = (
+        "def read(self, lba):\n"
+        "    return self._wait(timeout=0.25)   # magic inline deadline\n"
+        "    # fix: timeout=READ_TIMEOUT (named module constant)\n"
+    )
 
     def applies_to(self, ctx):
         return ctx.in_src and ctx.rel_path not in ALLOWED_FILES

@@ -40,6 +40,21 @@ class WallClockPurity(Rule):
     id = "wall-clock-purity"
     summary = ("no wall-clock reads in src/repro outside perf.py; "
                "sim time comes from SimClock")
+    rationale = (
+        "Same seed must mean byte-identical traces and metrics, so the\n"
+        "host's clock can never influence the data path: any timestamp\n"
+        "that reaches a trace, an export, or a control decision must\n"
+        "come from the simulated SimClock. Wall-clock reads are allowed\n"
+        "only in repro/perf.py (host-side profiling, explicitly outside\n"
+        "the determinism contract)."
+    )
+    example = (
+        "import time\n"
+        "\n"
+        "def flush(segio):\n"
+        "    started = time.monotonic()   # wall clock on the data path\n"
+        "    ...                          # fix: clock.now (sim time)\n"
+    )
 
     def applies_to(self, ctx):
         return ctx.in_src and ctx.rel_path not in ALLOWED_FILES

@@ -43,6 +43,21 @@ class NoUnseededWorker(Rule):
     id = "no-unseeded-worker"
     summary = ("@pure_worker functions ship to the process pool and must "
                "not touch random or the wall clock")
+    rationale = (
+        "@pure_worker marks a function as shippable to forked pool\n"
+        "processes, where the contract is: results are a function of\n"
+        "the arguments alone, so serial and pooled runs produce the\n"
+        "same bytes. This rule checks worker *bodies* for wall-clock\n"
+        "reads, global RNG draws, and smuggled local imports of either;\n"
+        "worker-transitive-purity extends the same ban to everything\n"
+        "the worker calls."
+    )
+    example = (
+        "@pure_worker\n"
+        "def verify(chunk):\n"
+        "    import random                  # smuggled impurity\n"
+        "    return random.random() < 0.5   # host RNG in a worker\n"
+    )
 
     def check(self, ctx):
         imports = {

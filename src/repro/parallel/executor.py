@@ -46,6 +46,7 @@ import os
 
 import numpy as np
 
+from repro import sanitize
 from repro.parallel.names import STAGE_NAMES
 from repro.parallel.workers import encode_rs_columns
 from repro.perf import PERF
@@ -142,6 +143,7 @@ class ParallelExecutor:
         self.obs = None  # wired by the array
         self._stats = {}
         self._broken = False
+        self._sanitize = sanitize.enabled()
 
     # -- partition plan (worker-count independent) ----------------------
 
@@ -277,6 +279,11 @@ class ParallelExecutor:
         construction; a broken pool degrades to serial for good."""
         if self.workers == 0 or self._broken or len(chunks) < 2:
             PERF.incr("parallel-serial-chunks", len(chunks))
+            if self._sanitize:
+                # Enforce the pool's pickle-boundary semantics on the
+                # serial path: no input mutation, no result aliasing.
+                return [sanitize.run_chunk_checked(func, chunk)
+                        for chunk in chunks]
             return [func(chunk) for chunk in chunks]
         try:
             pool = _process_pool(self.workers)

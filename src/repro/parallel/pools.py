@@ -14,7 +14,15 @@ must start zeroed for unmapped ranges — recycling must be
 indistinguishable from fresh allocation, byte for byte. Zeroing is one
 ``memcpy`` from a cached template, which is the whole point: reuse the
 allocation, not the contents.
+
+Under ``REPRO_SANITIZE=1`` (see :mod:`repro.sanitize`) every pool
+carries a :class:`~repro.sanitize.BufferSentry`: released buffers are
+poison-filled and double-acquire/double-release/use-after-release all
+raise at the moment of detection. The sentry decision is made once at
+construction, so the unsanitized fast path pays one ``is None`` check.
 """
+
+from repro import sanitize
 
 
 class BufferPool:
@@ -31,6 +39,8 @@ class BufferPool:
         self.discards = 0
         self._hit_counter = None
         self._miss_counter = None
+        self._sentry = sanitize.BufferSentry(name) if sanitize.enabled() \
+            else None
         if metrics is not None:
             self.bind_metrics(metrics)
 
@@ -46,6 +56,10 @@ class BufferPool:
         if stack:
             buffer = stack.pop()
             self._held -= 1
+            if self._sentry is not None:
+                # Poison must be verified BEFORE re-zeroing erases the
+                # evidence of any write through a stale reference.
+                self._sentry.on_recycle(buffer)
             zeros = self._zeros.get(size)
             if zeros is None:
                 zeros = self._zeros[size] = bytes(size)
@@ -57,12 +71,19 @@ class BufferPool:
         self.misses += 1
         if self._miss_counter is not None:
             self._miss_counter.inc()
-        return bytearray(size)
+        buffer = bytearray(size)
+        if self._sentry is not None:
+            self._sentry.on_fresh(buffer)
+        return buffer
 
     def release(self, buffer):
         """Return ``buffer`` to the pool; full pools drop it instead."""
         if not isinstance(buffer, bytearray) or not len(buffer):
             return
+        if self._sentry is not None:
+            # Track (and poison) even buffers the full pool drops below:
+            # releasing twice is a caller bug either way.
+            self._sentry.on_release(buffer)
         if self._held >= self.max_buffers:
             self.discards += 1
             return

@@ -39,6 +39,7 @@ _CODECS = {}
 def _compressor(level):
     compressor = _COMPRESSORS.get(level)
     if compressor is None:
+        # lint: allow[worker-transitive-purity] per-process memo of a deterministic constructor keyed by args; cached or fresh, same bytes
         compressor = _COMPRESSORS[level] = ZlibCompressor(level)
     return compressor
 
@@ -47,6 +48,7 @@ def _codec(data_shards, parity_shards):
     key = (data_shards, parity_shards)
     codec = _CODECS.get(key)
     if codec is None:
+        # lint: allow[worker-transitive-purity] per-process memo of a deterministic constructor keyed by args; cached or fresh, same bytes
         codec = _CODECS[key] = ReedSolomon(data_shards, parity_shards)
     return codec
 

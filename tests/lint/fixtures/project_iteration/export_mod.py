@@ -1,0 +1,12 @@
+"""Fixture: iterating hash-ordered collections (inline and imported)."""
+
+from repro.names_mod import NAMES
+
+
+def render():
+    lines = []
+    for name in NAMES:
+        lines.append(name)
+    for name in {"x", "y"}:
+        lines.append(name)
+    return lines

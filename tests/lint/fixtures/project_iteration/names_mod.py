@@ -1,0 +1,3 @@
+"""Fixture: a hash-ordered constant exported for iteration elsewhere."""
+
+NAMES = frozenset({"b", "a"})

@@ -1,0 +1,12 @@
+"""Fixture: sorted() pins the order, so iteration is deterministic."""
+
+from repro.names_mod import NAMES
+
+
+def render():
+    lines = []
+    for name in sorted(NAMES):
+        lines.append(name)
+    for name in sorted({"x", "y"}):
+        lines.append(name)
+    return lines

@@ -1,0 +1,3 @@
+"""Fixture: the same constant, iterated only through sorted()."""
+
+NAMES = frozenset({"b", "a"})

@@ -1,0 +1,14 @@
+"""Fixture: each nondeterministic iteration carries a justified pragma."""
+
+from repro.names_mod import NAMES
+
+
+def render():
+    lines = []
+    # lint: allow[nondeterministic-iteration] fixture: suppression under test
+    for name in NAMES:
+        lines.append(name)
+    # lint: allow[nondeterministic-iteration] fixture: suppression under test
+    for name in {"x", "y"}:
+        lines.append(name)
+    return lines

@@ -1,0 +1,3 @@
+"""Fixture: hash-ordered constant, iteration sites pragma-suppressed."""
+
+NAMES = frozenset({"b", "a"})

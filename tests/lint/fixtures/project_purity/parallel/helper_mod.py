@@ -1,0 +1,13 @@
+"""Fixture: transitively-reached helper with two purity violations."""
+
+import os
+
+_CACHE = {}
+
+
+def lookup(level):
+    cached = _CACHE.get(level)
+    if cached is None:
+        cached = os.environ.get("LEVEL", "") + str(level)
+        _CACHE[level] = cached
+    return cached

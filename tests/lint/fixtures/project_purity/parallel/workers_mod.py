@@ -1,0 +1,14 @@
+"""Fixture: a @pure_worker root whose impurity lives in a callee."""
+
+from repro.parallel.helper_mod import lookup
+
+
+def pure_worker(func):
+    func.__pure_worker__ = True
+    return func
+
+
+@pure_worker
+def compress(items):
+    # The body is clean; the violation is two modules away.
+    return [lookup(level) for level in items]

@@ -1,0 +1,5 @@
+"""Fixture: transitively-reached helper, pure (args in, value out)."""
+
+
+def lookup(level):
+    return "level-%d" % level

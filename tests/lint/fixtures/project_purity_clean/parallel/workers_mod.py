@@ -1,0 +1,13 @@
+"""Fixture: a @pure_worker root whose whole closure is pure."""
+
+from repro.parallel.helper_mod import lookup
+
+
+def pure_worker(func):
+    func.__pure_worker__ = True
+    return func
+
+
+@pure_worker
+def compress(items):
+    return [lookup(level) for level in items]

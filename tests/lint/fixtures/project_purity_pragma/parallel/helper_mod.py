@@ -1,0 +1,15 @@
+"""Fixture: the helper's violations carry justified pragmas."""
+
+import os
+
+_CACHE = {}
+
+
+def lookup(level):
+    cached = _CACHE.get(level)
+    if cached is None:
+        # lint: allow[worker-transitive-purity] fixture: env read is under test
+        cached = os.environ.get("LEVEL", "") + str(level)
+        # lint: allow[worker-transitive-purity] fixture: per-process memo keyed by args
+        _CACHE[level] = cached
+    return cached

@@ -1,0 +1,13 @@
+"""Fixture: pragma'd transitive impurities (reason strings present)."""
+
+from repro.parallel.helper_mod import lookup
+
+
+def pure_worker(func):
+    func.__pure_worker__ = True
+    return func
+
+
+@pure_worker
+def compress(items):
+    return [lookup(level) for level in items]

@@ -1,0 +1,9 @@
+"""Fixture registry: crashpoints, built by tuple concatenation."""
+
+CRASHPOINT_CHOICES = (
+    "segio.pre-flush",
+)
+
+CRASHPOINTS = CRASHPOINT_CHOICES + (
+    "nvram.pre-append",
+)

@@ -1,0 +1,16 @@
+"""Fixture registries: span/event/metric names for the fixture tree."""
+
+SPAN_NAMES = frozenset({
+    "io.write",
+    "io.read",
+})
+
+EVENT_NAMES = frozenset({
+    "fault",
+})
+
+METRIC_NAMES = frozenset({
+    "io.write.latency",
+    "pool.segio.hits",
+    "dead.metric",
+})

@@ -1,0 +1,15 @@
+"""Fixture registries: every entry is used by the fixture tree."""
+
+SPAN_NAMES = frozenset({
+    "io.write",
+    "io.read",
+})
+
+EVENT_NAMES = frozenset({
+    "fault",
+})
+
+METRIC_NAMES = frozenset({
+    "io.write.latency",
+    "pool.segio.hits",
+})

@@ -1,0 +1,17 @@
+"""Fixture registries: the dead entry carries a justified pragma."""
+
+SPAN_NAMES = frozenset({
+    "io.write",
+    "io.read",
+})
+
+EVENT_NAMES = frozenset({
+    "fault",
+})
+
+METRIC_NAMES = frozenset({
+    "io.write.latency",
+    "pool.segio.hits",
+    # lint: allow[registry-resolution] fixture: suppression under test
+    "dead.metric",
+})

@@ -1,0 +1,5 @@
+"""Fixture registry: parallel stage names."""
+
+STAGE_NAMES = frozenset({
+    "parallel.compress",
+})

@@ -1,0 +1,8 @@
+"""Fixture: a cluster message handler writing a module global."""
+
+_ROUTES = {}
+
+
+class Node:
+    def handle_write(self, key, value):
+        _ROUTES[key] = value

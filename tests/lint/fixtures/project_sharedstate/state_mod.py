@@ -1,0 +1,7 @@
+"""Fixture: a module-level mutable written from the main domain."""
+
+_SEEN = set()
+
+
+def record(key):
+    _SEEN.add(key)

@@ -1,0 +1,15 @@
+"""Fixture: the same mutable written from the worker domain too."""
+
+import repro.state_mod as state_mod
+
+
+def pure_worker(func):
+    func.__pure_worker__ = True
+    return func
+
+
+@pure_worker
+def scan(items):
+    for item in items:
+        state_mod._SEEN.add(item)
+    return list(items)

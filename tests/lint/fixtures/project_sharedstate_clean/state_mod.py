@@ -1,0 +1,11 @@
+"""Fixture: module-level mutable written from one domain only."""
+
+_SEEN = set()
+
+
+def record(key):
+    _SEEN.add(key)
+
+
+def count():
+    return len(_SEEN)

@@ -1,0 +1,13 @@
+"""Fixture: the worker only *reads*; no cross-domain write."""
+
+import repro.state_mod as state_mod
+
+
+def pure_worker(func):
+    func.__pure_worker__ = True
+    return func
+
+
+@pure_worker
+def scan(items):
+    return [item for item in items if item not in state_mod._SEEN]

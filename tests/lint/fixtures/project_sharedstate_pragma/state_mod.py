@@ -1,0 +1,8 @@
+"""Fixture: cross-domain writes suppressed with justified pragmas."""
+
+_SEEN = set()
+
+
+def record(key):
+    # lint: allow[cross-domain-shared-state] fixture: suppression under test
+    _SEEN.add(key)

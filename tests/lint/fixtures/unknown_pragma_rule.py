@@ -1,0 +1,8 @@
+"""Fixture: a pragma naming a rule id that does not exist."""
+
+import time
+
+
+def probe():
+    # lint: allow[wall-clock-purty] typo'd rule id suppresses nothing
+    return time.monotonic()

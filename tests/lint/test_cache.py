@@ -1,0 +1,110 @@
+"""The incremental summary cache: hits, invalidation, speedup."""
+
+import json
+import time
+
+import repro.lint.graph as graph_mod
+from repro.lint.graph import build_graph
+
+
+def make_tree(tmp_path, files=30, funcs=40):
+    """A synthetic src tree big enough that extraction dominates."""
+    (tmp_path / "pyproject.toml").write_text("[project]\nname = 'fake'\n")
+    pkg = tmp_path / "src" / "repro"
+    pkg.mkdir(parents=True)
+    for index in range(files):
+        body = ["CONST_%d = 'value-%d'" % (index, index), ""]
+        for func in range(funcs):
+            body.append("def fn_%d_%d(x):" % (index, func))
+            body.append("    y = x + %d" % func)
+            body.append("    return helper_%d_%d(y)" % (index, func))
+            body.append("")
+            body.append("def helper_%d_%d(y):" % (index, func))
+            body.append("    return y * 2")
+            body.append("")
+        (pkg / ("mod_%02d.py" % index)).write_text("\n".join(body))
+    return str(tmp_path / "src"), str(tmp_path / "cache.json")
+
+
+def counting_extract(monkeypatch):
+    calls = []
+    real = graph_mod.extract_summary
+
+    def counted(rel_path, source, tree):
+        calls.append(rel_path)
+        return real(rel_path, source, tree)
+
+    monkeypatch.setattr(graph_mod, "extract_summary", counted)
+    return calls
+
+
+def test_warm_run_extracts_nothing(tmp_path, monkeypatch):
+    src, cache = make_tree(tmp_path, files=4, funcs=4)
+    calls = counting_extract(monkeypatch)
+    build_graph([src], root=str(tmp_path), cache_path=cache)
+    assert len(calls) == 4
+    del calls[:]
+    build_graph([src], root=str(tmp_path), cache_path=cache)
+    assert calls == []
+
+
+def test_warm_graph_is_identical_to_cold(tmp_path):
+    src, cache = make_tree(tmp_path, files=4, funcs=4)
+    cold = build_graph([src], root=str(tmp_path), cache_path=cache)
+    warm = build_graph([src], root=str(tmp_path), cache_path=cache)
+    assert warm.summaries == cold.summaries
+
+
+def test_changed_file_is_re_extracted_alone(tmp_path, monkeypatch):
+    src, cache = make_tree(tmp_path, files=4, funcs=4)
+    build_graph([src], root=str(tmp_path), cache_path=cache)
+    target = tmp_path / "src" / "repro" / "mod_02.py"
+    target.write_text(target.read_text() + "\nEXTRA = 'x'\n")
+    calls = counting_extract(monkeypatch)
+    graph = build_graph([src], root=str(tmp_path), cache_path=cache)
+    assert calls == ["src/repro/mod_02.py"]
+    constants = graph.by_module["repro.mod_02"]["constants"]
+    assert "EXTRA" in constants
+
+
+def test_corrupt_cache_is_rebuilt(tmp_path, monkeypatch):
+    src, cache = make_tree(tmp_path, files=3, funcs=3)
+    build_graph([src], root=str(tmp_path), cache_path=cache)
+    with open(cache, "w") as handle:
+        handle.write("{not json")
+    calls = counting_extract(monkeypatch)
+    build_graph([src], root=str(tmp_path), cache_path=cache)
+    assert len(calls) == 3
+    with open(cache) as handle:
+        assert len(json.load(handle)["files"]) == 3
+
+
+def test_wrong_format_version_invalidates(tmp_path, monkeypatch):
+    src, cache = make_tree(tmp_path, files=3, funcs=3)
+    build_graph([src], root=str(tmp_path), cache_path=cache)
+    with open(cache) as handle:
+        payload = json.load(handle)
+    payload["format"] = -1
+    with open(cache, "w") as handle:
+        json.dump(payload, handle)
+    calls = counting_extract(monkeypatch)
+    build_graph([src], root=str(tmp_path), cache_path=cache)
+    assert len(calls) == 3
+
+
+def test_warm_run_is_at_least_5x_faster(tmp_path):
+    # The acceptance bar for the incremental cache. The tree is sized
+    # so AST extraction dominates; warm runs only read and hash.
+    src, cache = make_tree(tmp_path)
+    start = time.perf_counter()
+    build_graph([src], root=str(tmp_path), cache_path=cache)
+    cold = time.perf_counter() - start
+
+    warm = None
+    for _ in range(3):  # min over runs irons out scheduler noise
+        start = time.perf_counter()
+        build_graph([src], root=str(tmp_path), cache_path=cache)
+        elapsed = time.perf_counter() - start
+        warm = elapsed if warm is None else min(warm, elapsed)
+
+    assert warm * 5 <= cold, "cold=%.4fs warm=%.4fs" % (cold, warm)

@@ -1,0 +1,24 @@
+"""nondeterministic-iteration: hash-ordered collections in loops."""
+
+from tests.lint.conftest import assert_all_suppressed, assert_clean
+
+RULE = "nondeterministic-iteration"
+
+
+def test_flags_inline_and_resolved_set_iteration(project_lint):
+    result = project_lint("project_iteration", [RULE])
+    assert len(result.findings) == 2
+    assert all(f.rule == RULE for f in result.findings)
+    assert all(f.path.endswith("export_mod.py") for f in result.findings)
+    messages = sorted(f.message for f in result.findings)
+    # One finding names the imported constant, resolved cross-module.
+    assert any("NAMES" in message for message in messages)
+
+
+def test_sorted_iteration_is_clean(project_lint):
+    assert_clean(project_lint("project_iteration_clean", [RULE]))
+
+
+def test_pragma_suppresses_each_loop(project_lint):
+    result = project_lint("project_iteration_pragma", [RULE])
+    assert_all_suppressed(result, count=2)

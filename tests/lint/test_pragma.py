@@ -59,3 +59,14 @@ def test_bad_pragma_fixture_surfaces_as_finding(lint_fixture):
 
 def test_pragma_regex_requires_bracketed_rule_ids():
     assert PRAGMA.search("# lint: allow wall-clock reasons") is None
+
+
+def test_unknown_rule_id_in_pragma_is_a_finding(lint_fixture):
+    result = lint_fixture("unknown_pragma_rule.py", "wall-clock-purity")
+    rules = sorted(f.rule for f in result.findings)
+    # The typo'd pragma is itself an error AND suppresses nothing, so
+    # the wall-clock finding it meant to cover still fires.
+    assert rules == ["unknown-pragma-rule", "wall-clock-purity"]
+    unknown = [f for f in result.findings if f.rule == "unknown-pragma-rule"]
+    assert "wall-clock-purty" in unknown[0].message
+    assert result.suppressed_count == 0

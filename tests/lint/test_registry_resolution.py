@@ -1,0 +1,40 @@
+"""registry-resolution: folded name sites vs the name registries."""
+
+from tests.lint.conftest import assert_all_suppressed, assert_clean
+
+RULE = "registry-resolution"
+
+
+def test_folded_typo_and_dead_entry_are_flagged(project_lint):
+    result = project_lint("project_registry", [RULE])
+    assert len(result.findings) == 2
+
+    typo = [f for f in result.findings if "'io.wrte'" in f.message]
+    assert len(typo) == 1
+    assert typo[0].path.endswith("app.py")
+    assert "did you mean 'io.write'" in typo[0].message
+
+    dead = [f for f in result.findings if "'dead.metric'" in f.message]
+    assert len(dead) == 1
+    # The unused-entry finding lands on the entry itself.
+    assert dead[0].path.endswith("obs/names.py")
+    assert "never used" in dead[0].message
+
+
+def test_partial_fold_pattern_keeps_entries_alive(project_lint):
+    # pool.segio.hits is never a literal anywhere in the fixture; only
+    # the ".*\\.hits" pattern from the partial fold covers it. It must
+    # NOT be reported unused.
+    result = project_lint("project_registry", [RULE])
+    assert not any("pool.segio.hits" in f.message for f in result.findings)
+
+
+def test_good_folds_and_concatenated_registry_are_clean(project_lint):
+    # Exercises f-string folding into SPAN_NAMES and the
+    # CRASHPOINT_CHOICES + (...) tuple-concat fold.
+    assert_clean(project_lint("project_registry_clean", [RULE]))
+
+
+def test_pragma_suppresses_fold_and_dead_entry(project_lint):
+    result = project_lint("project_registry_pragma", [RULE])
+    assert_all_suppressed(result, count=2)

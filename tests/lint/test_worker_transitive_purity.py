@@ -1,0 +1,33 @@
+"""worker-transitive-purity: impurity anywhere in the worker closure."""
+
+from tests.lint.conftest import assert_all_suppressed, assert_clean
+
+RULE = "worker-transitive-purity"
+
+
+def test_flags_impurity_in_transitive_callee(project_lint):
+    result = project_lint("project_purity", [RULE])
+    assert len(result.findings) == 2
+    assert all(f.rule == RULE for f in result.findings)
+    messages = [f.message for f in result.findings]
+    # The env read and the module-cache write both live in helper_mod,
+    # two hops from the @pure_worker root.
+    assert any("os.environ" in message for message in messages)
+    assert any("_CACHE" in message for message in messages)
+    for finding in result.findings:
+        assert finding.path.endswith("helper_mod.py")
+        assert "compress" in finding.message  # names the worker path
+
+
+def test_worker_path_is_reported(project_lint):
+    result = project_lint("project_purity", [RULE])
+    assert any("compress -> lookup" in f.message for f in result.findings)
+
+
+def test_pure_closure_is_clean(project_lint):
+    assert_clean(project_lint("project_purity_clean", [RULE]))
+
+
+def test_pragma_suppresses_each_site(project_lint):
+    result = project_lint("project_purity_pragma", [RULE])
+    assert_all_suppressed(result, count=2)

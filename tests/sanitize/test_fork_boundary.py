@@ -1,0 +1,62 @@
+"""Fork-pool boundary semantics enforced on the serial path."""
+
+import pytest
+
+from repro import sanitize
+from repro.parallel import ParallelExecutor, pure_worker
+
+
+@pure_worker
+def aliasing_stage(chunk):
+    # Returns the input bytearrays by reference — fine at workers=0,
+    # diverges in pooled runs where results are pickled copies.
+    return [item for item in chunk]
+
+
+@pure_worker
+def copying_stage(chunk):
+    return [bytes(item) for item in chunk]
+
+
+def mutate_chunk(chunk):
+    chunk.append("extra")
+    return list(chunk)
+
+
+def test_input_mutation_detected():
+    with pytest.raises(sanitize.SanitizeError, match="mutated its input"):
+        sanitize.run_chunk_checked(mutate_chunk, [bytearray(2)])
+
+
+def test_mutable_result_aliasing_detected():
+    with pytest.raises(sanitize.SanitizeError, match="by reference"):
+        sanitize.run_chunk_checked(aliasing_stage, [bytearray(2)])
+
+
+def test_immutable_aliasing_is_allowed():
+    items = ["a", "b"]
+    assert sanitize.run_chunk_checked(aliasing_stage, items) == items
+
+
+def test_executor_serial_path_enforces_boundary(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    executor = ParallelExecutor(workers=0)
+    with pytest.raises(sanitize.SanitizeError, match="fork-boundary"):
+        executor.map("parallel.compress", aliasing_stage,
+                     [bytearray(2), bytearray(3), bytearray(1)])
+
+
+def test_executor_clean_worker_passes(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    executor = ParallelExecutor(workers=0)
+    result = executor.map("parallel.compress", copying_stage,
+                          [bytearray(b"ab"), bytearray(b"cd")])
+    assert result == [b"ab", b"cd"]
+
+
+def test_executor_unsanitized_path_stays_permissive(monkeypatch):
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    executor = ParallelExecutor(workers=0)
+    items = [bytearray(2)]
+    assert executor.map("parallel.compress", aliasing_stage, items) \
+        == items

@@ -1,0 +1,50 @@
+"""PYTHONHASHSEED double-run harness."""
+
+import pytest
+
+from repro.sanitize import SanitizeError, hashseed
+
+STABLE_SCRIPT = (
+    "import sys\n"
+    "sys.stdout.write('stable line\\n')\n"
+)
+
+# Iterating a ~40-string set: the order tracks the hash seed, so two
+# seeds print different lines.
+DIVERGENT_SCRIPT = (
+    "names = {'name-%d' % index for index in range(40)}\n"
+    "for name in names:\n"
+    "    print(name)\n"
+)
+
+
+def test_identical_outputs_pass():
+    output = hashseed.double_run(STABLE_SCRIPT)
+    assert output == b"stable line\n"
+
+
+def test_hash_order_divergence_is_caught():
+    with pytest.raises(SanitizeError, match="depends on the hash seed"):
+        hashseed.double_run(DIVERGENT_SCRIPT)
+
+
+def test_failing_subprocess_is_an_error():
+    with pytest.raises(SanitizeError, match="exit 3"):
+        hashseed.run_once("import sys\nsys.exit(3)\n", "0")
+
+
+def test_first_divergence_points_at_the_line():
+    message = hashseed.first_divergence(b"a\nb\n", b"a\nc\n")
+    assert "line 2" in message
+
+
+def test_first_divergence_prefix_case():
+    message = hashseed.first_divergence(b"a\n", b"a\nb\n")
+    assert "prefix" in message
+
+
+@pytest.mark.slow
+def test_chaos_exports_ignore_the_hash_seed():
+    output, runs = hashseed.assert_chaos_hashseed_stable(seed=11, ops=25)
+    assert runs == 2
+    assert output
