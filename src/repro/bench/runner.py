@@ -35,6 +35,7 @@ GROUP_FILES = {
     "chaos": "BENCH_chaos.json",
     "parallel": "BENCH_parallel.json",
     "cluster": "BENCH_cluster.json",
+    "service": "BENCH_service.json",
 }
 
 

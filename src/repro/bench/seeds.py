@@ -96,6 +96,11 @@ SEEDS = {
     "cluster.scaleout": 29,
     "cluster.rebalance": 47,
     "cluster.chaos": 6,
+    # Service plane: noisy-neighbor isolation, 10k-volume
+    # consolidation, and the cluster-backed front-end run.
+    "service.noisy": 53,
+    "service.consolidation": 54,
+    "service.cluster": 56,
 }
 
 

@@ -173,6 +173,40 @@ class ClusterClient:
             % (volume, self.config.max_retries)
         )
 
+    def manage(self, volume, handler_name, *args):
+        """Replicated management verb (snapshot, clone, unmap, destroy).
+
+        Applies the named node handler to every serving replica of
+        ``volume`` with the write path's retry/failover discipline, so
+        a snapshot exists everywhere a subsequent failover could read
+        it. Returns the primary's result.
+        """
+        for _attempt in range(self.config.max_retries):
+            primary, serving = self._serving_replicas(volume)
+            target = primary
+            try:
+                result = None
+                for node_id in serving:
+                    target = node_id
+                    self.fabric.deliver(CLIENT_ADDRESS, node_id)
+                    handler = getattr(self.nodes[node_id], handler_name)
+                    out = handler(self.epoch, *args)
+                    if node_id == primary:
+                        result = out
+                return result
+            except StaleEpochError:
+                self._stale.inc()
+                if self.obs.tracing:
+                    self.obs.event("cluster.stale-epoch", volume=volume,
+                                   epoch=self.epoch)
+                self.refresh()
+            except (ArrayDownError, UnreachableError):
+                self._report_and_maybe_failover(target, volume)
+        raise ClusterError(
+            "%s on %s failed after %d attempts"
+            % (handler_name, volume, self.config.max_retries)
+        )
+
     def read(self, volume, offset, length, advance_clock=True):
         """Read from the volume's primary; returns (bytes, latency)."""
         self._reads.inc()

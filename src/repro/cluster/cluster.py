@@ -113,6 +113,78 @@ class Cluster:
         return result
 
     # ------------------------------------------------------------------
+    # Management verbs (service front end / mgmt API)
+
+    def unmap(self, volume, offset, length):
+        if self.passthrough:
+            return self.solo.unmap(volume, offset, length)
+        result = self.client.manage(volume, "handle_unmap",
+                                    volume, offset, length)
+        self.pump()
+        return result
+
+    def snapshot(self, volume, snapshot_name):
+        """Point-in-time image on every serving replica of ``volume``."""
+        if self.passthrough:
+            return self.solo.snapshot(volume, snapshot_name)
+        result = self.client.manage(volume, "handle_snapshot",
+                                    volume, snapshot_name)
+        self.pump()
+        return result
+
+    def destroy_snapshot(self, volume, snapshot_name):
+        if self.passthrough:
+            return self.solo.destroy_snapshot(volume, snapshot_name)
+        result = self.client.manage(volume, "handle_destroy_snapshot",
+                                    volume, snapshot_name)
+        self.pump()
+        return result
+
+    def clone(self, volume, snapshot_name, new_volume):
+        """Writable clone, *pinned* to the parent's replica set.
+
+        The snapshot's bytes already live on the parent's replicas;
+        pinning makes the clone free (metadata only) instead of a
+        cross-array copy. The MDM records the pinned placement and the
+        clone's clean set mirrors the parent's.
+        """
+        if self.passthrough:
+            return self.solo.clone(volume, snapshot_name, new_volume)
+        result = self.client.manage(volume, "handle_clone",
+                                    volume, snapshot_name, new_volume)
+        self.mdm.clone_volume(volume, snapshot_name, new_volume)
+        self.client.refresh()
+        self.pump()
+        return result
+
+    def destroy_volume(self, volume):
+        if self.passthrough:
+            return self.solo.destroy_volume(volume)
+        result = self.client.manage(volume, "handle_destroy_volume", volume)
+        self.mdm.destroy_volume(volume)
+        self.client.refresh()
+        self.pump()
+        return result
+
+    def reduction_report(self):
+        """Cluster-wide reduction accounting: alive members summed."""
+        if self.passthrough:
+            return self.solo.reduction_report()
+        from repro.core.telemetry import ReductionReport
+
+        fields = [0, 0, 0, 0, 0]
+        for node in self.nodes.values():
+            if not node.alive:
+                continue
+            report = node.array.reduction_report()
+            fields[0] += report.logical_live_bytes
+            fields[1] += report.unique_logical_bytes
+            fields[2] += report.physical_stored_bytes
+            fields[3] += report.physical_with_parity_bytes
+            fields[4] += report.provisioned_bytes
+        return ReductionReport(*fields)
+
+    # ------------------------------------------------------------------
     # Simulated-time control
 
     def pump(self):

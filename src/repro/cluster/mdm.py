@@ -122,6 +122,35 @@ class MetadataManager:
         self._push_epochs()
         return epoch, replicas
 
+    def clone_volume(self, parent, snapshot, new_volume):
+        """Place a clone *pinned* to its parent's replica set.
+
+        The snapshot's bytes already live on the parent's replicas, so
+        rendezvous placement would turn a free clone into a data copy.
+        The clone is provisioned by ``handle_clone`` on each replica;
+        here only the map and clean set are updated.
+        """
+        parent_replicas = self.routing(parent)
+        if not parent_replicas:
+            raise DataLossError("volume %s has no replicas" % parent)
+        epoch, replicas = self.placement.adopt_volume(
+            new_volume, parent_replicas
+        )
+        self.volume_sizes[new_volume] = self.volume_sizes[parent]
+        # The clone starts clean exactly where its parent is clean: a
+        # dirty parent replica has a stale snapshot too.
+        self._clean[new_volume] = set(self._clean.get(parent, ()))
+        self._push_epochs()
+        return epoch, replicas
+
+    def destroy_volume(self, volume):
+        """Drop a volume from the map, clean sets, and size catalog."""
+        self.placement.drop_volume(volume)
+        self.volume_sizes.pop(volume, None)
+        self._clean.pop(volume, None)
+        self.lost.discard(volume)
+        self._push_epochs()
+
     def routing(self, volume):
         """The replica set a client should use right now.
 
@@ -292,12 +321,7 @@ class MetadataManager:
 
     def _demote(self, volume, clean_primary):
         """Reorder ``volume``'s replica list to lead with a clean one."""
-        replicas = self.placement.replicas(volume)
-        reordered = (clean_primary,) + tuple(
-            n for n in replicas if n != clean_primary
-        )
-        self.placement.assignments[volume] = reordered
-        self.placement.epoch += 1
+        self.placement.set_primary(volume, clean_primary)
 
     def _mark_lost(self, volume):
         if volume not in self.lost:

@@ -143,6 +143,33 @@ class ArrayNode:
         return self.array.read(volume, offset, length,
                                advance_clock=advance_clock)
 
+    # Management-plane handlers (service front end / mgmt API). Same
+    # liveness + epoch discipline as the data path: a stale caller is
+    # told to refresh rather than mutating a volume that may have moved.
+
+    def handle_unmap(self, epoch, volume, offset, length):
+        self._check(epoch)
+        return self.array.unmap(volume, offset, length)
+
+    def handle_snapshot(self, epoch, volume, snapshot_name):
+        self._check(epoch)
+        return self.array.snapshot(volume, snapshot_name)
+
+    def handle_destroy_snapshot(self, epoch, volume, snapshot_name):
+        self._check(epoch)
+        return self.array.destroy_snapshot(volume, snapshot_name)
+
+    def handle_clone(self, epoch, volume, snapshot_name, new_volume):
+        self._check(epoch)
+        result = self.array.clone(volume, snapshot_name, new_volume)
+        self._volumes[new_volume] = self._volumes.get(volume)
+        return result
+
+    def handle_destroy_volume(self, epoch, volume):
+        self._check(epoch)
+        self.array.destroy_volume(volume)
+        self._volumes.pop(volume, None)
+
     # ------------------------------------------------------------------
     # Introspection
 

@@ -80,6 +80,11 @@ class PlacementMap:
         self.assignments = {}
         #: Alive members the map currently places onto.
         self.members = ()
+        #: member -> primary count, maintained across mutations so
+        #: ``add_volume`` stays O(members) instead of O(volumes) — the
+        #: difference between linear and quadratic time when a
+        #: consolidation sweep provisions 10k volumes.
+        self._loads = {}
 
     # ------------------------------------------------------------------
     # Views
@@ -104,8 +109,14 @@ class PlacementMap:
         return held
 
     def primary_load(self, member):
-        return sum(1 for replicas in self.assignments.values()
-                   if replicas and replicas[0] == member)
+        return self._loads.get(member, 0)
+
+    def _recount_loads(self):
+        loads = {m: 0 for m in self.members}
+        for replicas in self.assignments.values():
+            if replicas and replicas[0] in loads:
+                loads[replicas[0]] += 1
+        self._loads = loads
 
     def cap(self):
         return primary_cap(len(self.assignments), len(self.members))
@@ -120,6 +131,7 @@ class PlacementMap:
     def set_members(self, members):
         """Install the initial member set (no volumes placed yet)."""
         self.members = tuple(sorted(members))
+        self._recount_loads()
         return self._bump()
 
     def _pick_primary(self, volume, cap, loads):
@@ -146,15 +158,55 @@ class PlacementMap:
             raise ValueError("volume %r is already placed" % volume)
         if not self.members:
             raise ValueError("no members to place %r on" % volume)
-        loads = {m: self.primary_load(m) for m in self.members}
         cap = primary_cap(len(self.assignments) + 1, len(self.members))
-        primary = self._pick_primary(volume, cap, loads)
+        primary = self._pick_primary(volume, cap, self._loads)
         replicas = self._fill_secondaries(volume, [primary])
         self.assignments[volume] = tuple(replicas)
+        self._loads[primary] = self._loads.get(primary, 0) + 1
         return self._bump(), tuple(replicas)
 
+    def adopt_volume(self, volume, replicas):
+        """Place a new volume on a *pinned* replica list.
+
+        Used for clones: a clone must live where its parent's snapshot
+        bytes already are, so the caller — not rendezvous hashing —
+        names the replicas. The pinned primary may exceed the cap
+        (clones follow their parent); later joins drain overloads.
+        """
+        if volume in self.assignments:
+            raise ValueError("volume %r is already placed" % volume)
+        replicas = tuple(replicas)
+        if not replicas:
+            raise ValueError("adopt_volume needs at least one replica")
+        for member in replicas:
+            if member not in self.members:
+                raise ValueError("member %r not present" % member)
+        self.assignments[volume] = replicas
+        self._loads[replicas[0]] = self._loads.get(replicas[0], 0) + 1
+        return self._bump(), replicas
+
+    def set_primary(self, volume, new_primary):
+        """Reorder ``volume``'s replica list to lead with ``new_primary``
+        (which must already be a replica); bumps the epoch."""
+        replicas = self.assignments[volume]
+        if new_primary not in replicas:
+            raise ValueError(
+                "%r is not a replica of %r" % (new_primary, volume)
+            )
+        if replicas[0] == new_primary:
+            return self.epoch
+        old_primary = replicas[0]
+        self.assignments[volume] = (new_primary,) + tuple(
+            m for m in replicas if m != new_primary
+        )
+        self._loads[old_primary] = self._loads.get(old_primary, 1) - 1
+        self._loads[new_primary] = self._loads.get(new_primary, 0) + 1
+        return self._bump()
+
     def drop_volume(self, volume):
-        self.assignments.pop(volume, None)
+        replicas = self.assignments.pop(volume, None)
+        if replicas:
+            self._loads[replicas[0]] = self._loads.get(replicas[0], 1) - 1
         return self._bump()
 
     def join(self, member):
@@ -231,6 +283,7 @@ class PlacementMap:
                 if new != old:
                     self.assignments[volume] = new
                     moved[volume] = (old, new)
+        self._recount_loads()
         return self._bump(), moved
 
     def leave(self, member, preferred_primaries=None):
@@ -254,6 +307,7 @@ class PlacementMap:
                 if old:
                     self.assignments[volume] = ()
                     moved[volume] = (old, ())
+            self._recount_loads()
             return self._bump(), moved
         cap = self.cap()
         loads = {m: 0 for m in self.members}
@@ -278,4 +332,5 @@ class PlacementMap:
             new = tuple(self._fill_secondaries(volume, survivors))
             self.assignments[volume] = new
             moved[volume] = (old, new)
+        self._recount_loads()
         return self._bump(), moved

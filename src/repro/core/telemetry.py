@@ -48,13 +48,20 @@ __all__ = [
 ]
 
 
-def degraded_mode_report(array):
+def degraded_mode_report(array, service=None):
     """Fault/retry/health counters for one array, as plain dicts.
 
     Combines the segment reader's per-drive retry accounting, the
     health monitor's drive grades, and the device-level corruption and
     stall counters — the numbers a support engineer would pull first
     when a chaos run (or a real array) misbehaves.
+
+    With ``service`` (a :class:`~repro.service.frontend.
+    ServiceFrontend` riding on this array) the report grows a
+    ``service`` section: admission verdict counts plus per-tenant
+    queue depth and latency percentiles — the front-end face of the
+    same degradation the ladder section describes. Field meanings are
+    documented in docs/SERVICE_PLANE.md.
     """
     report = {
         "retries": array.segreader.retry_report(),
@@ -81,6 +88,8 @@ def degraded_mode_report(array):
     governor = getattr(array, "rebuild_governor", None)
     if governor is not None:
         report["rebuild_governor"] = governor.report()
+    if service is not None:
+        report["service"] = service.service_report()
     return report
 
 

@@ -43,6 +43,13 @@ SPAN_NAMES = frozenset({
     "cluster.write",
     "cluster.read",
     "cluster.failover",
+    # service front end (see repro.service): per-op dispatch roots —
+    # the backend's io.*/cluster.* spans nest under these — plus one
+    # span per management-API call.
+    "service.read",
+    "service.write",
+    "service.unmap",
+    "service.api",
 })
 
 #: Point-event names recorded into the span tree.
@@ -58,6 +65,9 @@ EVENT_NAMES = frozenset({
     "cluster.stale-epoch",
     "cluster.partition",
     "cluster.copy",
+    # service front end: admission verdicts that did not simply admit.
+    "service.shed",
+    "service.delay",
 })
 
 #: Metric names: dotted ``<subsystem>.<thing>[.<unit>]`` (see
@@ -107,6 +117,20 @@ METRIC_NAMES = frozenset({
     "cluster.rebalance.bytes_copied",
     "cluster.epoch",
     "cluster.members_alive",
+    # service front end (see repro.service). Per-tenant variants are
+    # assembled dynamically ("service.queue_depth.<tenant>") and are
+    # deliberately not registered: the registry holds the static
+    # aggregate names only.
+    "service.submitted",
+    "service.admitted",
+    "service.delayed",
+    "service.shed",
+    "service.dispatched",
+    "service.errors",
+    "service.api.calls",
+    "service.wait.latency",
+    "service.request.latency",
+    "service.queue_depth",
     # gauges and sampled series
     "drives.alive",
     "degrade.ladder_state",

@@ -107,6 +107,54 @@ def histogram_table(metrics_records):
         title="Latency histograms (unified registry)")
 
 
+_QUEUE_DEPTH_PREFIX = "service.queue_depth."
+_TENANT_LATENCY_PREFIX = "service.request.latency."
+
+
+def service_tenant_table(metrics_records):
+    """Per-tenant service-plane view: queue depth + request latency.
+
+    Joins the dynamic per-tenant series (``service.queue_depth.<t>``)
+    and histograms (``service.request.latency.<t>``) the front end
+    emits into one row per tenant. Returns None when the run carried
+    no service plane, so the section disappears from non-service runs.
+    Field meanings are documented in docs/SERVICE_PLANE.md.
+    """
+    depths = {}
+    latencies = {}
+    for record in metrics_records:
+        name = record["name"]
+        if record["type"] == "series" \
+                and name.startswith(_QUEUE_DEPTH_PREFIX):
+            depths[name[len(_QUEUE_DEPTH_PREFIX):]] = record
+        elif record["type"] == "histogram" and record.get("count") \
+                and name.startswith(_TENANT_LATENCY_PREFIX):
+            latencies[name[len(_TENANT_LATENCY_PREFIX):]] = record
+    tenants = sorted(set(depths) | set(latencies))
+    if not tenants:
+        return None
+    rows = []
+    for tenant in tenants:
+        depth = depths.get(tenant)
+        values = [value for _time, value in depth["points"]] \
+            if depth else []
+        latency = latencies.get(tenant)
+        rows.append([
+            tenant,
+            values[-1] if values else None,
+            max(values) if values else None,
+            _sparkline(values),
+            latency["count"] if latency else 0,
+            latency["p50"] * 1e6 if latency else None,
+            latency["p99"] * 1e6 if latency else None,
+        ])
+    return format_table(
+        ["Tenant", "Queue last", "Queue max", "Depth shape",
+         "Requests", "Lat p50 (us)", "Lat p99 (us)"],
+        rows,
+        title="Service plane per-tenant queues and latency")
+
+
 def _io_latencies(records):
     """[(start_time, latency)] of every client I/O span, time-ordered."""
     points = [
@@ -177,6 +225,9 @@ def render_report(trace_records, metrics_records=None, window=None):
         histograms = histogram_table(metrics_records)
         sections.append(histograms)
         sections.append(series_table(metrics_records))
+        tenants = service_tenant_table(metrics_records)
+        if tenants is not None:
+            sections.append(tenants)
     sections.append(fault_correlation(trace_records, window=window))
     return "\n\n".join(sections)
 

@@ -1,0 +1,55 @@
+"""The block-service front end (ROADMAP item 2).
+
+Per-tenant request queues, a deficit-weighted QoS scheduler with
+token-bucket IOPS/bandwidth caps, ladder-driven admission control, and
+a management API — wired above :class:`~repro.core.array.PurityArray`
+or :class:`~repro.cluster.cluster.Cluster`, so the same front end
+drives N=1 and cluster runs. See docs/SERVICE_PLANE.md for the
+operator guide and docs/API.md for the endpoint reference.
+"""
+
+from repro.service.admission import SHED_CLASS, AdmissionController
+from repro.service.api import ENDPOINTS, ManagementAPI
+from repro.service.config import (
+    DEFAULT_PRIORITY,
+    PRIORITY_CLASSES,
+    PRIORITY_WEIGHTS,
+    QosSpec,
+    ServiceConfig,
+)
+from repro.service.frontend import ServiceFrontend, TenantStats
+from repro.service.qos import QosScheduler, TenantQueue
+from repro.service.request import (
+    OP_READ,
+    OP_UNMAP,
+    OP_WRITE,
+    VERDICT_ADMIT,
+    VERDICT_DELAY,
+    VERDICT_SHED,
+    Completion,
+    Request,
+)
+
+__all__ = [
+    "AdmissionController",
+    "Completion",
+    "DEFAULT_PRIORITY",
+    "ENDPOINTS",
+    "ManagementAPI",
+    "OP_READ",
+    "OP_UNMAP",
+    "OP_WRITE",
+    "PRIORITY_CLASSES",
+    "PRIORITY_WEIGHTS",
+    "QosScheduler",
+    "QosSpec",
+    "Request",
+    "SHED_CLASS",
+    "ServiceConfig",
+    "ServiceFrontend",
+    "TenantQueue",
+    "TenantStats",
+    "VERDICT_ADMIT",
+    "VERDICT_DELAY",
+    "VERDICT_SHED",
+]

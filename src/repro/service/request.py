@@ -1,0 +1,83 @@
+"""Request and completion records for the service front end.
+
+A :class:`Request` is one block operation a tenant submitted, stamped
+with its arrival time on the sim clock. A :class:`Completion` is the
+audited outcome: the admission verdict, when the op started service,
+when it finished, and the end-to-end latency *including queue wait* —
+the number the noisy-neighbor benchmark gates on.
+"""
+
+from dataclasses import dataclass, field
+
+OP_READ = "read"
+OP_WRITE = "write"
+OP_UNMAP = "unmap"
+
+OPS = (OP_READ, OP_WRITE, OP_UNMAP)
+
+#: Writes (and unmaps) mutate state; admission treats them differently
+#: from reads on the degraded rungs of the ladder.
+MUTATING_OPS = frozenset({OP_WRITE, OP_UNMAP})
+
+VERDICT_ADMIT = "admit"
+VERDICT_DELAY = "delay"
+VERDICT_SHED = "shed"
+
+
+@dataclass
+class Request:
+    """One submitted block operation, not yet (or still) in queue."""
+
+    seq: int
+    tenant: str
+    op: str
+    volume: str
+    offset: int
+    length: int
+    data: bytes | None
+    arrival: float
+    priority: str
+    #: Earliest sim time the scheduler may dispatch this request
+    #: (pushed past ``arrival`` by a DELAY verdict).
+    eligible_at: float = 0.0
+    #: Set by admission when the verdict was DELAY.
+    delayed: bool = False
+    delay_reason: str = ""
+
+    @property
+    def cost_bytes(self):
+        """Bytes the op moves — the DRR / bandwidth-bucket cost."""
+        if self.data is not None:
+            return len(self.data)
+        return self.length
+
+
+@dataclass
+class Completion:
+    """The audited outcome of one request."""
+
+    request: Request
+    #: Final disposition: VERDICT_ADMIT (the op ran, possibly after a
+    #: delay) or VERDICT_SHED (it never reached the backend).
+    verdict: str
+    reason: str = ""
+    #: True when admission pushed ``eligible_at`` past the arrival.
+    delayed: bool = False
+    start: float = 0.0
+    finish: float = 0.0
+    error: str | None = None
+    data: bytes | None = field(default=None, repr=False)
+
+    @property
+    def ok(self):
+        return self.verdict == VERDICT_ADMIT and self.error is None
+
+    @property
+    def latency(self):
+        """End-to-end latency: arrival to finish, queue wait included."""
+        return self.finish - self.request.arrival
+
+    @property
+    def wait(self):
+        """Time spent queued before service started."""
+        return self.start - self.request.arrival

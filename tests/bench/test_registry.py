@@ -38,6 +38,7 @@ EXPECTED_BENCHES = {
     "hotpath",
     "parallel",
     "cluster",
+    "service",
 }
 
 

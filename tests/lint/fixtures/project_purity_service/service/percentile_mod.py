@@ -1,0 +1,12 @@
+"""Fixture: transitively-reached helper with two purity violations."""
+
+import time
+
+_LAST_ROW = {}
+
+
+def tenant_row(tenant, latencies):
+    p99 = latencies[(99 * len(latencies)) // 100] if latencies else 0.0
+    row = (tenant, p99, time.time())
+    _LAST_ROW[tenant] = row
+    return row

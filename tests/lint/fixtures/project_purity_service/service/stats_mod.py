@@ -1,0 +1,20 @@
+"""Fixture: a service-plane stats fold whose impurity hides in a callee.
+
+Models the service front end farming per-tenant latency folds out to
+the worker pool: the ``@pure_worker`` root is clean, but the helper it
+reaches stamps rows with the wall clock and memoizes into module state.
+"""
+
+from repro.service.percentile_mod import tenant_row
+
+
+def pure_worker(func):
+    func.__pure_worker__ = True
+    return func
+
+
+@pure_worker
+def fold_tenant_latencies(batch):
+    # The body is clean; the violations live one module away.
+    return [tenant_row(tenant, sorted(latencies))
+            for tenant, latencies in batch]

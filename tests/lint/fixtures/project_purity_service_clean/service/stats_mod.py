@@ -1,0 +1,14 @@
+"""Fixture: the service-plane stats fold with a pure closure."""
+
+from repro.service.percentile_mod import tenant_row
+
+
+def pure_worker(func):
+    func.__pure_worker__ = True
+    return func
+
+
+@pure_worker
+def fold_tenant_latencies(batch):
+    return [tenant_row(tenant, sorted(latencies))
+            for tenant, latencies in batch]

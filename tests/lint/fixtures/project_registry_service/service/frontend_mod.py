@@ -1,0 +1,23 @@
+"""Fixture: a mini service front end resolved against its registries.
+
+``dispatch`` folds the per-op span name only partially (``request.op``
+never folds), so it contributes the pattern ``service\\..*`` that keeps
+every ``service.*`` span entry alive without a literal mention — the
+same shape the real front end uses for ``"service.%s" % request.op``.
+The shed path folds an event name through the module constant PREFIX
+with a typo, and nothing anywhere uses ``service.retired.metric``.
+"""
+
+PREFIX = "service"
+
+
+def dispatch(obs, metrics, request):
+    with obs.begin("%s.%s" % (PREFIX, request.op)):
+        metrics.counter("service.dispatched")
+    obs.event(f"{PREFIX}.shedd")
+
+
+def pressure(obs, metrics, tenant):
+    obs.event("service.shed")
+    obs.event("service.delay")
+    metrics.gauge("service.queue_depth.%s" % tenant)

@@ -1,0 +1,17 @@
+"""Fixture registries: the service plane's slice of the name space."""
+
+SPAN_NAMES = frozenset({
+    "service.read",
+    "service.write",
+    "service.api",
+})
+
+EVENT_NAMES = frozenset({
+    "service.shed",
+    "service.delay",
+})
+
+METRIC_NAMES = frozenset({
+    "service.dispatched",
+    "service.queue_depth.default",
+})

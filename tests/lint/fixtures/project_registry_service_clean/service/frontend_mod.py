@@ -1,0 +1,20 @@
+"""Fixture: the service front end with every name resolving cleanly.
+
+Same shapes as the violation twin — a partial fold keeping the span
+entries alive, a constant-prefix event fold, a per-tenant metric
+pattern — but the folded event name lands in the registry and every
+registry entry is reachable from some site.
+"""
+
+PREFIX = "service"
+
+
+def dispatch(obs, metrics, request):
+    with obs.begin("%s.%s" % (PREFIX, request.op)):
+        metrics.counter("service.dispatched")
+    obs.event(f"{PREFIX}.shed")
+
+
+def pressure(obs, metrics, tenant):
+    obs.event("service.delay")
+    metrics.gauge("service.queue_depth.%s" % tenant)

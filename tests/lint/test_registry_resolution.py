@@ -38,3 +38,36 @@ def test_good_folds_and_concatenated_registry_are_clean(project_lint):
 def test_pragma_suppresses_fold_and_dead_entry(project_lint):
     result = project_lint("project_registry_pragma", [RULE])
     assert_all_suppressed(result, count=2)
+
+
+def test_service_frontend_typo_and_dead_entry_are_flagged(project_lint):
+    # The service-plane fixture mirrors the real front end's shapes:
+    # a partial per-op span fold, a constant-prefix event fold (here
+    # typo'd), and a per-tenant metric pattern.
+    result = project_lint("project_registry_service", [RULE])
+    assert len(result.findings) == 2
+
+    typo = [f for f in result.findings if "'service.shedd'" in f.message]
+    assert len(typo) == 1
+    assert typo[0].path.endswith("service/frontend_mod.py")
+    assert "did you mean 'service.shed'" in typo[0].message
+
+    dead = [f for f in result.findings
+            if "'service.retired.metric'" in f.message]
+    assert len(dead) == 1
+    assert dead[0].path.endswith("obs/names.py")
+    assert "never used" in dead[0].message
+
+
+def test_service_partial_folds_keep_entries_alive(project_lint):
+    # "service.%s" % request.op never fully folds, so the span entries
+    # survive only through the service\..* pattern; the per-tenant
+    # gauge pattern likewise covers service.queue_depth.default.
+    result = project_lint("project_registry_service", [RULE])
+    for kept in ("service.read", "service.write", "service.api",
+                 "service.queue_depth.default"):
+        assert not any(kept in f.message for f in result.findings)
+
+
+def test_service_frontend_clean_twin(project_lint):
+    assert_clean(project_lint("project_registry_service_clean", [RULE]))

@@ -31,3 +31,21 @@ def test_pure_closure_is_clean(project_lint):
 def test_pragma_suppresses_each_site(project_lint):
     result = project_lint("project_purity_pragma", [RULE])
     assert_all_suppressed(result, count=2)
+
+
+def test_service_stats_fold_impurity_in_callee(project_lint):
+    # The service-plane fixture: a @pure_worker per-tenant latency fold
+    # whose helper stamps rows with the wall clock and memoizes into
+    # module state — both one module away from the clean root.
+    result = project_lint("project_purity_service", [RULE])
+    assert len(result.findings) == 2
+    messages = [f.message for f in result.findings]
+    assert any("time.time" in message for message in messages)
+    assert any("_LAST_ROW" in message for message in messages)
+    for finding in result.findings:
+        assert finding.path.endswith("percentile_mod.py")
+        assert "fold_tenant_latencies -> tenant_row" in finding.message
+
+
+def test_service_stats_fold_clean_twin(project_lint):
+    assert_clean(project_lint("project_purity_service_clean", [RULE]))

@@ -75,6 +75,38 @@ def test_cli_main(faulted_run, capsys):
     assert "Fault correlation" in out
 
 
+def test_service_tenant_table_renders(tmp_path):
+    from repro.core.array import PurityArray
+    from repro.core.config import ArrayConfig
+    from repro.obs.export import write_metrics
+    from repro.service import QosSpec, ServiceConfig, ServiceFrontend
+
+    array = PurityArray.create(ArrayConfig.small(seed=13))
+    frontend = ServiceFrontend(array, ServiceConfig())
+    frontend.register_tenant("crm", QosSpec(priority="gold"))
+    frontend.create_volume("crm", "crm-db", 64 * 1024)
+    frontend.submit_write("crm-db", 0, b"\x11" * 4096)
+    frontend.observe_sample()
+    frontend.run()
+    frontend.observe_sample()
+    metrics_path = str(tmp_path / "metrics.jsonl")
+    write_metrics(frontend.obs, metrics_path)
+    records = load_jsonl(metrics_path)
+    table = R.service_tenant_table(records)
+    assert "Service plane per-tenant" in table
+    assert "crm" in table
+    assert "Lat p99 (us)" in table
+    # The section composes into the full report only for service runs.
+    assert "Service plane per-tenant" in R.render_report([], records)
+
+
+def test_service_tenant_table_absent_without_service_metrics(faulted_run):
+    _harness, _trace, metrics_path = faulted_run
+    records = load_jsonl(metrics_path)
+    assert R.service_tenant_table(records) is None
+    assert "Service plane" not in R.render_report([], records)
+
+
 def test_sparkline_shapes():
     assert R._sparkline([]) == ""
     flat = R._sparkline([1.0, 1.0, 1.0])

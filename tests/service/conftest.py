@@ -1,0 +1,34 @@
+"""Shared fixtures for the service front-end suite."""
+
+import pytest
+
+from repro.core.array import PurityArray
+from repro.core.config import ArrayConfig
+from repro.service import ServiceConfig, ServiceFrontend
+from repro.units import MIB
+
+
+@pytest.fixture
+def array():
+    return PurityArray.create(ArrayConfig.small(seed=11))
+
+
+@pytest.fixture
+def frontend(array):
+    return ServiceFrontend(array, ServiceConfig())
+
+
+@pytest.fixture
+def frontend_factory(array):
+    def make(**kwargs):
+        return ServiceFrontend(array, ServiceConfig(**kwargs))
+
+    return make
+
+
+def provision(frontend, tenant, volume, spec=None, size=MIB):
+    """Register a tenant (optionally with a spec) and give it a volume."""
+    if tenant not in frontend.tenants():
+        frontend.register_tenant(tenant, spec)
+    frontend.create_volume(tenant, volume, size)
+    return volume

@@ -1,0 +1,52 @@
+"""docs/API.md is the contract: it must list exactly ENDPOINTS.
+
+The doc's endpoint tables carry one row per endpoint whose first cell
+is the backtick-quoted dotted name. This test parses those rows and
+fails in both drift directions — an endpoint added to the code but not
+documented, or documented but removed from the code.
+"""
+
+import pathlib
+import re
+
+from repro.service.api import ENDPOINTS
+
+API_DOC = pathlib.Path(__file__).resolve().parents[2] / "docs" / "API.md"
+
+#: A table row whose first cell is a backtick-quoted dotted name.
+_ROW = re.compile(r"^\|\s*`([a-z]+(?:\.[a-z-]+)+)`\s*\|")
+
+
+def documented_endpoints():
+    names = []
+    for line in API_DOC.read_text().splitlines():
+        match = _ROW.match(line)
+        if match:
+            names.append(match.group(1))
+    return names
+
+
+def test_doc_exists_and_has_rows():
+    assert API_DOC.exists()
+    assert len(documented_endpoints()) >= 10
+
+
+def test_every_endpoint_is_documented():
+    missing = sorted(set(ENDPOINTS) - set(documented_endpoints()))
+    assert not missing, (
+        "endpoints missing from docs/API.md (add a table row): %s"
+        % ", ".join(missing)
+    )
+
+
+def test_no_stale_documented_endpoints():
+    stale = sorted(set(documented_endpoints()) - set(ENDPOINTS))
+    assert not stale, (
+        "docs/API.md documents endpoints that no longer exist: %s"
+        % ", ".join(stale)
+    )
+
+
+def test_no_duplicate_rows():
+    names = documented_endpoints()
+    assert len(names) == len(set(names))
